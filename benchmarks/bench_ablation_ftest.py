@@ -1,0 +1,28 @@
+"""Ablation A1 — value of the variance (F) test on variance-only drifts."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_detection_rows
+from repro.experiments.ablations import run_ftest_ablation
+from repro.experiments.table1 import summaries_to_rows
+
+
+def test_ablation_ftest(benchmark, scale, report):
+    summaries = run_once(
+        benchmark,
+        run_ftest_ablation,
+        n_repetitions=scale["n_repetitions"] + 2,
+        segment_length=scale["segment_length"],
+    )
+    rows = summaries_to_rows(summaries)
+    report(
+        "ablation_ftest",
+        format_detection_rows(
+            rows, title="Ablation A1 - variance-only drift, with vs without the F-test"
+        ),
+    )
+    with_f = summaries["OPTWIN (t + F tests)"].aggregate
+    without_f = summaries["OPTWIN (t test only)"].aggregate
+    # The F-test is what makes variance-only drifts detectable at all.
+    assert with_f.recall > 0.8
+    assert with_f.recall > without_f.recall

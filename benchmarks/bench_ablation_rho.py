@@ -1,0 +1,32 @@
+"""Ablation A3 — sensitivity to the robustness parameter rho."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_detection_rows
+from repro.experiments.ablations import run_rho_sensitivity
+from repro.experiments.table1 import summaries_to_rows
+
+
+def test_ablation_rho_sensitivity(benchmark, scale, report):
+    rhos = [0.1, 0.25, 0.5, 1.0, 2.0]
+    summaries = run_once(
+        benchmark,
+        run_rho_sensitivity,
+        rhos=rhos,
+        n_repetitions=scale["n_repetitions"] + 2,
+        segment_length=scale["segment_length"],
+    )
+    rows = summaries_to_rows(summaries)
+    report(
+        "ablation_rho",
+        format_detection_rows(rows, title="Ablation A3 - rho sensitivity sweep"),
+    )
+    delays = {
+        name: summary.aggregate.mean_delay for name, summary in summaries.items()
+    }
+    f1 = {name: summary.aggregate.f1_score for name, summary in summaries.items()}
+    # Paper shape (Section 3.3): larger rho -> smaller delay; and the F1-score
+    # stays roughly flat across reasonable rho values ("different rho's tend
+    # to produce similar results").
+    assert delays["OPTWIN rho=1.0"] <= delays["OPTWIN rho=0.1"]
+    assert min(f1[f"OPTWIN rho={r}"] for r in (0.25, 0.5, 1.0)) >= 0.5

@@ -1,0 +1,43 @@
+"""Figure 2 — sudden binary drift: FP rates vs detection delays (experiment E9)."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.figures import run_figure2
+
+
+def test_figure2_sudden_binary_series(benchmark, scale, report):
+    series = run_once(
+        benchmark,
+        run_figure2,
+        segment_length=scale["segment_length"],
+        n_drifts=2,
+        w_max=scale["w_max"],
+    )
+    rows = []
+    for name, detection_series in series.items():
+        row = detection_series.as_row()
+        rows.append(
+            [
+                name,
+                row["tp"],
+                row["fp"],
+                row["mean_delay"],
+                ", ".join(str(d) for d in detection_series.detections[:12]),
+            ]
+        )
+    report(
+        "figure2",
+        format_table(
+            ["Detector", "TP", "FP", "Mean delay", "Detection positions"],
+            rows,
+            title="Figure 2 - sudden binary drift, one representative run",
+        ),
+    )
+    optwin = series["OPTWIN rho=0.5"]
+    eddm = series["EDDM"]
+    ecdd = series["ECDD"]
+    # Paper shape: EDDM/ECDD produce visibly more false positives than OPTWIN.
+    assert optwin.evaluation.false_positives <= eddm.evaluation.false_positives
+    assert optwin.evaluation.false_positives <= ecdd.evaluation.false_positives
+    assert optwin.evaluation.true_positives >= 2

@@ -1,0 +1,44 @@
+"""Figure 4 — TP/FP picture on AGRAWAL with sudden drifts (experiment E11)."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.figures import run_figure4
+
+
+def test_figure4_agrawal_series(benchmark, scale, report):
+    series = run_once(
+        benchmark,
+        run_figure4,
+        n_instances=scale["n_instances"],
+        drift_every=scale["drift_every"],
+        w_max=scale["w_max"],
+    )
+    rows = []
+    for name, detection_series in series.items():
+        row = detection_series.as_row()
+        rows.append(
+            [
+                name,
+                row["tp"],
+                row["fp"],
+                row["mean_delay"],
+                ", ".join(str(d) for d in detection_series.detections[:10]),
+            ]
+        )
+    report(
+        "figure4",
+        format_table(
+            ["Detector", "TP", "FP", "Mean delay", "Detections"],
+            rows,
+            title="Figure 4 - AGRAWAL with sudden drifts (NB classifier), one run",
+        ),
+    )
+    optwin = series["OPTWIN rho=0.5"]
+    ecdd = series["ECDD"]
+    stepd = series["STEPD"]
+    # Paper shape: OPTWIN and DDM identify the drifts with few FPs; ECDD and
+    # STEPD produce near-random guesses (many FPs).
+    assert optwin.evaluation.true_positives >= 1
+    assert optwin.evaluation.false_positives <= ecdd.evaluation.false_positives
+    assert optwin.evaluation.false_positives <= stepd.evaluation.false_positives

@@ -1,0 +1,62 @@
+"""Section 3.4 — per-element update cost of OPTWIN vs the baselines (E14)."""
+
+from conftest import run_once
+
+from repro.core.optwin import Optwin
+from repro.evaluation.reporting import format_table
+from repro.experiments.runtime import run_runtime_comparison
+
+
+def test_runtime_per_element(benchmark, scale, report):
+    lengths = (2_000, 8_000, 20_000) if scale["n_repetitions"] < 30 else (
+        5_000,
+        25_000,
+        100_000,
+    )
+    measurements = run_once(benchmark, run_runtime_comparison, stream_lengths=lengths)
+    rows = [
+        [m.detector_name, m.n_elements, f"{m.seconds_per_element * 1e6:.2f}"]
+        for m in measurements
+    ]
+    report(
+        "runtime_per_element",
+        format_table(
+            ["Detector", "Stream length", "Microseconds per element"],
+            rows,
+            title="Per-element update cost (steady state, pre-computed cut tables)",
+        ),
+    )
+    # Paper shape: OPTWIN's amortised cost stays flat (O(1)) as the stream and
+    # window grow — the cost at the longest stream is within a small factor of
+    # the cost at the shortest one.
+    optwin_costs = {
+        m.n_elements: m.seconds_per_element
+        for m in measurements
+        if m.detector_name.startswith("OPTWIN")
+    }
+    shortest, longest = min(optwin_costs), max(optwin_costs)
+    assert optwin_costs[longest] < optwin_costs[shortest] * 5
+
+    memory = Optwin(w_max=25_000).memory_bytes()
+    report(
+        "memory_footprint",
+        f"OPTWIN estimated memory at w_max=25000: {memory / 1024:.0f} KiB "
+        "(paper quotes ~390 KB)",
+    )
+    assert memory < 2 * 1024 * 1024
+
+
+def test_optwin_update_throughput(benchmark):
+    """Micro-benchmark: single update call in steady state (warm tables)."""
+    import numpy as np
+
+    detector = Optwin(rho=0.5, w_max=25_000)
+    values = (np.random.default_rng(1).random(5_000) < 0.3).astype(float)
+    detector.update_many(values)  # warm the window and the cut table
+    index = {"value": 0}
+
+    def one_update():
+        index["value"] = (index["value"] + 1) % len(values)
+        detector.update(values[index["value"]])
+
+    benchmark(one_update)

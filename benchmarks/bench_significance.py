@@ -1,0 +1,40 @@
+"""Section 4.1 — Wilcoxon significance analysis of F1-scores (experiment E13)."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.significance import collect_f1_scores, run_significance_analysis
+
+
+def test_significance_analysis(benchmark, scale, report):
+    scores = run_once(
+        benchmark,
+        collect_f1_scores,
+        n_repetitions=max(scale["n_repetitions"], 5),
+        segment_length=max(scale["segment_length"] // 2, 800),
+        w_max=scale["w_max"],
+    )
+    comparisons = run_significance_analysis(scores)
+    rows = [
+        [
+            comparison.detector_a,
+            comparison.detector_b,
+            f"{comparison.result.p_value:.4f}",
+            "yes" if comparison.a_better else "no",
+        ]
+        for comparison in comparisons
+    ]
+    report(
+        "significance",
+        format_table(
+            ["OPTWIN config", "Baseline", "p-value", "significantly better"],
+            rows,
+            title="Wilcoxon signed-rank (one-tailed, alpha=0.05) on per-run F1",
+        ),
+    )
+    # Paper shape: at least one OPTWIN configuration significantly outperforms
+    # each regression-capable baseline.
+    beaten_baselines = {
+        comparison.detector_b for comparison in comparisons if comparison.a_better
+    }
+    assert "STEPD" in beaten_baselines

@@ -1,0 +1,30 @@
+"""Table 1, block "sudden AGRAWAL" (experiment E7 in DESIGN.md)."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_detection_rows
+from repro.experiments.table1 import run_agrawal, summaries_to_rows
+
+
+def test_table1_agrawal(benchmark, scale, report):
+    summaries = run_once(
+        benchmark,
+        run_agrawal,
+        n_repetitions=max(scale["n_repetitions"] // 3, 1),
+        n_instances=scale["n_instances"],
+        drift_every=scale["drift_every"],
+        w_max=scale["w_max"],
+    )
+    rows = summaries_to_rows(summaries)
+    report(
+        "table1_agrawal",
+        format_detection_rows(rows, title="Table 1 - sudden AGRAWAL (NB classifier)"),
+    )
+    by_name = {row["detector"]: row for row in rows}
+    best_optwin_f1 = max(
+        row["f1"] for name, row in by_name.items() if name.startswith("OPTWIN")
+    )
+    # Paper shape: OPTWIN has the best F1 on AGRAWAL, well above ECDD/STEPD.
+    assert best_optwin_f1 >= by_name["ECDD"]["f1"]
+    assert best_optwin_f1 >= by_name["STEPD"]["f1"]
+    assert best_optwin_f1 >= by_name["EDDM"]["f1"]

@@ -1,0 +1,30 @@
+"""Table 1, block "gradual binary drift" (experiment E1 in DESIGN.md)."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_detection_rows
+from repro.experiments.table1 import run_gradual_binary, summaries_to_rows
+
+
+def test_table1_gradual_binary(benchmark, scale, report):
+    summaries = run_once(
+        benchmark,
+        run_gradual_binary,
+        n_repetitions=scale["n_repetitions"],
+        segment_length=scale["segment_length"],
+        width=scale["gradual_width"],
+        w_max=scale["w_max"],
+    )
+    rows = summaries_to_rows(summaries)
+    report(
+        "table1_gradual_binary",
+        format_detection_rows(rows, title="Table 1 - gradual binary drift"),
+    )
+    by_name = {row["detector"]: row for row in rows}
+    best_optwin_f1 = max(
+        row["f1"] for name, row in by_name.items() if name.startswith("OPTWIN")
+    )
+    assert best_optwin_f1 >= by_name["EDDM"]["f1"]
+    assert best_optwin_f1 >= by_name["ECDD"]["f1"]
+    # Every detector still finds the gradual drifts (recall stays high).
+    assert by_name["OPTWIN rho=0.5"]["recall"] >= 0.5

@@ -1,0 +1,29 @@
+"""Table 1, block "sudden STAGGER" (experiment E5 in DESIGN.md)."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_detection_rows
+from repro.experiments.table1 import run_stagger, summaries_to_rows
+
+
+def test_table1_stagger(benchmark, scale, report):
+    summaries = run_once(
+        benchmark,
+        run_stagger,
+        n_repetitions=max(scale["n_repetitions"] // 3, 1),
+        n_instances=scale["n_instances"],
+        drift_every=scale["drift_every"],
+        w_max=scale["w_max"],
+    )
+    rows = summaries_to_rows(summaries)
+    report(
+        "table1_stagger",
+        format_detection_rows(rows, title="Table 1 - sudden STAGGER (NB classifier)"),
+    )
+    by_name = {row["detector"]: row for row in rows}
+    optwin = by_name["OPTWIN rho=0.5"]
+    # Paper shape: STAGGER drifts are easy — every serious detector finds them
+    # nearly immediately, and OPTWIN's delay is among the smallest.
+    assert optwin["recall"] >= 0.9
+    assert optwin["delay"] <= by_name["DDM"]["delay"] + 50
+    assert optwin["f1"] >= by_name["STEPD"]["f1"]

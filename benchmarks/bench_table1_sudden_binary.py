@@ -1,0 +1,29 @@
+"""Table 1, block "sudden binary drift" (experiment E3 in DESIGN.md)."""
+
+from conftest import run_once
+
+from repro.evaluation.reporting import format_detection_rows
+from repro.experiments.table1 import run_sudden_binary, summaries_to_rows
+
+
+def test_table1_sudden_binary(benchmark, scale, report):
+    summaries = run_once(
+        benchmark,
+        run_sudden_binary,
+        n_repetitions=scale["n_repetitions"],
+        segment_length=scale["segment_length"],
+        w_max=scale["w_max"],
+    )
+    rows = summaries_to_rows(summaries)
+    report(
+        "table1_sudden_binary",
+        format_detection_rows(rows, title="Table 1 - sudden binary drift"),
+    )
+    by_name = {row["detector"]: row for row in rows}
+    best_optwin_f1 = max(
+        row["f1"] for name, row in by_name.items() if name.startswith("OPTWIN")
+    )
+    # Paper shape: OPTWIN's best configuration tops the FP-prone baselines.
+    assert best_optwin_f1 >= by_name["EDDM"]["f1"]
+    assert best_optwin_f1 >= by_name["ECDD"]["f1"]
+    assert by_name["OPTWIN rho=0.5"]["fp"] <= by_name["ADWIN"]["fp"] + 1.0

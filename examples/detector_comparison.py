@@ -1,0 +1,45 @@
+"""Compare every drift detector on sudden and gradual drifts (mini Table 1).
+
+Runs the paper's "Concept Drift interface" comparison at a reduced scale
+(5 repetitions, shorter streams) and prints Table-1-style rows — detector,
+mean delay, false positives per run, precision, recall, F1 — for a sudden and
+a gradual binary drift.
+
+Run with::
+
+    python examples/detector_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_detection_rows
+from repro.experiments.table1 import (
+    run_gradual_binary,
+    run_sudden_binary,
+    summaries_to_rows,
+)
+
+
+def main() -> None:
+    print("Running 5 repetitions per detector (this takes a minute)...\n")
+
+    sudden = run_sudden_binary(n_repetitions=5, segment_length=3_000, base_seed=1)
+    print(format_detection_rows(summaries_to_rows(sudden),
+                                title="Sudden binary drift (error rate 0.2 -> 0.6)"))
+
+    gradual = run_gradual_binary(
+        n_repetitions=5, segment_length=3_000, width=800, base_seed=1
+    )
+    print()
+    print(format_detection_rows(summaries_to_rows(gradual),
+                                title="Gradual binary drift (width 800)"))
+
+    print(
+        "\nReading the rows: OPTWIN keeps precision high (few false positives)\n"
+        "while matching the recall of the baselines — the same pattern as\n"
+        "Table 1 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Neural-network pipeline with drift-triggered fine-tuning (Figure 5, small).
+
+Reproduces the structure of the paper's CIFAR-10 experiment at laptop scale:
+a pre-trained MLP classifies streaming batches of synthetic "images", the
+per-batch loss feeds a drift detector, and every detection triggers a fixed
+budget of fine-tuning batches.  Because ADWIN raises more false alarms than
+OPTWIN, its pipeline spends more time retraining — the source of the paper's
+21% end-to-end speed-up.
+
+Run with::
+
+    python examples/nn_pipeline_retraining.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure5 import run_figure5
+
+
+def main() -> None:
+    print("Running the NN pipeline (OPTWIN vs ADWIN) on the synthetic image stream...")
+    results = run_figure5(
+        n_batches=400,
+        batch_size=32,
+        n_drifts=4,
+        n_features=64,
+        n_classes=10,
+        fine_tune_batches=40,
+        pretrain_examples=4_000,
+        pretrain_epochs=12,
+        seed=1,
+    )
+
+    print(f"\n{'detector':18s} {'detections':>10s} {'TP':>4s} {'FP':>4s} "
+          f"{'retrain batches':>16s} {'retrain s':>10s} {'total s':>9s} {'accuracy':>9s}")
+    for name, result in results.items():
+        row = result.as_row()
+        print(f"{name:18s} {row['detections']:10d} {row['tp']:4d} {row['fp']:4d} "
+              f"{row['retraining_batches']:16d} {row['retraining_seconds']:10.2f} "
+              f"{row['total_seconds']:9.2f} {100 * row['mean_accuracy']:8.1f}%")
+
+    adwin = results["ADWIN"]
+    optwin = results["OPTWIN rho=0.5"]
+    if adwin.report.n_retraining_batches > 0:
+        saved = 1.0 - (
+            optwin.report.n_retraining_batches / adwin.report.n_retraining_batches
+        )
+        print(f"\nretraining batches triggered: OPTWIN "
+              f"{optwin.report.n_retraining_batches} vs ADWIN "
+              f"{adwin.report.n_retraining_batches} "
+              f"({100 * saved:+.0f}% saved by OPTWIN on this run)")
+    print(
+        "At CIFAR-10 scale the paper measures a 21% end-to-end speed-up for\n"
+        "OPTWIN: retraining a CNN is expensive there, so every false alarm that\n"
+        "ADWIN raises (and OPTWIN avoids) costs minutes of wasted fine-tuning.\n"
+        "At this toy scale the surrogate MLP retrains in milliseconds, so the\n"
+        "wall-clock gap is dominated by detector overhead instead — the\n"
+        "retraining-batch counts above are the number to compare."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: detect a concept drift in an error stream with OPTWIN.
+
+The script simulates the error rate of an online learner that degrades halfway
+through the stream (error probability jumps from 10% to 45%), feeds each error
+indicator to OPTWIN, and prints where the drift was flagged together with the
+detector's diagnostic statistics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Optwin
+from repro.streams import BinarySegment, binary_error_stream
+
+
+def main() -> None:
+    # 1. Build a stream of 0/1 error indicators with a known drift at 5,000
+    #    (the learner's error rate jumps from 20% to 60%).
+    drift_position = 5_000
+    stream = binary_error_stream(
+        segments=[BinarySegment(drift_position, 0.20), BinarySegment(5_000, 0.60)],
+        width=1,
+        seed=42,
+    )
+    print(f"stream of {len(stream)} error indicators, true drift at {drift_position}")
+
+    # 2. Create the detector with the paper's configuration.
+    detector = Optwin(delta=0.99, rho=0.5, w_max=25_000)
+
+    # 3. Feed the stream element by element (as an online learner would).
+    first_true_detection = None
+    false_alarms = []
+    for index, error in enumerate(stream):
+        result = detector.update(error)
+        if not result.drift_detected:
+            continue
+        if index < drift_position:
+            false_alarms.append(index)
+        elif first_true_detection is None:
+            first_true_detection = index
+            print(f"drift detected at element {index} "
+                  f"(delay: {index - drift_position} elements, "
+                  f"type: {result.drift_type.value})")
+            print("  diagnostic statistics at the detection point:")
+            for key in ("window_size", "mean_hist", "mean_new", "t_statistic",
+                        "t_critical"):
+                print(f"    {key:12s} = {result.statistics[key]:.4f}")
+
+    if first_true_detection is None:
+        print("no drift detected (unexpected for this stream)")
+    print(f"false alarms before the drift: {len(false_alarms)}")
+
+    # 4. The detector resets itself after a drift and keeps monitoring; a
+    #    stationary continuation should stay quiet.
+    post_drift_errors = (np.random.default_rng(7).random(2_000) < 0.60).astype(float)
+    post_false_alarms = sum(
+        detector.update(error).drift_detected for error in post_drift_errors
+    )
+    print(f"false alarms over the next 2,000 stationary elements: {post_false_alarms}")
+
+
+if __name__ == "__main__":
+    main()

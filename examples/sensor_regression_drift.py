@@ -1,0 +1,79 @@
+"""Sensor-monitoring (regression) scenario: mean and variance drifts in losses.
+
+Error-rate-based detectors usually watch a classifier's 0/1 errors, but OPTWIN
+also accepts real-valued losses, and — unlike ADWIN or DDM — it reacts to
+changes in the *variance* of those losses.  This example simulates a
+regression model monitoring a sensor:
+
+* phase 1 — healthy sensor: small, stable prediction errors;
+* phase 2 — calibration drift: the error *mean* rises (a classic drift);
+* phase 3 — intermittent fault: the error *mean stays the same* but its
+  *variance* explodes (the paper's motivating example for the F-test).
+
+The example shows that OPTWIN flags both drifts while a mean-only detector
+(ADWIN) reliably sees only the first one.
+
+Run with::
+
+    python examples/sensor_regression_drift.py
+"""
+
+from __future__ import annotations
+
+from repro import Adwin, Kswin, Optwin
+from repro.streams import GaussianSegment, gaussian_error_stream
+
+PHASE_LENGTH = 4_000
+
+
+def build_sensor_loss_stream(seed: int = 11):
+    """Healthy -> mean drift -> variance-only drift."""
+    segments = [
+        GaussianSegment(PHASE_LENGTH, mean=0.10, std=0.03),   # healthy
+        GaussianSegment(PHASE_LENGTH, mean=0.30, std=0.03),   # calibration drift
+        GaussianSegment(PHASE_LENGTH, mean=0.30, std=0.25),   # intermittent fault
+    ]
+    return gaussian_error_stream(segments, width=1, seed=seed)
+
+
+def run_detector(name, detector, stream):
+    detections = []
+    drift_types = []
+    for index, value in enumerate(stream):
+        result = detector.update(value)
+        if result.drift_detected:
+            detections.append(index)
+            drift_types.append(result.drift_type.value if result.drift_type else "?")
+    print(f"\n=== {name} ===")
+    if not detections:
+        print("  no drifts detected")
+        return
+    for position, kind in zip(detections, drift_types):
+        phase = min(position // PHASE_LENGTH, 2)
+        label = ["healthy phase (false alarm)", "mean drift", "variance drift"][phase]
+        print(f"  detection at {position:6d}  (type reported: {kind:9s}  -> {label})")
+
+
+def main() -> None:
+    stream = build_sensor_loss_stream()
+    print("Sensor loss stream with a mean drift at", stream.drift_positions[0],
+          "and a variance-only drift at", stream.drift_positions[1])
+
+    # two_sided variance detection needs one_sided=False because the variance
+    # drift does not move the mean of the losses.
+    run_detector(
+        "OPTWIN (rho=0.5, two-sided)",
+        Optwin(delta=0.99, rho=0.5, one_sided=False),
+        stream,
+    )
+    run_detector("ADWIN (mean-only baseline)", Adwin(), stream)
+    run_detector("KSWIN (distribution-based extension)", Kswin(seed=1), stream)
+
+    print(
+        "\nOPTWIN reports the second drift as a 'variance' drift via its F-test;"
+        "\nADWIN, which only compares sub-window means, has no mechanism to see it."
+    )
+
+
+if __name__ == "__main__":
+    main()

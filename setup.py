@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs on machines without ``wheel``.
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` falls back to
+``setup.py develop``, which works offline; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — a from-scratch reproduction of OPTWIN (Tosi & Theobald, ICDE 2024).
+
+The package provides:
+
+* :mod:`repro.core` — the OPTWIN drift detector and its optimal-cut machinery;
+* :mod:`repro.detectors` — ADWIN, DDM, EDDM, STEPD, ECDD and extra baselines;
+* :mod:`repro.stats` — the statistical substrate (incremental statistics,
+  t/F tests, Wilcoxon);
+* :mod:`repro.streams` — MOA-style stream generators, drift composition,
+  error streams, and real-world surrogates;
+* :mod:`repro.learners` — incremental learners (Naive Bayes, Hoeffding tree,
+  perceptron, kNN) and the MLP surrogate of the paper's CNN;
+* :mod:`repro.evaluation` — prequential evaluation, drift scoring, experiment
+  runner, significance tests, reporting;
+* :mod:`repro.pipelines` — drift-aware online-learning pipelines;
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+Quickstart
+----------
+>>> from repro import Optwin
+>>> detector = Optwin(delta=0.99, rho=0.5)
+>>> for i, error in enumerate(error_stream):          # doctest: +SKIP
+...     if detector.update(error).drift_detected:
+...         print(f"drift at element {i}")
+"""
+
+from repro.core import DetectionResult, DriftDetector, DriftType, Optwin, OptwinConfig
+from repro.detectors import (
+    Adwin,
+    Ddm,
+    Ecdd,
+    Eddm,
+    Kswin,
+    NoDriftDetector,
+    PageHinkley,
+    Stepd,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    NotEnoughDataError,
+    NotFittedError,
+    ReproError,
+    StreamExhaustedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Optwin",
+    "OptwinConfig",
+    "DriftDetector",
+    "DetectionResult",
+    "DriftType",
+    "Adwin",
+    "Ddm",
+    "Eddm",
+    "Stepd",
+    "Ecdd",
+    "PageHinkley",
+    "Kswin",
+    "NoDriftDetector",
+    "ReproError",
+    "ConfigurationError",
+    "NotEnoughDataError",
+    "NotFittedError",
+    "StreamExhaustedError",
+]

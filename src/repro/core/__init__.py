@@ -1,0 +1,41 @@
+"""OPTWIN core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`repro.core.optwin.Optwin` — the detector itself.
+* :class:`repro.core.config.OptwinConfig` — validated parameters.
+* :class:`repro.core.base.DriftDetector` — the interface every detector
+  (OPTWIN and the baselines in :mod:`repro.detectors`) implements.
+* :mod:`repro.core.optimal_cut` / :mod:`repro.core.ppf_tables` — the
+  data-independent optimal-cut machinery.
+"""
+
+from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.core.config import OptwinConfig
+from repro.core.optimal_cut import (
+    SplitSpec,
+    detectable_rho,
+    minimum_solvable_length,
+    optimal_split,
+    rho_temp,
+    welch_df_upper_bound,
+)
+from repro.core.optwin import Optwin
+from repro.core.ppf_tables import CutTable, clear_cut_table_cache, get_cut_table
+
+__all__ = [
+    "Optwin",
+    "OptwinConfig",
+    "DriftDetector",
+    "DetectionResult",
+    "DriftType",
+    "SplitSpec",
+    "optimal_split",
+    "detectable_rho",
+    "rho_temp",
+    "welch_df_upper_bound",
+    "minimum_solvable_length",
+    "CutTable",
+    "get_cut_table",
+    "clear_cut_table_cache",
+]

@@ -1,0 +1,152 @@
+"""Common interface shared by every drift detector in the library.
+
+All detectors — OPTWIN itself and every baseline — implement the same
+streaming protocol so that evaluation code, pipelines, and benchmarks can be
+written once and parameterised by detector:
+
+>>> detector = SomeDetector()
+>>> for value in error_stream:
+...     result = detector.update(value)
+...     if result.drift_detected:
+...         retrain_model()
+
+``update`` accepts one monitored value (a binary error indicator or a
+real-valued loss), returns a :class:`DetectionResult`, and also mirrors the
+outcome in the ``drift_detected`` / ``warning_detected`` properties for
+callers that prefer the River-style property API.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["DriftType", "DetectionResult", "DriftDetector"]
+
+
+class DriftType(str, Enum):
+    """Which statistic triggered a drift flag."""
+
+    MEAN = "mean"
+    VARIANCE = "variance"
+    DISTRIBUTION = "distribution"
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of feeding one element to a drift detector.
+
+    Attributes
+    ----------
+    drift_detected:
+        Whether a concept drift was flagged at this element.
+    warning_detected:
+        Whether the detector entered (or stayed in) its warning zone.
+    drift_type:
+        Which statistic triggered the drift, when the detector can tell.
+    statistics:
+        Free-form diagnostic values (test statistics, thresholds, window
+        sizes) useful for debugging and reporting; never required by callers.
+    """
+
+    drift_detected: bool = False
+    warning_detected: bool = False
+    drift_type: Optional[DriftType] = None
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.drift_detected
+
+
+class DriftDetector(abc.ABC):
+    """Abstract base class for error-rate-based concept-drift detectors.
+
+    Sub-classes implement :meth:`_update_one` and :meth:`reset`; the public
+    :meth:`update` wraps :meth:`_update_one` with element counting and result
+    bookkeeping so every detector exposes identical statistics.
+    """
+
+    def __init__(self) -> None:
+        self._n_seen = 0
+        self._n_drifts = 0
+        self._n_warnings = 0
+        self._last_result = DetectionResult()
+
+    # ------------------------------------------------------------------ API
+
+    def update(self, value: float) -> DetectionResult:
+        """Feed one monitored value and return the detection outcome."""
+        self._n_seen += 1
+        result = self._update_one(float(value))
+        self._last_result = result
+        if result.drift_detected:
+            self._n_drifts += 1
+        if result.warning_detected:
+            self._n_warnings += 1
+        return result
+
+    def update_many(self, values: Iterable[float]) -> List[int]:
+        """Feed many values; return the 0-based indices where drifts fired."""
+        detections: List[int] = []
+        for index, value in enumerate(values):
+            if self.update(value).drift_detected:
+                detections.append(index)
+        return detections
+
+    @abc.abstractmethod
+    def _update_one(self, value: float) -> DetectionResult:
+        """Process one value and return the detection outcome."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return the detector to its initial (post-construction) state.
+
+        Implementations must clear their internal windows/estimators but may
+        keep configuration and any data-independent pre-computed tables.
+        """
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def drift_detected(self) -> bool:
+        """Whether the most recent :meth:`update` flagged a drift."""
+        return self._last_result.drift_detected
+
+    @property
+    def warning_detected(self) -> bool:
+        """Whether the most recent :meth:`update` flagged a warning."""
+        return self._last_result.warning_detected
+
+    @property
+    def last_result(self) -> DetectionResult:
+        """The full :class:`DetectionResult` of the most recent update."""
+        return self._last_result
+
+    @property
+    def n_seen(self) -> int:
+        """Total number of values fed to the detector (across resets)."""
+        return self._n_seen
+
+    @property
+    def n_drifts(self) -> int:
+        """Total number of drifts flagged so far."""
+        return self._n_drifts
+
+    @property
+    def n_warnings(self) -> int:
+        """Total number of warning-zone updates so far."""
+        return self._n_warnings
+
+    # ------------------------------------------------------------- helpers
+
+    def _reset_counters(self) -> None:
+        """Reset the bookkeeping counters (used by :meth:`reset` overrides)."""
+        self._n_seen = 0
+        self._n_drifts = 0
+        self._n_warnings = 0
+        self._last_result = DetectionResult()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_seen={self._n_seen}, n_drifts={self._n_drifts})"

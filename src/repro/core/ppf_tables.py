@@ -1,0 +1,143 @@
+"""Per-window-length cut tables (Section 3.4 of the OPTWIN paper).
+
+The optimal split ``nu`` and the two test thresholds depend only on the window
+length, the robustness ``rho``, and the per-test confidence ``delta'`` — never
+on the data.  The paper therefore pre-computes them once and stores them in
+lists indexed by ``|W|``.
+
+:class:`CutTable` reproduces that idea with two usage modes:
+
+* **lazy** (default) — specs are computed on first request and memoised.  The
+  computation warm-starts from the nearest previously computed length, so when
+  a detector grows its window one element at a time the amortised cost per
+  length is O(1).
+* **eager** — :meth:`CutTable.precompute` fills the table for every length up
+  front, exactly like the paper's offline pre-computation.
+
+Tables are shared process-wide through :func:`get_cut_table`, keyed by
+``(rho, confidence, w_min)``, so thirty repetitions of an experiment (or many
+detector instances inside a pipeline) pay the pre-computation only once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.core.optimal_cut import SplitSpec, optimal_split
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CutTable", "get_cut_table", "clear_cut_table_cache"]
+
+
+class CutTable:
+    """Memoised map from window length to :class:`SplitSpec`.
+
+    Parameters
+    ----------
+    rho:
+        Robustness parameter of the OPTWIN configuration.
+    confidence:
+        Per-test confidence ``delta' = delta ** (1/4)``.
+    min_length:
+        Smallest window length the table will ever be asked for (usually the
+        detector's ``w_min``).
+    """
+
+    def __init__(self, rho: float, confidence: float, min_length: int = 4) -> None:
+        if min_length < 4:
+            raise ConfigurationError(f"min_length must be >= 4, got {min_length}")
+        self._rho = rho
+        self._confidence = confidence
+        self._min_length = min_length
+        self._specs: Dict[int, SplitSpec] = {}
+        self._last_length: Optional[int] = None
+        self._lock = threading.Lock()
+
+    @property
+    def rho(self) -> float:
+        """Robustness parameter the table was built for."""
+        return self._rho
+
+    @property
+    def confidence(self) -> float:
+        """Per-test confidence the table was built for."""
+        return self._confidence
+
+    @property
+    def n_cached(self) -> int:
+        """Number of window lengths currently memoised."""
+        return len(self._specs)
+
+    def spec(self, length: int) -> SplitSpec:
+        """Return the :class:`SplitSpec` for a window of ``length`` elements."""
+        if length < self._min_length:
+            raise ConfigurationError(
+                f"length {length} is below the table's minimum {self._min_length}"
+            )
+        cached = self._specs.get(length)
+        if cached is not None:
+            return cached
+        with self._lock:
+            cached = self._specs.get(length)
+            if cached is not None:
+                return cached
+            hint = self._hint_for(length)
+            spec = optimal_split(length, self._rho, self._confidence, hint=hint)
+            self._specs[length] = spec
+            self._last_length = length
+            return spec
+
+    def _hint_for(self, length: int) -> Optional[int]:
+        """Warm-start split for ``length`` from the nearest computed length."""
+        if self._last_length is not None and self._last_length in self._specs:
+            nearest = self._specs[self._last_length]
+            if nearest.solved:
+                return nearest.nu_split
+        # Fall back to the closest smaller cached length, if any.
+        smaller = [cached for cached in self._specs if cached < length]
+        if smaller:
+            candidate = self._specs[max(smaller)]
+            if candidate.solved:
+                return candidate.nu_split
+        return None
+
+    def precompute(self, max_length: int) -> None:
+        """Eagerly fill the table for every length up to ``max_length``."""
+        if max_length < self._min_length:
+            raise ConfigurationError(
+                f"max_length {max_length} is below the table's minimum "
+                f"{self._min_length}"
+            )
+        for length in range(self._min_length, max_length + 1):
+            self.spec(length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CutTable(rho={self._rho}, confidence={self._confidence:.6f}, "
+            f"cached={len(self._specs)})"
+        )
+
+
+_TABLE_CACHE: Dict[Tuple[float, float, int], CutTable] = {}
+_TABLE_CACHE_LOCK = threading.Lock()
+
+
+def get_cut_table(rho: float, confidence: float, min_length: int = 4) -> CutTable:
+    """Return the process-wide :class:`CutTable` for this configuration."""
+    key = (float(rho), float(confidence), int(min_length))
+    table = _TABLE_CACHE.get(key)
+    if table is not None:
+        return table
+    with _TABLE_CACHE_LOCK:
+        table = _TABLE_CACHE.get(key)
+        if table is None:
+            table = CutTable(rho=rho, confidence=confidence, min_length=min_length)
+            _TABLE_CACHE[key] = table
+        return table
+
+
+def clear_cut_table_cache() -> None:
+    """Drop every cached table (mainly useful in tests and benchmarks)."""
+    with _TABLE_CACHE_LOCK:
+        _TABLE_CACHE.clear()

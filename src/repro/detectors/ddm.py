@@ -1,0 +1,129 @@
+"""DDM — Drift Detection Method (Gama et al. 2004).
+
+DDM monitors the error rate ``p_i`` of a classifier over a Bernoulli error
+stream together with its standard deviation ``s_i = sqrt(p_i (1 - p_i) / i)``.
+It remembers the minimum of ``p + s`` seen so far (``p_min``, ``s_min``) and
+flags:
+
+* a *warning* when ``p_i + s_i >= p_min + warning_level * s_min``,
+* a *drift*  when ``p_i + s_i >= p_min + drift_level * s_min``,
+
+after which the statistics are reset.  The default levels (2 and 3) are the
+ones from the original paper and the MOA implementation used as a baseline in
+the OPTWIN evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Ddm"]
+
+
+class Ddm(DriftDetector):
+    """Drift Detection Method for binary error streams.
+
+    Parameters
+    ----------
+    min_num_instances:
+        Number of observations before any warning/drift can be flagged.
+    warning_level:
+        Number of minimum standard deviations above the minimum error rate at
+        which the warning zone starts.
+    drift_level:
+        Number of minimum standard deviations above the minimum error rate at
+        which a drift is flagged.
+    """
+
+    def __init__(
+        self,
+        min_num_instances: int = 30,
+        warning_level: float = 2.0,
+        drift_level: float = 3.0,
+    ) -> None:
+        super().__init__()
+        if min_num_instances < 1:
+            raise ConfigurationError(
+                f"min_num_instances must be >= 1, got {min_num_instances}"
+            )
+        if warning_level <= 0 or drift_level <= 0:
+            raise ConfigurationError("warning_level and drift_level must be > 0")
+        if warning_level >= drift_level:
+            raise ConfigurationError(
+                "warning_level must be smaller than drift_level "
+                f"(got {warning_level} >= {drift_level})"
+            )
+        self._min_num_instances = min_num_instances
+        self._warning_level = warning_level
+        self._drift_level = drift_level
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self._n = 0
+        self._error_rate = 0.0
+        self._p_min = math.inf
+        self._s_min = math.inf
+        self._ps_min = math.inf
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def error_rate(self) -> float:
+        """Current estimate of the error probability."""
+        return self._error_rate
+
+    @property
+    def p_min(self) -> float:
+        """Minimum error rate recorded since the last reset."""
+        return self._p_min
+
+    @property
+    def s_min(self) -> float:
+        """Standard deviation recorded together with :attr:`p_min`."""
+        return self._s_min
+
+    # ------------------------------------------------------------- updates
+
+    def _update_one(self, value: float) -> DetectionResult:
+        error = 1.0 if value > 0.5 else 0.0
+        self._n += 1
+        self._error_rate += (error - self._error_rate) / self._n
+        std = math.sqrt(max(self._error_rate * (1.0 - self._error_rate), 0.0) / self._n)
+
+        statistics = {
+            "n": float(self._n),
+            "error_rate": self._error_rate,
+            "std": std,
+        }
+
+        if self._n < self._min_num_instances:
+            return DetectionResult(statistics=statistics)
+
+        if self._error_rate + std <= self._ps_min:
+            self._p_min = self._error_rate
+            self._s_min = std
+            self._ps_min = self._error_rate + std
+
+        level = self._error_rate + std
+        statistics["p_min"] = self._p_min
+        statistics["s_min"] = self._s_min
+
+        if level >= self._p_min + self._drift_level * self._s_min:
+            self._init_state()
+            return DetectionResult(
+                drift_detected=True,
+                warning_detected=True,
+                drift_type=DriftType.MEAN,
+                statistics=statistics,
+            )
+        if level >= self._p_min + self._warning_level * self._s_min:
+            return DetectionResult(warning_detected=True, statistics=statistics)
+        return DetectionResult(statistics=statistics)
+
+    def reset(self) -> None:
+        """Forget all statistics."""
+        self._init_state()
+        self._reset_counters()

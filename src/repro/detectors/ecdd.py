@@ -1,0 +1,116 @@
+"""ECDD — EWMA Charts for Concept Drift Detection (Ross et al. 2012).
+
+ECDD treats the misclassification indicators of a learner as a Bernoulli
+stream and monitors them with an exponentially weighted moving average (EWMA)
+chart.  The chart's control limit is ``p_estimate + L * sigma_z`` where ``L``
+is chosen (via pre-computed polynomials in ``p_estimate``) so that the
+expected time between false alarms equals the requested average run length
+``ARL0``.  A warning zone at half the control limit is used, matching the MOA
+baseline configuration of the OPTWIN paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.exceptions import ConfigurationError
+from repro.stats.ewma import EwmaEstimator, ecdd_control_limit
+
+__all__ = ["Ecdd"]
+
+
+class Ecdd(DriftDetector):
+    """EWMA-chart drift detector for Bernoulli error streams.
+
+    Parameters
+    ----------
+    arl0:
+        Desired average run length between false positives (100, 400, or
+        1000; 400 is the MOA default).
+    lambda_:
+        EWMA weight of the newest observation (0.2 in Ross et al.).
+    warning_fraction:
+        Fraction of the control limit at which the warning zone starts.
+    min_num_instances:
+        Number of observations before warnings/drifts can be flagged.
+    """
+
+    def __init__(
+        self,
+        arl0: int = 400,
+        lambda_: float = 0.2,
+        warning_fraction: float = 0.5,
+        min_num_instances: int = 30,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < warning_fraction < 1.0:
+            raise ConfigurationError(
+                f"warning_fraction must be in (0, 1), got {warning_fraction}"
+            )
+        if min_num_instances < 1:
+            raise ConfigurationError(
+                f"min_num_instances must be >= 1, got {min_num_instances}"
+            )
+        # Validate arl0/lambda eagerly through the helpers.
+        ecdd_control_limit(0.1, arl0)
+        self._arl0 = arl0
+        self._warning_fraction = warning_fraction
+        self._min_num_instances = min_num_instances
+        self._lambda = lambda_
+        self._estimator = EwmaEstimator(lambda_=lambda_)
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def arl0(self) -> int:
+        """Configured average run length between false alarms."""
+        return self._arl0
+
+    @property
+    def p_estimate(self) -> float:
+        """Current estimate of the pre-change error probability."""
+        return self._estimator.p_estimate
+
+    @property
+    def z(self) -> float:
+        """Current EWMA statistic."""
+        return self._estimator.z
+
+    # ------------------------------------------------------------- updates
+
+    def _update_one(self, value: float) -> DetectionResult:
+        error = 1.0 if value > 0.5 else 0.0
+        self._estimator.update(error)
+
+        p_estimate = self._estimator.p_estimate
+        sigma_z = self._estimator.z_std
+        limit_factor = ecdd_control_limit(p_estimate, self._arl0)
+        control_limit = p_estimate + limit_factor * sigma_z
+        warning_limit = p_estimate + self._warning_fraction * limit_factor * sigma_z
+
+        statistics = {
+            "z": self._estimator.z,
+            "p_estimate": p_estimate,
+            "sigma_z": sigma_z,
+            "control_limit": control_limit,
+            "warning_limit": warning_limit,
+        }
+
+        if self._estimator.count < self._min_num_instances:
+            return DetectionResult(statistics=statistics)
+
+        if self._estimator.z > control_limit:
+            self._estimator.reset()
+            return DetectionResult(
+                drift_detected=True,
+                warning_detected=True,
+                drift_type=DriftType.MEAN,
+                statistics=statistics,
+            )
+        if self._estimator.z > warning_limit:
+            return DetectionResult(warning_detected=True, statistics=statistics)
+        return DetectionResult(statistics=statistics)
+
+    def reset(self) -> None:
+        """Forget all statistics."""
+        self._estimator.reset()
+        self._reset_counters()

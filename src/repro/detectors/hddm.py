@@ -1,0 +1,118 @@
+"""HDDM_A — drift detection with Hoeffding's inequality (Frías-Blanco et al. 2015).
+
+HDDM_A monitors the running average of the values seen since the last reset
+and compares, for every prefix, the average *before* a candidate cut point
+with the overall average using Hoeffding's bound: if the recent data is worse
+than the best historical prefix by more than the bound allows, a drift is
+flagged.  The implementation below follows the moving-average (A_test) variant
+with the standard one-sided bounds; it is an extension baseline (not part of
+the paper's line-up) that, like OPTWIN, works for arbitrary bounded inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.exceptions import ConfigurationError
+
+__all__ = ["HddmA"]
+
+
+class HddmA(DriftDetector):
+    """Hoeffding-bound drift detector (average variant, increases only).
+
+    Parameters
+    ----------
+    drift_confidence:
+        Confidence for the drift bound (smaller = more conservative).
+    warning_confidence:
+        Confidence for the warning bound; must be larger than
+        ``drift_confidence``.
+    value_range:
+        Width of the input range (1.0 for error indicators or normalised
+        losses); required by Hoeffding's inequality.
+    """
+
+    def __init__(
+        self,
+        drift_confidence: float = 0.001,
+        warning_confidence: float = 0.005,
+        value_range: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < drift_confidence < warning_confidence < 1.0:
+            raise ConfigurationError(
+                "need 0 < drift_confidence < warning_confidence < 1, got "
+                f"{drift_confidence} / {warning_confidence}"
+            )
+        if value_range <= 0.0:
+            raise ConfigurationError(f"value_range must be > 0, got {value_range}")
+        self._drift_confidence = drift_confidence
+        self._warning_confidence = warning_confidence
+        self._value_range = value_range
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self._total_count = 0
+        self._total_sum = 0.0
+        self._best_count = 0
+        self._best_sum = 0.0
+        self._best_bound = math.inf
+
+    # ------------------------------------------------------------- helpers
+
+    def _hoeffding_bound(self, n: float, confidence: float) -> float:
+        return self._value_range * math.sqrt(math.log(1.0 / confidence) / (2.0 * n))
+
+    def _update_best_prefix(self) -> None:
+        """Keep the prefix whose upper confidence bound on the mean is lowest."""
+        mean = self._total_sum / self._total_count
+        bound = mean + self._hoeffding_bound(self._total_count, self._drift_confidence)
+        if bound < self._best_bound:
+            self._best_bound = bound
+            self._best_count = self._total_count
+            self._best_sum = self._total_sum
+
+    def _exceeds(self, confidence: float) -> bool:
+        """Whether the post-prefix data is worse than the best prefix allows."""
+        recent_count = self._total_count - self._best_count
+        if recent_count < 1 or self._best_count < 1:
+            return False
+        recent_mean = (self._total_sum - self._best_sum) / recent_count
+        best_mean = self._best_sum / self._best_count
+        harmonic = 1.0 / (1.0 / recent_count + 1.0 / self._best_count)
+        epsilon = self._value_range * math.sqrt(
+            math.log(1.0 / confidence) / (2.0 * harmonic)
+        )
+        return recent_mean - best_mean > epsilon
+
+    # ------------------------------------------------------------- updates
+
+    def _update_one(self, value: float) -> DetectionResult:
+        self._total_count += 1
+        self._total_sum += value
+        self._update_best_prefix()
+
+        statistics = {
+            "n": float(self._total_count),
+            "mean": self._total_sum / self._total_count,
+            "best_prefix_n": float(self._best_count),
+        }
+
+        if self._exceeds(self._drift_confidence):
+            self._init_state()
+            return DetectionResult(
+                drift_detected=True,
+                warning_detected=True,
+                drift_type=DriftType.MEAN,
+                statistics=statistics,
+            )
+        if self._exceeds(self._warning_confidence):
+            return DetectionResult(warning_detected=True, statistics=statistics)
+        return DetectionResult(statistics=statistics)
+
+    def reset(self) -> None:
+        """Forget all statistics."""
+        self._init_state()
+        self._reset_counters()

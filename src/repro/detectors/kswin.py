@@ -1,0 +1,118 @@
+"""KSWIN — Kolmogorov–Smirnov windowing drift detector (extension baseline).
+
+KSWIN keeps a sliding window of the last ``window_size`` values and compares
+the most recent ``stat_size`` of them against a uniform random sample of the
+older part using the two-sample Kolmogorov–Smirnov test.  Because the KS test
+is distribution-free it reacts to changes in *any* aspect of the value
+distribution, which makes it a useful extra point of comparison for OPTWIN's
+variance-sensitive behaviour.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from collections import deque
+from typing import Deque, List, Sequence
+
+from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Kswin"]
+
+
+def _ks_statistic(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (maximum ECDF distance).
+
+    Ties are handled by evaluating both empirical CDFs at every distinct value
+    (using right-continuous counts), so heavily discrete inputs such as 0/1
+    error indicators are measured correctly.
+    """
+    sorted_a = sorted(sample_a)
+    sorted_b = sorted(sample_b)
+    n_a, n_b = len(sorted_a), len(sorted_b)
+    d_max = 0.0
+    for value in sorted(set(sorted_a) | set(sorted_b)):
+        cdf_a = bisect.bisect_right(sorted_a, value) / n_a
+        cdf_b = bisect.bisect_right(sorted_b, value) / n_b
+        d_max = max(d_max, abs(cdf_a - cdf_b))
+    return d_max
+
+
+class Kswin(DriftDetector):
+    """Kolmogorov–Smirnov windowing drift detector.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the KS test.
+    window_size:
+        Total number of recent values retained.
+    stat_size:
+        Size of the "recent" sample compared against the older data.
+    seed:
+        Seed of the internal random sampler (KSWIN subsamples the older part
+        of its window).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.005,
+        window_size: int = 100,
+        stat_size: int = 30,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        if stat_size >= window_size:
+            raise ConfigurationError(
+                f"stat_size ({stat_size}) must be smaller than window_size "
+                f"({window_size})"
+            )
+        if stat_size < 2:
+            raise ConfigurationError(f"stat_size must be >= 2, got {stat_size}")
+        self._alpha = alpha
+        self._window_size = window_size
+        self._stat_size = stat_size
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._window: Deque[float] = deque(maxlen=window_size)
+
+    # ------------------------------------------------------------- updates
+
+    def _update_one(self, value: float) -> DetectionResult:
+        self._window.append(value)
+        statistics = {"window_size": float(len(self._window))}
+
+        if len(self._window) < self._window_size:
+            return DetectionResult(statistics=statistics)
+
+        values: List[float] = list(self._window)
+        recent = values[-self._stat_size:]
+        older = values[: -self._stat_size]
+        sample_older = self._rng.sample(older, self._stat_size)
+
+        d_stat = _ks_statistic(recent, sample_older)
+        # Two-sample KS critical value at significance alpha.
+        n = self._stat_size
+        critical = math.sqrt(-0.5 * math.log(self._alpha / 2.0)) * math.sqrt(2.0 / n)
+        statistics.update({"ks_statistic": d_stat, "critical": critical})
+
+        if d_stat > critical:
+            # Keep only the recent sample as the new history.
+            self._window = deque(recent, maxlen=self._window_size)
+            return DetectionResult(
+                drift_detected=True,
+                warning_detected=True,
+                drift_type=DriftType.DISTRIBUTION,
+                statistics=statistics,
+            )
+        return DetectionResult(statistics=statistics)
+
+    def reset(self) -> None:
+        """Forget all retained values."""
+        self._window = deque(maxlen=self._window_size)
+        self._rng = random.Random(self._seed)
+        self._reset_counters()

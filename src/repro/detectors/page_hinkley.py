@@ -1,0 +1,100 @@
+"""Page–Hinkley test for change detection (extension baseline).
+
+The Page–Hinkley (PH) test is a sequential analysis technique that accumulates
+the difference between the observed values and their running mean, minus a
+tolerance ``delta``, and flags a change when the accumulated sum drifts more
+than ``threshold`` away from its minimum.  It is a common additional baseline
+in the drift-detection literature (and available in MOA/River), so it is
+included here as an extension beyond the paper's baseline set.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PageHinkley"]
+
+
+class PageHinkley(DriftDetector):
+    """Page–Hinkley change detector for increases in the monitored value.
+
+    Parameters
+    ----------
+    delta:
+        Tolerance subtracted from each deviation; small values make the test
+        more sensitive.
+    threshold:
+        Detection threshold ``lambda`` on the accumulated statistic.
+    alpha:
+        Forgetting factor applied to the cumulative sum (1.0 disables
+        forgetting).
+    min_num_instances:
+        Number of observations before a drift can be flagged.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.005,
+        threshold: float = 50.0,
+        alpha: float = 0.9999,
+        min_num_instances: int = 30,
+    ) -> None:
+        super().__init__()
+        if delta < 0:
+            raise ConfigurationError(f"delta must be >= 0, got {delta}")
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if min_num_instances < 1:
+            raise ConfigurationError(
+                f"min_num_instances must be >= 1, got {min_num_instances}"
+            )
+        self._delta = delta
+        self._threshold = threshold
+        self._alpha = alpha
+        self._min_num_instances = min_num_instances
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    # ------------------------------------------------------------- updates
+
+    def _update_one(self, value: float) -> DetectionResult:
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        self._cumulative = self._alpha * self._cumulative + (
+            value - self._mean - self._delta
+        )
+        self._minimum = min(self._minimum, self._cumulative)
+        statistic = self._cumulative - self._minimum
+
+        statistics = {
+            "n": float(self._n),
+            "mean": self._mean,
+            "statistic": statistic,
+            "threshold": self._threshold,
+        }
+
+        if self._n < self._min_num_instances:
+            return DetectionResult(statistics=statistics)
+
+        if statistic > self._threshold:
+            self._init_state()
+            return DetectionResult(
+                drift_detected=True,
+                warning_detected=True,
+                drift_type=DriftType.MEAN,
+                statistics=statistics,
+            )
+        return DetectionResult(statistics=statistics)
+
+    def reset(self) -> None:
+        """Forget all statistics."""
+        self._init_state()
+        self._reset_counters()

@@ -1,0 +1,54 @@
+"""Evaluation substrate: drift scoring, prequential loop, experiment runner.
+
+* :mod:`repro.evaluation.drift_metrics` — TP/FP/FN matching, precision,
+  recall, F1, and detection delay;
+* :mod:`repro.evaluation.prequential` — test-then-train evaluation with
+  drift-triggered learner resets;
+* :mod:`repro.evaluation.experiment` — repeated, seeded runs with
+  micro-averaged aggregation (the paper's 30-repetition protocol);
+* :mod:`repro.evaluation.significance` — Wilcoxon signed-rank comparisons;
+* :mod:`repro.evaluation.reporting` — plain-text tables for the benchmarks.
+"""
+
+from repro.evaluation.drift_metrics import (
+    DriftEvaluation,
+    DriftMatch,
+    evaluate_detections,
+    micro_average,
+)
+from repro.evaluation.experiment import (
+    DetectorRunResult,
+    DetectorSummary,
+    ExperimentRunner,
+    run_detector_on_values,
+)
+from repro.evaluation.prequential import PrequentialResult, run_prequential
+from repro.evaluation.reporting import (
+    format_accuracy_table,
+    format_detection_rows,
+    format_table,
+)
+from repro.evaluation.significance import (
+    PairwiseComparison,
+    compare_f1_scores,
+    significance_matrix,
+)
+
+__all__ = [
+    "DriftEvaluation",
+    "DriftMatch",
+    "evaluate_detections",
+    "micro_average",
+    "DetectorRunResult",
+    "DetectorSummary",
+    "ExperimentRunner",
+    "run_detector_on_values",
+    "PrequentialResult",
+    "run_prequential",
+    "format_table",
+    "format_detection_rows",
+    "format_accuracy_table",
+    "PairwiseComparison",
+    "compare_f1_scores",
+    "significance_matrix",
+]

@@ -1,0 +1,193 @@
+"""Scoring of drift detections against ground-truth drift positions.
+
+Following the evaluation protocol of the OPTWIN paper (Section 4.1), each
+known concept drift opens an *acceptance window* that lasts until the next
+drift (or the end of the stream).  The first detection inside a drift's
+acceptance window is a true positive whose delay is the number of stream
+elements between the drift and the detection; every other detection is a
+false positive; drifts with no detection in their window are false negatives.
+
+From the matched counts the module computes precision, recall, F1-score, and
+the mean detection delay, plus micro-averaged aggregation across repetitions
+(the paper repeats every experiment 30 times and micro-averages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DriftMatch", "DriftEvaluation", "evaluate_detections", "micro_average"]
+
+
+@dataclass(frozen=True)
+class DriftMatch:
+    """Pairing of one true drift with its (optional) detection.
+
+    Attributes
+    ----------
+    drift_position:
+        Ground-truth position of the drift.
+    detection_position:
+        Position of the matching detection, or ``None`` for a miss.
+    delay:
+        ``detection_position - drift_position`` (``None`` for a miss).
+    """
+
+    drift_position: int
+    detection_position: Optional[int]
+    delay: Optional[int]
+
+    @property
+    def detected(self) -> bool:
+        """Whether the drift was detected inside its acceptance window."""
+        return self.detection_position is not None
+
+
+@dataclass
+class DriftEvaluation:
+    """Aggregated outcome of scoring one (or several merged) detector run(s).
+
+    Attributes
+    ----------
+    true_positives, false_positives, false_negatives:
+        Matched counts.
+    delays:
+        Detection delays of the true positives.
+    matches:
+        Per-drift matching detail (empty for micro-averaged aggregates).
+    """
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    delays: List[int] = field(default_factory=list)
+    matches: List[DriftMatch] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when there were no detections at all."""
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 1.0 if self.false_negatives == 0 else 0.0
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there were no drifts to find."""
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 1.0
+        return self.true_positives / denominator
+
+    @property
+    def f1_score(self) -> float:
+        """Harmonic mean of precision and recall."""
+        precision = self.precision
+        recall = self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean detection delay over the true positives (0.0 if none)."""
+        if not self.delays:
+            return 0.0
+        return sum(self.delays) / len(self.delays)
+
+    def merge(self, other: "DriftEvaluation") -> "DriftEvaluation":
+        """Return a new evaluation with the counts of both (micro-average)."""
+        return DriftEvaluation(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+            delays=self.delays + other.delays,
+            matches=self.matches + other.matches,
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict summary used by the reporting helpers."""
+        return {
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1_score,
+            "mean_delay": self.mean_delay,
+        }
+
+
+def evaluate_detections(
+    drift_positions: Sequence[int],
+    detections: Sequence[int],
+    stream_length: int,
+    max_delay: Optional[int] = None,
+) -> DriftEvaluation:
+    """Match detections against ground-truth drifts.
+
+    Parameters
+    ----------
+    drift_positions:
+        Ground-truth drift positions (ascending).
+    detections:
+        Positions at which the detector flagged a drift (ascending).
+    stream_length:
+        Total number of stream elements (bounds the last acceptance window).
+    max_delay:
+        Optional cap on the acceptance window; by default a drift can be
+        matched by any detection before the *next* drift.
+    """
+    drifts = sorted(int(p) for p in drift_positions)
+    flagged = sorted(int(p) for p in detections)
+    if any(p < 0 or p > stream_length for p in drifts):
+        raise ConfigurationError("drift positions must lie within the stream")
+
+    windows: List[Tuple[int, int]] = []
+    for index, position in enumerate(drifts):
+        end = drifts[index + 1] if index + 1 < len(drifts) else stream_length
+        if max_delay is not None:
+            end = min(end, position + max_delay)
+        windows.append((position, end))
+
+    matches: List[DriftMatch] = []
+    used_detections = set()
+    for position, end in windows:
+        matched: Optional[int] = None
+        for detection in flagged:
+            if detection in used_detections:
+                continue
+            if position <= detection < end:
+                matched = detection
+                used_detections.add(detection)
+                break
+            if detection >= end:
+                break
+        if matched is None:
+            matches.append(DriftMatch(position, None, None))
+        else:
+            matches.append(DriftMatch(position, matched, matched - position))
+
+    true_positives = sum(1 for match in matches if match.detected)
+    false_negatives = len(matches) - true_positives
+    false_positives = len(flagged) - true_positives
+    delays = [match.delay for match in matches if match.delay is not None]
+
+    return DriftEvaluation(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        delays=delays,
+        matches=matches,
+    )
+
+
+def micro_average(evaluations: Sequence[DriftEvaluation]) -> DriftEvaluation:
+    """Micro-average several runs by summing their TP/FP/FN counts."""
+    total = DriftEvaluation()
+    for evaluation in evaluations:
+        total = total.merge(evaluation)
+    return total

@@ -1,0 +1,231 @@
+"""Experiment runner: repeated, seeded detector evaluations with aggregation.
+
+The paper repeats every experiment 30 times and reports micro-averaged
+precision/recall/F1 together with the average false-positive count and
+detection delay.  :class:`ExperimentRunner` reproduces that protocol for
+*value-stream* experiments (detectors consuming an error stream directly) and
+for *prequential* experiments (detector + learner over a labeled stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.base import DriftDetector
+from repro.evaluation.drift_metrics import (
+    DriftEvaluation,
+    evaluate_detections,
+    micro_average,
+)
+from repro.evaluation.prequential import PrequentialResult, run_prequential
+from repro.exceptions import ConfigurationError
+from repro.learners.base import Classifier
+from repro.streams.base import InstanceStream, ValueStream
+
+__all__ = [
+    "DetectorRunResult",
+    "DetectorSummary",
+    "ExperimentRunner",
+    "run_detector_on_values",
+]
+
+
+@dataclass
+class DetectorRunResult:
+    """One repetition of a detector over one value stream.
+
+    Attributes
+    ----------
+    detections:
+        Element indices at which a drift was flagged.
+    evaluation:
+        The matched TP/FP/FN evaluation of those detections.
+    """
+
+    detections: List[int]
+    evaluation: DriftEvaluation
+
+
+@dataclass
+class DetectorSummary:
+    """Aggregated (micro-averaged) outcome of one detector over all repetitions.
+
+    Attributes
+    ----------
+    detector_name:
+        Display name of the detector.
+    runs:
+        Per-repetition results.
+    aggregate:
+        Micro-averaged evaluation over all repetitions.
+    """
+
+    detector_name: str
+    runs: List[DetectorRunResult] = field(default_factory=list)
+
+    @property
+    def aggregate(self) -> DriftEvaluation:
+        """Micro-average of every repetition."""
+        return micro_average([run.evaluation for run in self.runs])
+
+    @property
+    def mean_false_positives(self) -> float:
+        """Average number of false positives per repetition."""
+        if not self.runs:
+            return 0.0
+        return sum(run.evaluation.false_positives for run in self.runs) / len(self.runs)
+
+    @property
+    def per_run_f1(self) -> List[float]:
+        """F1-score of each repetition (used by the significance analysis)."""
+        return [run.evaluation.f1_score for run in self.runs]
+
+    def as_row(self) -> Dict[str, float]:
+        """Summary row matching the columns of Table 1."""
+        aggregate = self.aggregate
+        return {
+            "detector": self.detector_name,
+            "delay": aggregate.mean_delay,
+            "fp": self.mean_false_positives,
+            "precision": aggregate.precision,
+            "recall": aggregate.recall,
+            "f1": aggregate.f1_score,
+        }
+
+
+def run_detector_on_values(
+    detector: DriftDetector,
+    stream: ValueStream,
+    max_delay: Optional[int] = None,
+) -> DetectorRunResult:
+    """Feed a value stream to a detector and score the detections."""
+    detections = detector.update_many(stream.values)
+    evaluation = evaluate_detections(
+        drift_positions=stream.drift_positions,
+        detections=detections,
+        stream_length=len(stream),
+        max_delay=max_delay,
+    )
+    return DetectorRunResult(detections=detections, evaluation=evaluation)
+
+
+class ExperimentRunner:
+    """Repeat detector evaluations over freshly generated streams.
+
+    Parameters
+    ----------
+    n_repetitions:
+        Number of repetitions per detector (the paper uses 30).
+    base_seed:
+        Base seed; repetition ``i`` uses ``base_seed + i``.
+    max_delay:
+        Optional cap on the drift acceptance window when scoring.
+    """
+
+    def __init__(
+        self,
+        n_repetitions: int = 30,
+        base_seed: int = 1,
+        max_delay: Optional[int] = None,
+    ) -> None:
+        if n_repetitions < 1:
+            raise ConfigurationError(
+                f"n_repetitions must be >= 1, got {n_repetitions}"
+            )
+        self._n_repetitions = n_repetitions
+        self._base_seed = base_seed
+        self._max_delay = max_delay
+
+    @property
+    def n_repetitions(self) -> int:
+        """Number of repetitions per detector."""
+        return self._n_repetitions
+
+    # ------------------------------------------------------- value streams
+
+    def run_value_experiment(
+        self,
+        detector_factories: Dict[str, Callable[[], DriftDetector]],
+        stream_factory: Callable[[int], ValueStream],
+    ) -> Dict[str, DetectorSummary]:
+        """Evaluate every detector over ``n_repetitions`` generated streams.
+
+        Parameters
+        ----------
+        detector_factories:
+            Mapping from display name to a zero-argument factory building a
+            fresh detector instance.
+        stream_factory:
+            Callable mapping a seed to a :class:`ValueStream`; every
+            repetition uses a different seed, and every detector sees the
+            same streams (paired comparison).
+        """
+        summaries = {
+            name: DetectorSummary(detector_name=name) for name in detector_factories
+        }
+        for repetition in range(self._n_repetitions):
+            seed = self._base_seed + repetition
+            stream = stream_factory(seed)
+            for name, factory in detector_factories.items():
+                detector = factory()
+                run = run_detector_on_values(detector, stream, self._max_delay)
+                summaries[name].runs.append(run)
+        return summaries
+
+    # -------------------------------------------------------- prequential
+
+    def run_prequential_experiment(
+        self,
+        detector_factories: Dict[str, Optional[Callable[[], DriftDetector]]],
+        stream_factory: Callable[[int], InstanceStream],
+        learner_factory: Callable[[InstanceStream], Classifier],
+        n_instances: int,
+        drift_positions: Sequence[int] = (),
+    ) -> Dict[str, List[PrequentialResult]]:
+        """Run the prequential loop for every detector over every repetition.
+
+        Returns the raw per-repetition :class:`PrequentialResult` lists; use
+        :meth:`score_prequential` to turn them into Table-1-style summaries
+        when ground-truth drift positions are known.
+        """
+        results: Dict[str, List[PrequentialResult]] = {
+            name: [] for name in detector_factories
+        }
+        for repetition in range(self._n_repetitions):
+            seed = self._base_seed + repetition
+            for name, factory in detector_factories.items():
+                stream = stream_factory(seed)
+                learner = learner_factory(stream)
+                detector = factory() if factory is not None else None
+                result = run_prequential(
+                    stream=stream,
+                    learner=learner,
+                    detector=detector,
+                    n_instances=n_instances,
+                )
+                results[name].append(result)
+        return results
+
+    def score_prequential(
+        self,
+        results: Dict[str, List[PrequentialResult]],
+        drift_positions: Sequence[int],
+        n_instances: int,
+    ) -> Dict[str, DetectorSummary]:
+        """Score prequential detections against known drift positions."""
+        summaries: Dict[str, DetectorSummary] = {}
+        for name, runs in results.items():
+            summary = DetectorSummary(detector_name=name)
+            for run in runs:
+                evaluation = evaluate_detections(
+                    drift_positions=drift_positions,
+                    detections=run.detections,
+                    stream_length=n_instances,
+                    max_delay=self._max_delay,
+                )
+                summary.runs.append(
+                    DetectorRunResult(detections=run.detections, evaluation=evaluation)
+                )
+            summaries[name] = summary
+        return summaries

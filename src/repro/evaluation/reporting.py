@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows the paper's tables report
+(detector, delay, FP, precision, recall, F1 for Table 1; per-dataset accuracy
+for Table 2).  Keeping the formatting in one place makes the benchmark
+scripts short and the output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_detection_rows", "format_accuracy_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_detection_rows(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render Table-1-style rows (detector, delay, FP, P, R, F1)."""
+    headers = ["Detector", "Delay", "FP", "Precision", "Recall", "F1"]
+    formatted = []
+    for row in rows:
+        formatted.append(
+            [
+                row["detector"],
+                float(row["delay"]),
+                float(row["fp"]),
+                f"{100.0 * float(row['precision']):.0f}%",
+                f"{100.0 * float(row['recall']):.0f}%",
+                f"{100.0 * float(row['f1']):.0f}%",
+            ]
+        )
+    return format_table(headers, formatted, title=title)
+
+
+def format_accuracy_table(
+    accuracies: Mapping[str, Mapping[str, float]],
+    dataset_order: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render Table-2-style rows (detector x dataset accuracy, in percent)."""
+    headers = ["Detector", *dataset_order]
+    rows = []
+    for detector, per_dataset in accuracies.items():
+        rows.append(
+            [detector, *[f"{100.0 * per_dataset.get(d, float('nan')):.2f}" for d in dataset_order]]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,77 @@
+"""Statistical-significance comparison between detectors (Section 4.1).
+
+The paper compares the F1-scores of every OPTWIN configuration against the
+regression-capable baselines (ADWIN and STEPD) with a one-tailed Wilcoxon
+signed-rank test at ``alpha = 0.05``.  :func:`compare_f1_scores` reproduces
+that comparison for any pair of detectors, and :func:`significance_matrix`
+builds the full pairwise picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+__all__ = ["PairwiseComparison", "compare_f1_scores", "significance_matrix"]
+
+
+@dataclass(frozen=True)
+class PairwiseComparison:
+    """Result of testing "detector A outperforms detector B".
+
+    Attributes
+    ----------
+    detector_a, detector_b:
+        Display names of the compared detectors.
+    result:
+        Underlying Wilcoxon signed-rank outcome.
+    """
+
+    detector_a: str
+    detector_b: str
+    result: WilcoxonResult
+
+    @property
+    def a_better(self) -> bool:
+        """Whether A's advantage over B is statistically significant."""
+        return self.result.significant
+
+
+def compare_f1_scores(
+    name_a: str,
+    scores_a: Sequence[float],
+    name_b: str,
+    scores_b: Sequence[float],
+    alpha: float = 0.05,
+) -> PairwiseComparison:
+    """One-tailed Wilcoxon test of "A's per-run F1 exceeds B's"."""
+    if len(scores_a) != len(scores_b):
+        raise ConfigurationError("paired score lists must have the same length")
+    result = wilcoxon_signed_rank(scores_a, scores_b, alpha=alpha)
+    return PairwiseComparison(detector_a=name_a, detector_b=name_b, result=result)
+
+
+def significance_matrix(
+    per_detector_scores: Dict[str, Sequence[float]],
+    alpha: float = 0.05,
+) -> List[PairwiseComparison]:
+    """All ordered pairwise comparisons between the given detectors."""
+    comparisons: List[PairwiseComparison] = []
+    names = list(per_detector_scores)
+    for name_a in names:
+        for name_b in names:
+            if name_a == name_b:
+                continue
+            comparisons.append(
+                compare_f1_scores(
+                    name_a,
+                    per_detector_scores[name_a],
+                    name_b,
+                    per_detector_scores[name_b],
+                    alpha=alpha,
+                )
+            )
+    return comparisons

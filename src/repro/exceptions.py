@@ -1,0 +1,28 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish configuration problems from runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a detector, stream, or learner receives invalid parameters."""
+
+
+class NotEnoughDataError(ReproError, RuntimeError):
+    """Raised when a statistic is requested before enough data was observed."""
+
+
+class StreamExhaustedError(ReproError, StopIteration):
+    """Raised when a bounded stream is asked for more instances than it holds."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a learner is asked to predict before seeing any data."""

@@ -1,0 +1,36 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — drift-identification statistics (Table 1);
+* :mod:`repro.experiments.table2` — NB accuracy per detector (Table 2);
+* :mod:`repro.experiments.figures` — per-run detection pictures (Figures 2-4);
+* :mod:`repro.experiments.figure5` — the neural-network pipeline (Figure 5);
+* :mod:`repro.experiments.significance` — Wilcoxon analysis (Section 4.1);
+* :mod:`repro.experiments.runtime` — per-element cost comparison (Section 3.4);
+* :mod:`repro.experiments.ablations` — design-choice ablations (DESIGN.md).
+
+The benchmark harness under ``benchmarks/`` wraps these drivers and prints the
+same rows/series the paper reports; see EXPERIMENTS.md for paper-vs-measured
+numbers.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported driver modules)
+    ablations,
+    config,
+    figure5,
+    figures,
+    runtime,
+    significance,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ablations",
+    "config",
+    "figures",
+    "figure5",
+    "runtime",
+    "significance",
+    "table1",
+    "table2",
+]

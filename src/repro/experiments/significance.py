@@ -1,0 +1,91 @@
+"""Significance analysis driver (Section 4.1 of the paper).
+
+The paper states that OPTWIN's F1-scores are higher than ADWIN's and STEPD's
+in a statistically significant manner (one-tailed Wilcoxon signed-rank test,
+``alpha = 0.05``) across the experiment configurations.  This driver collects
+per-run F1-scores from the sudden/gradual binary and non-binary experiments
+and runs the same comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.evaluation.experiment import DetectorSummary
+from repro.evaluation.significance import PairwiseComparison, compare_f1_scores
+from repro.experiments.table1 import (
+    run_gradual_binary,
+    run_gradual_nonbinary,
+    run_sudden_binary,
+    run_sudden_nonbinary,
+)
+
+__all__ = ["collect_f1_scores", "run_significance_analysis"]
+
+
+def collect_f1_scores(
+    n_repetitions: int = 10,
+    segment_length: int = 2_000,
+    base_seed: int = 1,
+    w_max: int = 25_000,
+) -> Dict[str, List[float]]:
+    """Per-detector F1-scores pooled across the four error-stream experiments."""
+    blocks = [
+        run_sudden_binary(
+            n_repetitions=n_repetitions,
+            segment_length=segment_length,
+            base_seed=base_seed,
+            w_max=w_max,
+        ),
+        run_gradual_binary(
+            n_repetitions=n_repetitions,
+            segment_length=segment_length,
+            width=max(segment_length // 5, 2),
+            base_seed=base_seed,
+            w_max=w_max,
+        ),
+        run_sudden_nonbinary(
+            n_repetitions=n_repetitions,
+            segment_length=segment_length,
+            base_seed=base_seed,
+            w_max=w_max,
+        ),
+        run_gradual_nonbinary(
+            n_repetitions=n_repetitions,
+            segment_length=segment_length,
+            width=max(segment_length // 5, 2),
+            base_seed=base_seed,
+            w_max=w_max,
+        ),
+    ]
+    scores: Dict[str, List[float]] = {}
+    for block in blocks:
+        for name, summary in block.items():
+            scores.setdefault(name, []).extend(summary.per_run_f1)
+    return scores
+
+
+def run_significance_analysis(
+    scores: Dict[str, List[float]],
+    alpha: float = 0.05,
+) -> List[PairwiseComparison]:
+    """Compare every OPTWIN configuration against ADWIN and STEPD.
+
+    Only detectors present in ``scores`` are compared; lists are truncated to
+    the shortest common length so the comparison stays paired when a detector
+    was excluded from some blocks (e.g. binary-only baselines).
+    """
+    comparisons: List[PairwiseComparison] = []
+    optwin_names = [name for name in scores if name.startswith("OPTWIN")]
+    baseline_names = [name for name in ("ADWIN", "STEPD") if name in scores]
+    for optwin_name in optwin_names:
+        for baseline_name in baseline_names:
+            a = scores[optwin_name]
+            b = scores[baseline_name]
+            n = min(len(a), len(b))
+            if n < 3:
+                continue
+            comparisons.append(
+                compare_f1_scores(optwin_name, a[:n], baseline_name, b[:n], alpha=alpha)
+            )
+    return comparisons

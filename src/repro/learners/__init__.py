@@ -1,0 +1,23 @@
+"""Incremental learners used by the evaluation pipelines.
+
+:class:`NaiveBayes` is the learner of the paper's Table-2 experiments;
+:class:`MLPClassifier` is the CNN surrogate of the Figure-5 neural-network
+experiment; the remaining learners (Hoeffding tree, perceptron, kNN) are
+extensions exercised by the extra examples and benchmarks.
+"""
+
+from repro.learners.base import Classifier
+from repro.learners.hoeffding_tree import HoeffdingTree
+from repro.learners.knn import KnnClassifier
+from repro.learners.mlp import MLPClassifier
+from repro.learners.naive_bayes import NaiveBayes
+from repro.learners.perceptron import OnlinePerceptron
+
+__all__ = [
+    "Classifier",
+    "NaiveBayes",
+    "HoeffdingTree",
+    "OnlinePerceptron",
+    "KnnClassifier",
+    "MLPClassifier",
+]

@@ -1,0 +1,94 @@
+"""Base abstractions for incremental (online) learners.
+
+The evaluation pipelines only need a minimal protocol: a classifier can
+predict the label of an instance and then learn from it (prequential,
+test-then-train order).  ``reset()`` restores the untrained state, which is
+what the drift-adaptation strategy of the paper's classification experiments
+does whenever a detector flags a drift.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.streams.base import Attribute, Instance
+
+__all__ = ["Classifier"]
+
+
+class Classifier(abc.ABC):
+    """Abstract incremental classifier.
+
+    Parameters
+    ----------
+    schema:
+        Attribute descriptions of the stream the classifier will consume.
+    n_classes:
+        Number of distinct class labels.
+    """
+
+    def __init__(self, schema: Sequence[Attribute], n_classes: int) -> None:
+        self._schema = list(schema)
+        self._n_classes = n_classes
+        self._n_trained = 0
+
+    @property
+    def schema(self) -> List[Attribute]:
+        """Attribute descriptions the classifier was built for."""
+        return list(self._schema)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of class labels."""
+        return self._n_classes
+
+    @property
+    def n_trained(self) -> int:
+        """Number of instances the classifier has learned from."""
+        return self._n_trained
+
+    # ------------------------------------------------------------ protocol
+
+    def learn_one(self, instance: Instance) -> None:
+        """Update the model with one labeled instance."""
+        self._learn_one(instance)
+        self._n_trained += 1
+
+    @abc.abstractmethod
+    def _learn_one(self, instance: Instance) -> None:
+        """Model-specific update (sub-class hook)."""
+
+    @abc.abstractmethod
+    def predict_proba_one(self, instance: Instance) -> np.ndarray:
+        """Return per-class scores (not necessarily normalised) for ``instance``."""
+
+    def predict_one(self, instance: Instance) -> int:
+        """Return the most likely class label for ``instance``."""
+        scores = self.predict_proba_one(instance)
+        return int(np.argmax(scores))
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Forget everything learned so far."""
+
+    # ------------------------------------------------------------- helpers
+
+    def clone_untrained(self) -> "Classifier":
+        """Return a fresh, untrained copy with the same configuration."""
+        clone = self.__class__(schema=self._schema, n_classes=self._n_classes)
+        return clone
+
+    def evaluate_accuracy(self, instances: Sequence[Instance]) -> float:
+        """Accuracy over a fixed batch of instances (no learning)."""
+        if not instances:
+            return 0.0
+        correct = sum(
+            1 for instance in instances if self.predict_one(instance) == instance.y
+        )
+        return correct / len(instances)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_trained={self._n_trained})"

@@ -1,0 +1,106 @@
+"""Sliding-window k-nearest-neighbours classifier — extension learner.
+
+Keeps the most recent ``window_size`` labeled instances and predicts by
+majority vote among the ``k`` closest ones.  Numeric attributes are
+standardised with running statistics; nominal attributes contribute a 0/1
+mismatch distance.  Useful as a non-parametric point of comparison in the
+extension examples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.learners.base import Classifier
+from repro.streams.base import Attribute, Instance
+
+__all__ = ["KnnClassifier"]
+
+
+class KnnClassifier(Classifier):
+    """Sliding-window kNN classifier.
+
+    Parameters
+    ----------
+    schema, n_classes:
+        Stream description.
+    k:
+        Number of neighbours used for the vote.
+    window_size:
+        Number of recent instances kept.
+    """
+
+    def __init__(
+        self,
+        schema: Sequence[Attribute],
+        n_classes: int,
+        k: int = 11,
+        window_size: int = 1000,
+    ) -> None:
+        super().__init__(schema=schema, n_classes=n_classes)
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if window_size < k:
+            raise ConfigurationError(
+                f"window_size ({window_size}) must be >= k ({k})"
+            )
+        self._k = k
+        self._window_size = window_size
+        self._numeric_mask = np.array(
+            [not attribute.is_nominal for attribute in self._schema]
+        )
+        self._init_model()
+
+    def _init_model(self) -> None:
+        self._window: Deque[Tuple[np.ndarray, int]] = deque(maxlen=self._window_size)
+        self._feature_count = 0
+        self._feature_mean = np.zeros(len(self._schema))
+        self._feature_m2 = np.zeros(len(self._schema))
+
+    # ------------------------------------------------------------ learning
+
+    def _learn_one(self, instance: Instance) -> None:
+        x = np.asarray(instance.x, dtype=np.float64)
+        self._feature_count += 1
+        delta = x - self._feature_mean
+        self._feature_mean += delta / self._feature_count
+        self._feature_m2 += delta * (x - self._feature_mean)
+        self._window.append((x, instance.y))
+
+    # ---------------------------------------------------------- prediction
+
+    def _feature_std(self) -> np.ndarray:
+        if self._feature_count < 2:
+            return np.ones(len(self._schema))
+        return np.sqrt(
+            np.maximum(self._feature_m2 / (self._feature_count - 1), 1e-12)
+        )
+
+    def predict_proba_one(self, instance: Instance) -> np.ndarray:
+        if not self._window:
+            return np.full(self._n_classes, 1.0 / self._n_classes)
+        std = self._feature_std()
+        query = np.asarray(instance.x, dtype=np.float64)
+        stored = np.stack([x for x, _ in self._window])
+        labels = np.array([y for _, y in self._window])
+
+        scaled_diff = (stored - query) / std
+        numeric_part = np.sum((scaled_diff[:, self._numeric_mask]) ** 2, axis=1)
+        nominal_part = np.sum(
+            stored[:, ~self._numeric_mask] != query[~self._numeric_mask], axis=1
+        ).astype(np.float64)
+        distances = numeric_part + nominal_part
+
+        k = min(self._k, len(self._window))
+        nearest = np.argpartition(distances, k - 1)[:k]
+        votes = np.bincount(labels[nearest], minlength=self._n_classes).astype(np.float64)
+        return votes / votes.sum()
+
+    def reset(self) -> None:
+        """Drop the stored window and the feature statistics."""
+        self._init_model()
+        self._n_trained = 0

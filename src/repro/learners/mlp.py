@@ -1,0 +1,231 @@
+"""Small numpy multi-layer perceptron — the CNN surrogate of the NN experiment.
+
+The paper's Figure-5 experiment pre-trains a CNN on CIFAR-10, streams batches
+of 32 images, feeds the per-batch loss to a drift detector, and fine-tunes the
+model for three epochs whenever a drift is flagged.  The detector only ever
+sees the *loss sequence*, so the essential requirements on the learner are:
+
+* it can be pre-trained to a good accuracy on a multi-class problem,
+* its loss jumps when the labels of two classes are swapped (concept drift),
+* fine-tuning on post-drift batches brings the loss back down.
+
+:class:`MLPClassifier` — a two-hidden-layer ReLU network with softmax output
+trained by mini-batch SGD with momentum — satisfies all three on the synthetic
+image-like data produced by
+:class:`repro.pipelines.image_stream.SyntheticImageStream`, while remaining
+laptop-scale.  See DESIGN.md §3 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier:
+    """Mini-batch MLP classifier with a cross-entropy loss.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality.
+    n_classes:
+        Number of output classes.
+    hidden_sizes:
+        Sizes of the hidden layers.
+    learning_rate:
+        SGD step size.
+    momentum:
+        Classical momentum coefficient.
+    max_grad_norm:
+        Per-batch gradient-norm clip; keeps fine-tuning stable when the loss
+        spikes right after a concept drift (set to 0 to disable clipping).
+    seed:
+        Seed of the weight initialisation.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        hidden_sizes: Sequence[int] = (64, 32),
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        max_grad_norm: float = 5.0,
+        seed: int = 1,
+    ) -> None:
+        if n_features < 1 or n_classes < 2:
+            raise ConfigurationError("need n_features >= 1 and n_classes >= 2")
+        if not hidden_sizes:
+            raise ConfigurationError("need at least one hidden layer")
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if max_grad_norm < 0.0:
+            raise ConfigurationError(
+                f"max_grad_norm must be >= 0, got {max_grad_norm}"
+            )
+        self._n_features = n_features
+        self._n_classes = n_classes
+        self._hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self._learning_rate = learning_rate
+        self._momentum = momentum
+        self._max_grad_norm = max_grad_norm
+        self._seed = seed
+        self._init_weights()
+
+    def _init_weights(self) -> None:
+        rng = np.random.default_rng(self._seed)
+        sizes = [self._n_features, *self._hidden_sizes, self._n_classes]
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._weight_velocity: List[np.ndarray] = []
+        self._bias_velocity: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+            self._weight_velocity.append(np.zeros((fan_in, fan_out)))
+            self._bias_velocity.append(np.zeros(fan_out))
+        self._n_batches_trained = 0
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def n_features(self) -> int:
+        """Input dimensionality."""
+        return self._n_features
+
+    @property
+    def n_classes(self) -> int:
+        """Number of output classes."""
+        return self._n_classes
+
+    @property
+    def n_batches_trained(self) -> int:
+        """Number of mini-batches the network has been trained on."""
+        return self._n_batches_trained
+
+    # ------------------------------------------------------------- forward
+
+    def _forward(self, x: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        activations = [x]
+        hidden = x
+        for layer in range(len(self._weights) - 1):
+            hidden = hidden @ self._weights[layer] + self._biases[layer]
+            hidden = np.maximum(hidden, 0.0)
+            activations.append(hidden)
+        logits = hidden @ self._weights[-1] + self._biases[-1]
+        return activations, logits
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exponent = np.exp(shifted)
+        return exponent / exponent.sum(axis=1, keepdims=True)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of inputs."""
+        _, logits = self._forward(np.atleast_2d(x))
+        return self._softmax(logits)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels for a batch of inputs."""
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def evaluate_batch(self, x: np.ndarray, y: np.ndarray) -> Tuple[float, float]:
+        """Return ``(cross_entropy_loss, accuracy)`` for a batch without training."""
+        probabilities = self.predict_proba(x)
+        y = np.asarray(y, dtype=np.int64)
+        batch = np.arange(len(y))
+        losses = -np.log(np.clip(probabilities[batch, y], 1e-12, 1.0))
+        accuracy = float(np.mean(np.argmax(probabilities, axis=1) == y))
+        return float(np.mean(losses)), accuracy
+
+    # ------------------------------------------------------------ training
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One SGD step on a mini-batch; returns the pre-update loss."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.int64)
+        if x.shape[0] != y.shape[0]:
+            raise ConfigurationError("x and y must have the same number of rows")
+
+        activations, logits = self._forward(x)
+        probabilities = self._softmax(logits)
+        batch = np.arange(len(y))
+        loss = float(np.mean(-np.log(np.clip(probabilities[batch, y], 1e-12, 1.0))))
+
+        # Backward pass.
+        grad_logits = probabilities.copy()
+        grad_logits[batch, y] -= 1.0
+        grad_logits /= len(y)
+
+        grad = grad_logits
+        gradients = []
+        for layer in range(len(self._weights) - 1, -1, -1):
+            grad_weight = activations[layer].T @ grad
+            grad_bias = grad.sum(axis=0)
+            if layer > 0:
+                grad = grad @ self._weights[layer].T
+                grad = grad * (activations[layer] > 0.0)
+            gradients.append((layer, grad_weight, grad_bias))
+
+        if self._max_grad_norm > 0.0:
+            total_norm = np.sqrt(
+                sum(
+                    float(np.sum(gw ** 2)) + float(np.sum(gb ** 2))
+                    for _, gw, gb in gradients
+                )
+            )
+            if total_norm > self._max_grad_norm:
+                scale = self._max_grad_norm / total_norm
+                gradients = [
+                    (layer, gw * scale, gb * scale) for layer, gw, gb in gradients
+                ]
+
+        for layer, grad_weight, grad_bias in gradients:
+            self._weight_velocity[layer] = (
+                self._momentum * self._weight_velocity[layer]
+                - self._learning_rate * grad_weight
+            )
+            self._bias_velocity[layer] = (
+                self._momentum * self._bias_velocity[layer]
+                - self._learning_rate * grad_bias
+            )
+            self._weights[layer] += self._weight_velocity[layer]
+            self._biases[layer] += self._bias_velocity[layer]
+
+        self._n_batches_trained += 1
+        return loss
+
+    def pretrain(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        n_epochs: int = 20,
+        batch_size: int = 32,
+        seed: Optional[int] = None,
+    ) -> float:
+        """Train on a fixed dataset for ``n_epochs``; return the final accuracy."""
+        rng = np.random.default_rng(self._seed if seed is None else seed)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = x.shape[0]
+        for _ in range(n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                batch = order[start:start + batch_size]
+                self.train_batch(x[batch], y[batch])
+        _, accuracy = self.evaluate_batch(x, y)
+        return accuracy
+
+    def reset(self) -> None:
+        """Re-initialise all weights (forget the training)."""
+        self._init_weights()

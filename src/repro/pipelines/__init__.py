@@ -1,0 +1,21 @@
+"""Drift-aware online-learning pipelines (the Figure-5 experiment substrate)."""
+
+from repro.pipelines.image_stream import ImageBatch, SyntheticImageStream
+from repro.pipelines.online_learning import DriftAwarePipeline, OnlineLearningReport
+from repro.pipelines.retraining import (
+    FineTunePolicy,
+    PolicyDecision,
+    ResetPolicy,
+    RetrainingPolicy,
+)
+
+__all__ = [
+    "ImageBatch",
+    "SyntheticImageStream",
+    "DriftAwarePipeline",
+    "OnlineLearningReport",
+    "RetrainingPolicy",
+    "FineTunePolicy",
+    "ResetPolicy",
+    "PolicyDecision",
+]

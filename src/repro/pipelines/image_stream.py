@@ -1,0 +1,187 @@
+"""Synthetic image-like batch stream with label-swap concept drifts.
+
+The paper's neural-network experiment (Figure 5) streams batches of 32
+CIFAR-10 images and provokes concept drifts by swapping the labels of two
+classes every 20% of the stream.  This module provides the offline surrogate
+(DESIGN.md §3): each "image" is a feature vector drawn from a class-specific
+Gaussian cluster (with small within-class structure), so a pre-trained MLP
+achieves high accuracy, and swapping two class labels produces exactly the
+loss jump the drift detector is supposed to notice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ImageBatch", "SyntheticImageStream"]
+
+
+@dataclass(frozen=True)
+class ImageBatch:
+    """One mini-batch of the synthetic image stream.
+
+    Attributes
+    ----------
+    x:
+        Feature matrix of shape ``(batch_size, n_features)``.
+    y:
+        Integer labels of shape ``(batch_size,)`` — already reflecting any
+        active label swap (i.e. the labels the pipeline observes).
+    index:
+        0-based position of the batch in the stream.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    index: int
+
+
+class SyntheticImageStream:
+    """CIFAR-10-like batch stream with periodic label-swap drifts.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes (10, matching CIFAR-10).
+    n_features:
+        Dimensionality of the flattened "images".
+    batch_size:
+        Number of examples per batch (32 in the paper).
+    n_batches:
+        Total number of batches in the stream.
+    n_drifts:
+        Number of label-swap drifts, evenly spaced over the stream.
+    class_separation:
+        Distance between class cluster centres; larger values make the
+        pre-drift problem easier.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 10,
+        n_features: int = 64,
+        batch_size: int = 32,
+        n_batches: int = 2000,
+        n_drifts: int = 4,
+        class_separation: float = 3.0,
+        seed: int = 1,
+    ) -> None:
+        if n_classes < 2:
+            raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+        if batch_size < 1 or n_batches < 1:
+            raise ConfigurationError("batch_size and n_batches must be >= 1")
+        if n_drifts < 0 or n_drifts >= n_batches:
+            raise ConfigurationError(
+                f"n_drifts must be in [0, n_batches), got {n_drifts}"
+            )
+        self._n_classes = n_classes
+        self._n_features = n_features
+        self._batch_size = batch_size
+        self._n_batches = n_batches
+        self._n_drifts = n_drifts
+        self._seed = seed
+        self._class_separation = class_separation
+
+        model_rng = np.random.default_rng(seed)
+        self._centres = model_rng.normal(
+            0.0, class_separation, size=(n_classes, n_features)
+        )
+        self._within_class_std = 1.0
+        self._drift_batches = self._layout_drifts()
+        self._swaps = self._layout_swaps()
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return self._n_classes
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of each example."""
+        return self._n_features
+
+    @property
+    def batch_size(self) -> int:
+        """Examples per batch."""
+        return self._batch_size
+
+    @property
+    def n_batches(self) -> int:
+        """Total number of batches."""
+        return self._n_batches
+
+    @property
+    def drift_batches(self) -> Tuple[int, ...]:
+        """Batch indices at which a label swap takes effect."""
+        return tuple(self._drift_batches)
+
+    @property
+    def swaps(self) -> List[Tuple[int, int]]:
+        """The (class_a, class_b) pair swapped at each drift."""
+        return list(self._swaps)
+
+    # ------------------------------------------------------------ internals
+
+    def _layout_drifts(self) -> List[int]:
+        if self._n_drifts == 0:
+            return []
+        spacing = self._n_batches // (self._n_drifts + 1)
+        return [spacing * (index + 1) for index in range(self._n_drifts)]
+
+    def _layout_swaps(self) -> List[Tuple[int, int]]:
+        swap_rng = np.random.default_rng(self._seed + 31)
+        swaps: List[Tuple[int, int]] = []
+        for _ in range(self._n_drifts):
+            a, b = swap_rng.choice(self._n_classes, size=2, replace=False)
+            swaps.append((int(a), int(b)))
+        return swaps
+
+    def _label_map_at(self, batch_index: int) -> np.ndarray:
+        """Current class->label mapping, cumulative over past swaps."""
+        mapping = np.arange(self._n_classes)
+        for drift_batch, (a, b) in zip(self._drift_batches, self._swaps):
+            if batch_index >= drift_batch:
+                mapping[a], mapping[b] = mapping[b], mapping[a]
+        return mapping
+
+    # ------------------------------------------------------------ sampling
+
+    def pretraining_set(self, n_examples: int = 5000, seed: int = 99) -> Tuple[np.ndarray, np.ndarray]:
+        """A fixed dataset drawn from the *pre-drift* concept for pre-training."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, self._n_classes, size=n_examples)
+        x = self._centres[labels] + rng.normal(
+            0.0, self._within_class_std, size=(n_examples, self._n_features)
+        )
+        return x, labels
+
+    def batch(self, batch_index: int) -> ImageBatch:
+        """Generate the batch at position ``batch_index`` (deterministic)."""
+        if not 0 <= batch_index < self._n_batches:
+            raise ConfigurationError(
+                f"batch_index must be in [0, {self._n_batches}), got {batch_index}"
+            )
+        rng = np.random.default_rng(self._seed * 1_000_003 + batch_index)
+        true_classes = rng.integers(0, self._n_classes, size=self._batch_size)
+        x = self._centres[true_classes] + rng.normal(
+            0.0, self._within_class_std, size=(self._batch_size, self._n_features)
+        )
+        mapping = self._label_map_at(batch_index)
+        observed_labels = mapping[true_classes]
+        return ImageBatch(x=x, y=observed_labels, index=batch_index)
+
+    def __iter__(self) -> Iterator[ImageBatch]:
+        for batch_index in range(self._n_batches):
+            yield self.batch(batch_index)
+
+    def __len__(self) -> int:
+        return self._n_batches

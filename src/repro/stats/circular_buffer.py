@@ -1,0 +1,156 @@
+"""Fixed-capacity circular buffer of floats.
+
+OPTWIN (Section 3.4 of the paper) bounds its sliding window by ``w_max`` and
+notes that a circular array gives O(1) insertions at the end, deletions from
+the beginning, and random access.  This module provides exactly that data
+structure, backed by a pre-allocated ``numpy`` array.
+
+The buffer intentionally exposes a small, list-like API (``append``,
+``popleft``, ``__getitem__``, ``__len__``, ``__iter__``) so that detector code
+reads naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotEnoughDataError
+
+__all__ = ["CircularBuffer"]
+
+
+class CircularBuffer:
+    """A bounded FIFO buffer of floats with O(1) append/popleft/indexing.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of elements the buffer can hold.  Appending to a full
+        buffer raises ``IndexError`` (callers are expected to ``popleft``
+        first); this makes accidental silent overwrites impossible.
+
+    Examples
+    --------
+    >>> buf = CircularBuffer(3)
+    >>> buf.append(1.0); buf.append(2.0)
+    >>> len(buf)
+    2
+    >>> buf.popleft()
+    1.0
+    >>> buf[0]
+    2.0
+    """
+
+    __slots__ = ("_capacity", "_data", "_start", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._data = np.zeros(self._capacity, dtype=np.float64)
+        self._start = 0
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of elements the buffer can hold."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer currently holds ``capacity`` elements."""
+        return self._size == self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer holds no elements."""
+        return self._size == 0
+
+    def append(self, value: float) -> None:
+        """Append ``value`` at the logical end of the buffer."""
+        if self._size == self._capacity:
+            raise IndexError("append to a full CircularBuffer; popleft first")
+        index = (self._start + self._size) % self._capacity
+        self._data[index] = value
+        self._size += 1
+
+    def popleft(self) -> float:
+        """Remove and return the oldest element."""
+        if self._size == 0:
+            raise NotEnoughDataError("popleft from an empty CircularBuffer")
+        value = float(self._data[self._start])
+        self._start = (self._start + 1) % self._capacity
+        self._size -= 1
+        return value
+
+    def clear(self) -> None:
+        """Remove every element (capacity is unchanged)."""
+        self._start = 0
+        self._size = 0
+
+    def _physical_index(self, index: int) -> int:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for size {self._size}")
+        return (self._start + index) % self._capacity
+
+    def __getitem__(self, index: int) -> float:
+        return float(self._data[self._physical_index(index)])
+
+    def __setitem__(self, index: int, value: float) -> None:
+        self._data[self._physical_index(index)] = value
+
+    def __iter__(self) -> Iterator[float]:
+        for logical in range(self._size):
+            yield float(self._data[(self._start + logical) % self._capacity])
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append every value from ``values`` in order."""
+        for value in values:
+            self.append(value)
+
+    def to_list(self) -> List[float]:
+        """Return the contents, oldest first, as a plain list."""
+        return list(self)
+
+    def to_array(self) -> np.ndarray:
+        """Return the contents, oldest first, as a contiguous numpy array."""
+        if self._size == 0:
+            return np.empty(0, dtype=np.float64)
+        end = self._start + self._size
+        if end <= self._capacity:
+            return self._data[self._start:end].copy()
+        first = self._data[self._start:]
+        second = self._data[: end - self._capacity]
+        return np.concatenate([first, second])
+
+    def slice_array(self, start: int, stop: int) -> np.ndarray:
+        """Return elements ``[start, stop)`` (logical indices) as an array."""
+        if start < 0 or stop > self._size or start > stop:
+            raise IndexError(
+                f"invalid slice [{start}, {stop}) for buffer of size {self._size}"
+            )
+        length = stop - start
+        if length == 0:
+            return np.empty(0, dtype=np.float64)
+        physical_start = (self._start + start) % self._capacity
+        physical_end = physical_start + length
+        if physical_end <= self._capacity:
+            return self._data[physical_start:physical_end].copy()
+        first = self._data[physical_start:]
+        second = self._data[: physical_end - self._capacity]
+        return np.concatenate([first, second])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(f"{v:.4g}" for v in list(self)[:6])
+        suffix = ", ..." if self._size > 6 else ""
+        return (
+            f"CircularBuffer(capacity={self._capacity}, size={self._size}, "
+            f"values=[{preview}{suffix}])"
+        )

@@ -1,0 +1,160 @@
+"""Probability point functions (PPF) for the Student-t and F distributions.
+
+OPTWIN's optimal-cut equation (Equation 1 in the paper) is written in terms of
+``t_ppf`` and ``f_ppf``, the inverse CDFs of the Student-t and F distributions.
+These wrappers delegate to :mod:`scipy.stats` and add:
+
+* argument validation with library-specific exceptions,
+* a small memoisation cache (the same ``(confidence, df)`` pairs are queried
+  for every window length during table pre-computation),
+* pure-Python fallbacks (normal approximations) used only if SciPy were
+  unavailable; they keep the module importable in constrained environments and
+  are exercised directly by the unit tests.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.exceptions import ConfigurationError
+
+try:  # pragma: no cover - scipy is a hard dependency in practice
+    from scipy import special as _scipy_special
+except ImportError:  # pragma: no cover
+    _scipy_special = None
+
+__all__ = [
+    "t_ppf",
+    "f_ppf",
+    "t_cdf",
+    "f_cdf",
+    "normal_ppf",
+    "normal_cdf",
+    "HAVE_SCIPY",
+]
+
+HAVE_SCIPY = _scipy_special is not None
+
+
+def _validate_confidence(confidence: float) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+
+
+def normal_cdf(x: float) -> float:
+    """CDF of the standard normal distribution."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def normal_ppf(p: float) -> float:
+    """Inverse CDF of the standard normal distribution.
+
+    Uses Acklam's rational approximation (maximum absolute error about 1e-9),
+    which is more than accurate enough for threshold computation.
+    """
+    _validate_confidence(p)
+    # Coefficients of Acklam's approximation.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    p_high = 1.0 - p_low
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+@lru_cache(maxsize=65536)
+def t_ppf(confidence: float, df: float) -> float:
+    """PPF of the Student-t distribution at ``confidence`` with ``df`` d.o.f.
+
+    Parameters
+    ----------
+    confidence:
+        Cumulative probability in ``(0, 1)``.
+    df:
+        Degrees of freedom, must be positive.  Fractional values are allowed
+        (Welch's correction produces non-integer degrees of freedom).
+    """
+    _validate_confidence(confidence)
+    if df <= 0:
+        raise ConfigurationError(f"degrees of freedom must be > 0, got {df}")
+    if _scipy_special is not None:
+        # scipy.special.stdtrit is the direct (and much faster) equivalent of
+        # scipy.stats.t.ppf for scalar arguments.
+        return float(_scipy_special.stdtrit(df, confidence))
+    # Fallback: Cornish-Fisher style expansion around the normal quantile.
+    z = normal_ppf(confidence)
+    g1 = (z ** 3 + z) / 4.0
+    g2 = (5.0 * z ** 5 + 16.0 * z ** 3 + 3.0 * z) / 96.0
+    g3 = (3.0 * z ** 7 + 19.0 * z ** 5 + 17.0 * z ** 3 - 15.0 * z) / 384.0
+    return z + g1 / df + g2 / df ** 2 + g3 / df ** 3
+
+
+@lru_cache(maxsize=65536)
+def f_ppf(confidence: float, dfn: float, dfd: float) -> float:
+    """PPF of the F distribution.
+
+    Parameters
+    ----------
+    confidence:
+        Cumulative probability in ``(0, 1)``.
+    dfn, dfd:
+        Numerator and denominator degrees of freedom, both positive.
+    """
+    _validate_confidence(confidence)
+    if dfn <= 0 or dfd <= 0:
+        raise ConfigurationError(
+            f"degrees of freedom must be > 0, got dfn={dfn}, dfd={dfd}"
+        )
+    if _scipy_special is not None:
+        return float(_scipy_special.fdtri(dfn, dfd, confidence))
+    # Fallback: Wilson-Hilferty style approximation via the normal quantile.
+    z = normal_ppf(confidence)
+    lam = (z * z - 3.0) / 6.0
+    h = 2.0 / (1.0 / (dfn - 1.0 + 1e-12) + 1.0 / (dfd - 1.0 + 1e-12))
+    w = z * math.sqrt(h + lam) / h - (lam + 5.0 / 6.0 - 2.0 / (3.0 * h)) * (
+        1.0 / (dfn - 1.0 + 1e-12) - 1.0 / (dfd - 1.0 + 1e-12)
+    )
+    return math.exp(2.0 * w)
+
+
+def t_cdf(x: float, df: float) -> float:
+    """CDF of the Student-t distribution."""
+    if df <= 0:
+        raise ConfigurationError(f"degrees of freedom must be > 0, got {df}")
+    if _scipy_special is not None:
+        return float(_scipy_special.stdtr(df, x))
+    # Fallback via the normal approximation (adequate for large df).
+    return normal_cdf(x * (1.0 - 1.0 / (4.0 * df)) / math.sqrt(1.0 + x * x / (2.0 * df)))
+
+
+def f_cdf(x: float, dfn: float, dfd: float) -> float:
+    """CDF of the F distribution."""
+    if dfn <= 0 or dfd <= 0:
+        raise ConfigurationError(
+            f"degrees of freedom must be > 0, got dfn={dfn}, dfd={dfd}"
+        )
+    if x <= 0:
+        return 0.0
+    if _scipy_special is not None:
+        return float(_scipy_special.fdtr(dfn, dfd, x))
+    # Fallback: Paulson approximation mapping F to a standard normal deviate.
+    num = (1.0 - 2.0 / (9.0 * dfd)) * x ** (1.0 / 3.0) - (1.0 - 2.0 / (9.0 * dfn))
+    den = math.sqrt(2.0 / (9.0 * dfn) + (x ** (2.0 / 3.0)) * 2.0 / (9.0 * dfd))
+    return normal_cdf(num / den)

@@ -1,0 +1,103 @@
+"""F-test for the equality of two variances.
+
+OPTWIN flags a concept drift when the variance of the "new" sub-window is
+statistically larger than the variance of the "historical" sub-window
+(Equation 6 of the paper).  A small constant ``eta`` is added to both standard
+deviations before squaring to avoid division by zero, mirroring Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.stats.distributions import f_cdf, f_ppf
+
+__all__ = ["FTestResult", "f_statistic", "f_test"]
+
+#: Default stabiliser added to standard deviations (``eta`` in Algorithm 1).
+DEFAULT_ETA = 1e-5
+
+
+@dataclass(frozen=True)
+class FTestResult:
+    """Outcome of a one-sided F-test for ``var_new > var_hist``.
+
+    Attributes
+    ----------
+    statistic:
+        The variance ratio ``(sigma_new + eta)^2 / (sigma_hist + eta)^2``.
+    dfn, dfd:
+        Numerator and denominator degrees of freedom.
+    p_value:
+        One-sided p-value (probability of a ratio at least this large under
+        the null hypothesis of equal variances).
+    critical_value:
+        The F-distribution PPF at the requested confidence.
+    significant:
+        Whether ``statistic > critical_value``.
+    """
+
+    statistic: float
+    dfn: float
+    dfd: float
+    p_value: float
+    critical_value: float
+    significant: bool
+
+
+def f_statistic(std_new: float, std_hist: float, eta: float = DEFAULT_ETA) -> float:
+    """Return the stabilised variance ratio used by OPTWIN's F-test."""
+    if std_new < 0 or std_hist < 0:
+        raise ConfigurationError("standard deviations must be non-negative")
+    if eta < 0:
+        raise ConfigurationError(f"eta must be non-negative, got {eta}")
+    numerator = (std_new + eta) ** 2
+    denominator = (std_hist + eta) ** 2
+    if denominator == 0.0:
+        return math.inf
+    return numerator / denominator
+
+
+def f_test(
+    std_new: float,
+    n_new: int,
+    std_hist: float,
+    n_hist: int,
+    confidence: float = 0.99,
+    eta: float = DEFAULT_ETA,
+) -> FTestResult:
+    """Run the one-sided F-test ``H1: var_new > var_hist``.
+
+    Parameters
+    ----------
+    std_new, n_new:
+        Standard deviation and size of the "new" sub-window (numerator).
+    std_hist, n_hist:
+        Standard deviation and size of the "historical" sub-window
+        (denominator).
+    confidence:
+        Confidence level for the critical value.
+    eta:
+        Stabiliser added to both standard deviations (Algorithm 1's ``eta``).
+    """
+    if n_new < 2 or n_hist < 2:
+        raise ConfigurationError("both sub-windows need at least two observations")
+    statistic = f_statistic(std_new, std_hist, eta)
+    dfn = float(n_new - 1)
+    dfd = float(n_hist - 1)
+    critical = f_ppf(confidence, dfn, dfd)
+    if math.isinf(statistic):
+        p_value = 0.0
+    else:
+        p_value = 1.0 - f_cdf(statistic, dfn, dfd)
+        p_value = min(max(p_value, 0.0), 1.0)
+    return FTestResult(
+        statistic=statistic,
+        dfn=dfn,
+        dfd=dfd,
+        p_value=p_value,
+        critical_value=critical,
+        significant=statistic > critical,
+    )

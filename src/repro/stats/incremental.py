@@ -1,0 +1,293 @@
+"""Incremental (online) mean and variance estimators.
+
+The OPTWIN paper (Section 3.4) points out that the means and standard
+deviations of the two sub-windows do not need to be recomputed from scratch at
+every step: they can be maintained incrementally.  This module provides three
+flavours of incremental statistics:
+
+``RunningStats``
+    Classic Welford accumulator; supports only additions.  Used by detectors
+    such as DDM/EDDM that never remove observations between resets.
+
+``WindowedStats``
+    Sum/sum-of-squares accumulator that supports both additions and removals,
+    which is what a sliding window needs.
+
+``PrefixStats``
+    Prefix sums over a sliding window so that the mean/variance of *any*
+    contiguous sub-window can be answered in O(1).  OPTWIN uses this to get the
+    statistics of ``W_hist`` and ``W_new`` at the optimal cut without scanning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro.exceptions import NotEnoughDataError
+
+__all__ = ["RunningStats", "WindowedStats", "PrefixStats"]
+
+
+class RunningStats:
+    """Welford's online algorithm for mean and variance (additions only).
+
+    Numerically stable even for long streams of nearly identical values.
+
+    Examples
+    --------
+    >>> rs = RunningStats()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     rs.update(x)
+    >>> rs.mean
+    2.0
+    >>> round(rs.variance, 6)
+    1.0
+    """
+
+    __slots__ = ("_count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold ``value`` into the running statistics."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def update_many(self, values: Iterable[float]) -> None:
+        """Fold every value from ``values`` into the running statistics."""
+        for value in values:
+            self.update(value)
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when no observations were seen)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def population_variance(self) -> float:
+        """Population (biased) variance."""
+        if self._count < 1:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def population_std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(max(self.population_variance, 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(count={self._count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+class WindowedStats:
+    """Mean/variance over a multiset supporting additions *and* removals.
+
+    Maintains the sum and sum of squares; removal is exact because the value
+    being removed is supplied by the caller (sliding windows always know which
+    element leaves).  A periodic exact recomputation is unnecessary for the
+    magnitudes handled here (error rates in ``[0, 1]`` or bounded losses), but
+    the accumulator clamps tiny negative variances caused by rounding.
+    """
+
+    __slots__ = ("_count", "_sum", "_sum_sq")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def add(self, value: float) -> None:
+        """Add one observation."""
+        self._count += 1
+        self._sum += value
+        self._sum_sq += value * value
+
+    def remove(self, value: float) -> None:
+        """Remove one previously added observation."""
+        if self._count == 0:
+            raise NotEnoughDataError("remove from an empty WindowedStats")
+        self._count -= 1
+        self._sum -= value
+        self._sum_sq -= value * value
+        if self._count == 0:
+            self._sum = 0.0
+            self._sum_sq = 0.0
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self._count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of observations currently accounted for."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of the observations currently accounted for."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        mean = self._sum / self._count
+        raw = (self._sum_sq - self._count * mean * mean) / (self._count - 1)
+        return max(raw, 0.0)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowedStats(count={self._count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+class PrefixStats:
+    """Prefix sums over an ordered window for O(1) sub-window statistics.
+
+    The window is kept as two parallel lists of prefix sums (values and squared
+    values) anchored at an offset, so that dropping elements from the front is
+    cheap (the offset moves) and the memory is compacted only occasionally.
+
+    ``mean(i, j)`` and ``variance(i, j)`` answer queries over the *logical*
+    half-open range ``[i, j)`` of the current window.
+    """
+
+    __slots__ = ("_values", "_prefix", "_prefix_sq", "_offset")
+
+    # Compact the internal lists once the dead prefix exceeds this many items.
+    _COMPACT_THRESHOLD = 8192
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self._prefix: List[float] = [0.0]
+        self._prefix_sq: List[float] = [0.0]
+        self._offset = 0
+
+    def __len__(self) -> int:
+        return len(self._values) - self._offset
+
+    def append(self, value: float) -> None:
+        """Append ``value`` at the end of the window."""
+        self._values.append(value)
+        self._prefix.append(self._prefix[-1] + value)
+        self._prefix_sq.append(self._prefix_sq[-1] + value * value)
+
+    def popleft(self) -> float:
+        """Drop and return the oldest element of the window."""
+        if len(self) == 0:
+            raise NotEnoughDataError("popleft from an empty PrefixStats")
+        value = self._values[self._offset]
+        self._offset += 1
+        if self._offset >= self._COMPACT_THRESHOLD:
+            self._compact()
+        return value
+
+    def clear(self) -> None:
+        """Remove every element."""
+        self._values = []
+        self._prefix = [0.0]
+        self._prefix_sq = [0.0]
+        self._offset = 0
+
+    def _compact(self) -> None:
+        self._values = self._values[self._offset:]
+        self._prefix = [0.0]
+        self._prefix_sq = [0.0]
+        for value in self._values:
+            self._prefix.append(self._prefix[-1] + value)
+            self._prefix_sq.append(self._prefix_sq[-1] + value * value)
+        self._offset = 0
+
+    def _bounds(self, start: int, stop: int) -> Tuple[int, int]:
+        size = len(self)
+        if start < 0 or stop > size or start > stop:
+            raise IndexError(f"invalid range [{start}, {stop}) for size {size}")
+        return self._offset + start, self._offset + stop
+
+    def value_at(self, index: int) -> float:
+        """Return the element at logical position ``index``."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for size {len(self)}")
+        return self._values[self._offset + index]
+
+    def range_sum(self, start: int, stop: int) -> float:
+        """Sum of elements in the logical range ``[start, stop)``."""
+        lo, hi = self._bounds(start, stop)
+        return self._prefix[hi] - self._prefix[lo]
+
+    def range_sum_sq(self, start: int, stop: int) -> float:
+        """Sum of squared elements in the logical range ``[start, stop)``."""
+        lo, hi = self._bounds(start, stop)
+        return self._prefix_sq[hi] - self._prefix_sq[lo]
+
+    def mean(self, start: int, stop: int) -> float:
+        """Mean of elements in ``[start, stop)`` (0.0 for an empty range)."""
+        count = stop - start
+        if count == 0:
+            return 0.0
+        return self.range_sum(start, stop) / count
+
+    def variance(self, start: int, stop: int) -> float:
+        """Unbiased variance of elements in ``[start, stop)``."""
+        count = stop - start
+        if count < 2:
+            return 0.0
+        total = self.range_sum(start, stop)
+        total_sq = self.range_sum_sq(start, stop)
+        mean = total / count
+        raw = (total_sq - count * mean * mean) / (count - 1)
+        return max(raw, 0.0)
+
+    def std(self, start: int, stop: int) -> float:
+        """Unbiased standard deviation of elements in ``[start, stop)``."""
+        return math.sqrt(self.variance(start, stop))
+
+    def to_list(self) -> List[float]:
+        """Return the current window, oldest first."""
+        return list(self._values[self._offset:])

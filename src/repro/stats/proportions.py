@@ -1,0 +1,77 @@
+"""Statistical test of equal proportions (used by STEPD).
+
+STEPD (Nishida & Yamauchi 2007) compares the accuracy of a learner over a
+recent window with its accuracy over all earlier observations using the
+classic two-sample test of equal proportions with a continuity correction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.stats.distributions import normal_cdf
+
+__all__ = ["ProportionTestResult", "equal_proportions_test"]
+
+
+@dataclass(frozen=True)
+class ProportionTestResult:
+    """Outcome of the two-sample equality-of-proportions test.
+
+    Attributes
+    ----------
+    statistic:
+        The (continuity-corrected) z statistic.
+    p_value:
+        One-sided p-value for "the recent proportion is lower".
+    """
+
+    statistic: float
+    p_value: float
+
+
+def equal_proportions_test(
+    successes_recent: float,
+    n_recent: int,
+    successes_older: float,
+    n_older: int,
+) -> ProportionTestResult:
+    """Test whether the recent success proportion dropped below the older one.
+
+    Follows the STEPD formulation: the statistic compares
+    ``p_older = successes_older / n_older`` against
+    ``p_recent = successes_recent / n_recent`` with Yates' continuity
+    correction; large positive values indicate that recent accuracy fell.
+
+    Parameters
+    ----------
+    successes_recent, n_recent:
+        Number of correct predictions and total predictions in the recent
+        window.
+    successes_older, n_older:
+        Number of correct predictions and total predictions in the older
+        segment.
+    """
+    if n_recent < 1 or n_older < 1:
+        raise ConfigurationError("both segments need at least one observation")
+    if not 0 <= successes_recent <= n_recent:
+        raise ConfigurationError("successes_recent must lie in [0, n_recent]")
+    if not 0 <= successes_older <= n_older:
+        raise ConfigurationError("successes_older must lie in [0, n_older]")
+
+    p_recent = successes_recent / n_recent
+    p_older = successes_older / n_older
+    pooled = (successes_recent + successes_older) / (n_recent + n_older)
+    correction = 0.5 * (1.0 / n_recent + 1.0 / n_older)
+    variance = pooled * (1.0 - pooled) * (1.0 / n_recent + 1.0 / n_older)
+    if variance <= 0.0:
+        # Both segments are all-success or all-failure: no evidence of change.
+        return ProportionTestResult(statistic=0.0, p_value=1.0)
+    statistic = (abs(p_older - p_recent) - correction) / math.sqrt(variance)
+    # One-sided: only a *drop* in recent accuracy counts as a change.
+    if p_recent >= p_older:
+        statistic = min(statistic, 0.0)
+    p_value = 1.0 - normal_cdf(statistic)
+    return ProportionTestResult(statistic=statistic, p_value=p_value)

@@ -1,0 +1,135 @@
+"""Welch's unequal-variance t-test.
+
+OPTWIN applies the unequal-variance *t*-test (Ruxton 2006) to the two
+sub-windows ``W_hist`` and ``W_new`` of its sliding window (Equation 3 of the
+paper) and uses the Welch–Satterthwaite degrees of freedom (Equation 12).
+
+The functions here operate on summary statistics (count, mean, variance)
+rather than raw samples so that detectors can feed them from incremental
+accumulators without materialising the sub-windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.stats.distributions import t_cdf, t_ppf
+
+__all__ = ["WelchResult", "welch_statistic", "welch_degrees_of_freedom", "welch_t_test"]
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Outcome of a Welch t-test between two summarised samples.
+
+    Attributes
+    ----------
+    statistic:
+        The t statistic ``(mean_a - mean_b) / sqrt(var_a/n_a + var_b/n_b)``.
+    degrees_of_freedom:
+        Welch–Satterthwaite approximation of the degrees of freedom.
+    p_value:
+        Two-sided p-value of the test.
+    critical_value:
+        The t-distribution PPF at the requested confidence (one-sided).
+    significant:
+        Whether ``|statistic| > critical_value``.
+    """
+
+    statistic: float
+    degrees_of_freedom: float
+    p_value: float
+    critical_value: float
+    significant: bool
+
+
+def welch_statistic(
+    mean_a: float,
+    var_a: float,
+    n_a: int,
+    mean_b: float,
+    var_b: float,
+    n_b: int,
+) -> float:
+    """Return Welch's t statistic for two summarised samples.
+
+    A zero pooled standard error (both variances zero) returns ``0.0`` when the
+    means are also equal and ``inf`` (signed) otherwise, so callers can treat a
+    deterministic level shift as maximally significant.
+    """
+    if n_a < 1 or n_b < 1:
+        raise ConfigurationError("both samples need at least one observation")
+    pooled = var_a / n_a + var_b / n_b
+    diff = mean_a - mean_b
+    if pooled <= 0.0:
+        # Both variances are zero (constant sub-windows).  A difference at the
+        # level of floating-point rounding is not a real level shift.
+        tolerance = 1e-9 * max(1.0, abs(mean_a), abs(mean_b))
+        if abs(diff) <= tolerance:
+            return 0.0
+        return math.inf if diff > 0 else -math.inf
+    return diff / math.sqrt(pooled)
+
+
+def welch_degrees_of_freedom(
+    var_a: float,
+    n_a: int,
+    var_b: float,
+    n_b: int,
+) -> float:
+    """Welch–Satterthwaite degrees of freedom (Equation 12 of the paper).
+
+    Falls back to ``n_a + n_b - 2`` when both variances are zero (the formula
+    is 0/0 in that case) and clamps the result to at least 1.0 so that it can
+    always be used as a t-distribution parameter.
+    """
+    if n_a < 2 or n_b < 2:
+        raise ConfigurationError("both samples need at least two observations")
+    term_a = var_a / n_a
+    term_b = var_b / n_b
+    numerator = (term_a + term_b) ** 2
+    if numerator <= 0.0:
+        return float(max(n_a + n_b - 2, 1))
+    denominator = (term_a ** 2) / (n_a - 1) + (term_b ** 2) / (n_b - 1)
+    if denominator <= 0.0:
+        return float(max(n_a + n_b - 2, 1))
+    return max(numerator / denominator, 1.0)
+
+
+def welch_t_test(
+    mean_a: float,
+    var_a: float,
+    n_a: int,
+    mean_b: float,
+    var_b: float,
+    n_b: int,
+    confidence: float = 0.99,
+) -> WelchResult:
+    """Run a full Welch t-test from summary statistics.
+
+    Parameters
+    ----------
+    mean_a, var_a, n_a:
+        Mean, unbiased variance, and size of the first sample (``W_hist``).
+    mean_b, var_b, n_b:
+        Mean, unbiased variance, and size of the second sample (``W_new``).
+    confidence:
+        One-sided confidence level used for the critical value.
+    """
+    statistic = welch_statistic(mean_a, var_a, n_a, mean_b, var_b, n_b)
+    df = welch_degrees_of_freedom(var_a, n_a, var_b, n_b)
+    critical = t_ppf(confidence, df)
+    if math.isinf(statistic):
+        p_value = 0.0
+    else:
+        p_value = 2.0 * (1.0 - t_cdf(abs(statistic), df))
+        p_value = min(max(p_value, 0.0), 1.0)
+    return WelchResult(
+        statistic=statistic,
+        degrees_of_freedom=df,
+        p_value=p_value,
+        critical_value=critical,
+        significant=abs(statistic) > critical,
+    )

@@ -1,0 +1,142 @@
+"""One-tailed Wilcoxon signed-rank test.
+
+Section 4.1 of the paper compares the per-run F1-scores of OPTWIN against the
+regression-capable baselines (ADWIN, STEPD) with a one-tailed Wilcoxon
+signed-rank test at ``alpha = 0.05``.  This module implements the test from
+scratch (normal approximation with tie and zero handling, plus an exact
+enumeration for small samples) so the significance analysis does not depend on
+``scipy.stats.wilcoxon`` behaviour changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.stats.distributions import normal_cdf
+
+__all__ = ["WilcoxonResult", "wilcoxon_signed_rank"]
+
+#: Below this many non-zero differences the exact null distribution is used.
+_EXACT_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class WilcoxonResult:
+    """Outcome of a one-tailed Wilcoxon signed-rank test.
+
+    Attributes
+    ----------
+    statistic:
+        Sum of ranks of the *negative* differences (``W-``); small values
+        support the alternative "sample_a > sample_b".
+    p_value:
+        One-tailed p-value for the alternative ``a > b``.
+    n_effective:
+        Number of non-zero paired differences actually used.
+    significant:
+        Whether ``p_value < alpha``.
+    alpha:
+        Significance level the decision was taken at.
+    """
+
+    statistic: float
+    p_value: float
+    n_effective: int
+    significant: bool
+    alpha: float
+
+
+def _rank_with_ties(values: Sequence[float]) -> list:
+    """Return average ranks (1-based) of ``values``, handling ties."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def _exact_p_value(signed_ranks: Sequence[float], w_minus: float) -> float:
+    """Exact one-tailed p-value by enumerating all sign assignments."""
+    ranks = [abs(r) for r in signed_ranks]
+    n = len(ranks)
+    total = 0
+    at_most = 0
+    for signs in itertools.product((0, 1), repeat=n):
+        w = sum(rank for rank, sign in zip(ranks, signs) if sign)
+        total += 1
+        if w <= w_minus + 1e-12:
+            at_most += 1
+    return at_most / total
+
+
+def wilcoxon_signed_rank(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    alpha: float = 0.05,
+) -> WilcoxonResult:
+    """Test the alternative hypothesis that ``sample_a`` tends to exceed ``sample_b``.
+
+    Parameters
+    ----------
+    sample_a, sample_b:
+        Paired observations (e.g. per-experiment F1-scores of two detectors).
+    alpha:
+        Significance level for the ``significant`` flag.
+    """
+    if len(sample_a) != len(sample_b):
+        raise ConfigurationError("paired samples must have the same length")
+    if len(sample_a) < 3:
+        raise ConfigurationError("need at least three pairs for the Wilcoxon test")
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+
+    differences = [a - b for a, b in zip(sample_a, sample_b)]
+    non_zero = [d for d in differences if d != 0.0]
+    if not non_zero:
+        # Identical samples: no evidence for the alternative.
+        return WilcoxonResult(
+            statistic=0.0, p_value=1.0, n_effective=0, significant=False, alpha=alpha
+        )
+
+    abs_diffs = [abs(d) for d in non_zero]
+    ranks = _rank_with_ties(abs_diffs)
+    signed_ranks = [r if d > 0 else -r for r, d in zip(ranks, non_zero)]
+    w_minus = sum(r for r in signed_ranks if r < 0) * -1.0
+    n = len(non_zero)
+
+    if n <= _EXACT_LIMIT:
+        p_value = _exact_p_value(signed_ranks, w_minus)
+    else:
+        mean = n * (n + 1) / 4.0
+        variance = n * (n + 1) * (2 * n + 1) / 24.0
+        # Tie correction.
+        tie_groups = {}
+        for rank in ranks:
+            tie_groups[rank] = tie_groups.get(rank, 0) + 1
+        correction = sum(t ** 3 - t for t in tie_groups.values() if t > 1) / 48.0
+        variance -= correction
+        if variance <= 0:
+            p_value = 1.0
+        else:
+            z = (w_minus - mean + 0.5) / math.sqrt(variance)
+            p_value = normal_cdf(z)
+
+    p_value = min(max(p_value, 0.0), 1.0)
+    return WilcoxonResult(
+        statistic=w_minus,
+        p_value=p_value,
+        n_effective=n,
+        significant=p_value < alpha,
+        alpha=alpha,
+    )

@@ -1,0 +1,65 @@
+"""Data-stream substrate: generators, drift composition, and error streams.
+
+This package is the library's replacement for the parts of MOA the paper's
+evaluation relies on:
+
+* :mod:`repro.streams.synthetic` — STAGGER, AGRAWAL, RandomRBF (plus SEA,
+  SINE, LED, hyperplane extensions);
+* :mod:`repro.streams.drift` — sudden/gradual concept-drift composition;
+* :mod:`repro.streams.error_streams` — raw error-value streams for the
+  detector-only experiments;
+* :mod:`repro.streams.real_world` — offline surrogates of Electricity and
+  Covertype (see DESIGN.md §3 for the substitution rationale).
+"""
+
+from repro.streams.base import (
+    Attribute,
+    Instance,
+    InstanceStream,
+    ValueStream,
+    nominal_attribute,
+    numeric_attribute,
+)
+from repro.streams.drift import ConceptDriftStream, MultiConceptDriftStream
+from repro.streams.error_streams import (
+    BinarySegment,
+    GaussianSegment,
+    binary_error_stream,
+    gaussian_error_stream,
+)
+from repro.streams.real_world import CovertypeSurrogate, ElectricitySurrogate
+from repro.streams.synthetic import (
+    AgrawalGenerator,
+    HyperplaneGenerator,
+    LedGenerator,
+    RandomRbfDriftGenerator,
+    RandomRbfGenerator,
+    SeaGenerator,
+    SineGenerator,
+    StaggerGenerator,
+)
+
+__all__ = [
+    "Attribute",
+    "Instance",
+    "InstanceStream",
+    "ValueStream",
+    "numeric_attribute",
+    "nominal_attribute",
+    "ConceptDriftStream",
+    "MultiConceptDriftStream",
+    "BinarySegment",
+    "GaussianSegment",
+    "binary_error_stream",
+    "gaussian_error_stream",
+    "StaggerGenerator",
+    "AgrawalGenerator",
+    "RandomRbfGenerator",
+    "RandomRbfDriftGenerator",
+    "SeaGenerator",
+    "SineGenerator",
+    "LedGenerator",
+    "HyperplaneGenerator",
+    "ElectricitySurrogate",
+    "CovertypeSurrogate",
+]

@@ -1,0 +1,213 @@
+"""Base abstractions for data streams.
+
+Two kinds of streams appear in the OPTWIN evaluation:
+
+* **labeled instance streams** (:class:`InstanceStream`) — the MOA-style
+  generators (STAGGER, AGRAWAL, RandomRBF, ...) and the real-world surrogate
+  datasets.  They produce :class:`Instance` objects with a feature vector and
+  a class label and are consumed by the prequential evaluator.
+* **value streams** (:class:`ValueStream`) — plain sequences of real numbers
+  (error indicators, losses) that are fed directly to drift detectors in the
+  "Concept Drift interface" experiments.
+
+Both kinds are iterable, restartable, and deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Attribute",
+    "numeric_attribute",
+    "nominal_attribute",
+    "Instance",
+    "InstanceStream",
+    "ValueStream",
+]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Description of one input attribute of a labeled stream.
+
+    Attributes
+    ----------
+    name:
+        Human-readable attribute name.
+    kind:
+        Either ``"numeric"`` or ``"nominal"``.
+    n_values:
+        Number of distinct values for nominal attributes (0 for numeric).
+    """
+
+    name: str
+    kind: str
+    n_values: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numeric", "nominal"):
+            raise ConfigurationError(
+                f"attribute kind must be 'numeric' or 'nominal', got {self.kind!r}"
+            )
+        if self.kind == "nominal" and self.n_values < 2:
+            raise ConfigurationError(
+                f"nominal attribute {self.name!r} needs n_values >= 2, "
+                f"got {self.n_values}"
+            )
+
+    @property
+    def is_nominal(self) -> bool:
+        """Whether the attribute takes one of a finite set of values."""
+        return self.kind == "nominal"
+
+
+def numeric_attribute(name: str) -> Attribute:
+    """Convenience constructor for a numeric attribute."""
+    return Attribute(name=name, kind="numeric")
+
+
+def nominal_attribute(name: str, n_values: int) -> Attribute:
+    """Convenience constructor for a nominal attribute with ``n_values`` values."""
+    return Attribute(name=name, kind="nominal", n_values=n_values)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One labeled example from an instance stream.
+
+    Attributes
+    ----------
+    x:
+        Feature vector; nominal attributes are encoded as their integer value
+        index stored as a float.
+    y:
+        Class label in ``range(n_classes)``.
+    weight:
+        Optional instance weight (1.0 for every generator in this library).
+    """
+
+    x: np.ndarray
+    y: int
+    weight: float = 1.0
+
+
+class InstanceStream(abc.ABC):
+    """Restartable stream of labeled :class:`Instance` objects.
+
+    Sub-classes implement :meth:`_generate_instance` and define ``schema`` and
+    ``n_classes``; the base class provides iteration, bounded ``take``, and
+    restart bookkeeping.
+    """
+
+    def __init__(self, schema: Sequence[Attribute], n_classes: int, seed: int = 1) -> None:
+        if n_classes < 2:
+            raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+        self._schema = list(schema)
+        self._n_classes = n_classes
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._n_emitted = 0
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def schema(self) -> List[Attribute]:
+        """Attribute descriptions, in feature-vector order."""
+        return list(self._schema)
+
+    @property
+    def n_features(self) -> int:
+        """Number of input attributes."""
+        return len(self._schema)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels."""
+        return self._n_classes
+
+    @property
+    def seed(self) -> int:
+        """Seed the stream was constructed with."""
+        return self._seed
+
+    @property
+    def n_emitted(self) -> int:
+        """Number of instances produced since the last restart."""
+        return self._n_emitted
+
+    # ------------------------------------------------------------ protocol
+
+    def next_instance(self) -> Instance:
+        """Produce the next instance."""
+        instance = self._generate_instance()
+        self._n_emitted += 1
+        return instance
+
+    @abc.abstractmethod
+    def _generate_instance(self) -> Instance:
+        """Produce one instance (sub-class hook)."""
+
+    def restart(self) -> None:
+        """Reset the stream to its initial state (same seed, same sequence)."""
+        self._rng = np.random.default_rng(self._seed)
+        self._n_emitted = 0
+
+    def take(self, n: int) -> List[Instance]:
+        """Return the next ``n`` instances as a list."""
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        return [self.next_instance() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[Instance]:
+        while True:
+            yield self.next_instance()
+
+
+@dataclass
+class ValueStream:
+    """A bounded stream of real values with known ground-truth drift points.
+
+    Attributes
+    ----------
+    values:
+        The monitored values (error indicators or losses), in stream order.
+    drift_positions:
+        Indices into ``values`` at which a concept drift starts (for gradual
+        drifts this is the *onset* of the transition).
+    drift_widths:
+        Transition width of each drift (1 for sudden drifts).
+    name:
+        Human-readable description used in reports.
+    """
+
+    values: np.ndarray
+    drift_positions: Tuple[int, ...] = ()
+    drift_widths: Tuple[int, ...] = ()
+    name: str = "value-stream"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.drift_widths and len(self.drift_widths) != len(self.drift_positions):
+            raise ConfigurationError(
+                "drift_widths must be empty or match drift_positions in length"
+            )
+        if not self.drift_widths:
+            self.drift_widths = tuple(1 for _ in self.drift_positions)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values.tolist())
+
+    def segment(self, start: int, stop: Optional[int] = None) -> np.ndarray:
+        """Return the raw values in ``[start, stop)``."""
+        return self.values[start:stop]

@@ -1,0 +1,211 @@
+"""Concept-drift composition of instance streams (the MOA "ConceptDrift" interface).
+
+:class:`ConceptDriftStream` mixes a *base* stream and a *drift* stream: before
+the drift ``position`` instances come from the base concept, afterwards from
+the new concept, with a sigmoid hand-over of ``width`` instances for gradual
+drifts (``width = 1`` gives a sudden drift) — exactly the semantics of MOA's
+``ConceptDriftStream`` generator used in the paper's experiments.
+
+:class:`MultiConceptDriftStream` chains any number of concepts with a shared
+spacing, which is how the paper's classification experiments are built
+("100,000 data points with drifts occurring every 20,000 data points").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream
+
+__all__ = ["ConceptDriftStream", "MultiConceptDriftStream"]
+
+
+def _schemas_compatible(first: InstanceStream, second: InstanceStream) -> bool:
+    """Whether two streams agree on attribute count, kinds, and cardinalities."""
+    schema_a, schema_b = first.schema, second.schema
+    if len(schema_a) != len(schema_b):
+        return False
+    return all(
+        a.kind == b.kind and a.n_values == b.n_values
+        for a, b in zip(schema_a, schema_b)
+    )
+
+
+class ConceptDriftStream(InstanceStream):
+    """Mix two instance streams with a sudden or gradual (sigmoid) hand-over.
+
+    Parameters
+    ----------
+    base_stream:
+        Concept in effect before the drift.
+    drift_stream:
+        Concept in effect after the drift.
+    position:
+        Index (0-based instance count) of the centre of the drift.
+    width:
+        Width of the transition; 1 produces a sudden drift.
+    seed:
+        Seed of the Bernoulli draws that decide, inside the transition
+        region, which concept generates each instance.
+    """
+
+    def __init__(
+        self,
+        base_stream: InstanceStream,
+        drift_stream: InstanceStream,
+        position: int,
+        width: int = 1,
+        seed: int = 1,
+    ) -> None:
+        if position < 1:
+            raise ConfigurationError(f"position must be >= 1, got {position}")
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if base_stream.n_classes != drift_stream.n_classes:
+            raise ConfigurationError(
+                "base and drift streams must have the same number of classes"
+            )
+        if not _schemas_compatible(base_stream, drift_stream):
+            raise ConfigurationError(
+                "base and drift streams must share the same attribute schema"
+            )
+        super().__init__(
+            schema=base_stream.schema,
+            n_classes=base_stream.n_classes,
+            seed=seed,
+        )
+        self._base_stream = base_stream
+        self._drift_stream = drift_stream
+        self._position = position
+        self._width = width
+
+    @property
+    def position(self) -> int:
+        """Centre of the drift, in instances."""
+        return self._position
+
+    @property
+    def width(self) -> int:
+        """Width of the transition (1 = sudden)."""
+        return self._width
+
+    @property
+    def drift_positions(self) -> Tuple[int, ...]:
+        """Ground-truth drift onset (start of the transition region)."""
+        if self._width <= 1:
+            return (self._position,)
+        return (max(self._position - self._width // 2, 0),)
+
+    def probability_of_new_concept(self, index: int) -> float:
+        """Sigmoid probability that instance ``index`` comes from the new concept."""
+        x = -4.0 * (index - self._position) / self._width
+        if x > 700.0:
+            return 0.0
+        return 1.0 / (1.0 + math.exp(x))
+
+    def _generate_instance(self) -> Instance:
+        probability = self.probability_of_new_concept(self._n_emitted)
+        if self._rng.random() < probability:
+            return self._drift_stream.next_instance()
+        return self._base_stream.next_instance()
+
+    def restart(self) -> None:
+        """Restart this stream and both underlying concepts."""
+        super().restart()
+        self._base_stream.restart()
+        self._drift_stream.restart()
+
+
+class MultiConceptDriftStream(InstanceStream):
+    """Chain several concepts with equally meaningful drift metadata.
+
+    Parameters
+    ----------
+    streams:
+        The concepts, in order of appearance (at least two).
+    drift_positions:
+        Centre of each drift; must be strictly increasing and contain exactly
+        ``len(streams) - 1`` entries.
+    width:
+        Transition width shared by every drift (1 = sudden).
+    seed:
+        Seed for the transition-region Bernoulli draws.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[InstanceStream],
+        drift_positions: Sequence[int],
+        width: int = 1,
+        seed: int = 1,
+    ) -> None:
+        if len(streams) < 2:
+            raise ConfigurationError("need at least two concepts")
+        if len(drift_positions) != len(streams) - 1:
+            raise ConfigurationError(
+                f"need exactly {len(streams) - 1} drift positions, "
+                f"got {len(drift_positions)}"
+            )
+        if list(drift_positions) != sorted(set(drift_positions)):
+            raise ConfigurationError("drift_positions must be strictly increasing")
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        first = streams[0]
+        for stream in streams[1:]:
+            if stream.n_classes != first.n_classes or not _schemas_compatible(
+                first, stream
+            ):
+                raise ConfigurationError(
+                    "all concepts must share the same schema and class count"
+                )
+        super().__init__(schema=first.schema, n_classes=first.n_classes, seed=seed)
+        self._streams = list(streams)
+        self._positions = [int(p) for p in drift_positions]
+        self._width = width
+
+    @property
+    def drift_positions(self) -> Tuple[int, ...]:
+        """Ground-truth drift onsets (start of each transition region)."""
+        if self._width <= 1:
+            return tuple(self._positions)
+        return tuple(max(p - self._width // 2, 0) for p in self._positions)
+
+    @property
+    def drift_widths(self) -> Tuple[int, ...]:
+        """Transition width of each drift."""
+        return tuple(self._width for _ in self._positions)
+
+    def _concept_probabilities(self, index: int) -> List[float]:
+        """Probability of each concept being active at instance ``index``."""
+        n = len(self._streams)
+        # sigma[k] = probability that the stream has already switched past
+        # concept k (i.e. drift k has "happened" for this instance).
+        sigma = []
+        for position in self._positions:
+            x = -4.0 * (index - position) / self._width
+            sigma.append(0.0 if x > 700.0 else 1.0 / (1.0 + math.exp(x)))
+        probabilities = []
+        for k in range(n):
+            before = sigma[k - 1] if k > 0 else 1.0
+            after = sigma[k] if k < n - 1 else 0.0
+            probabilities.append(max(before - after, 0.0))
+        total = sum(probabilities)
+        if total <= 0.0:
+            probabilities = [1.0 if k == n - 1 else 0.0 for k in range(n)]
+            total = 1.0
+        return [p / total for p in probabilities]
+
+    def _generate_instance(self) -> Instance:
+        probabilities = self._concept_probabilities(self._n_emitted)
+        choice = int(self._rng.choice(len(self._streams), p=np.asarray(probabilities)))
+        return self._streams[choice].next_instance()
+
+    def restart(self) -> None:
+        """Restart this stream and every underlying concept."""
+        super().restart()
+        for stream in self._streams:
+            stream.restart()

@@ -1,0 +1,209 @@
+"""Synthetic error-rate streams for the "Concept Drift interface" experiments.
+
+The first group of experiments in the paper (Table 1, first four blocks) does
+not involve a learner at all: MOA generates a stream of error values — binary
+(Bernoulli) or non-binary (real-valued) — that contains a known concept drift,
+and every detector consumes that stream directly.  These factories build the
+equivalent streams with exact ground-truth drift positions:
+
+* :func:`binary_error_stream` — Bernoulli error indicators whose error
+  probability changes from segment to segment;
+* :func:`gaussian_error_stream` — real-valued "errors" (e.g. losses of a
+  regressor) whose mean and/or standard deviation change between segments.
+
+Both support *sudden* transitions (``width=1``) and *gradual* transitions,
+where within the transition window each element is drawn from the new concept
+with a sigmoid-increasing probability — the same mixing model as MOA's
+``ConceptDriftStream``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import ValueStream
+
+__all__ = [
+    "BinarySegment",
+    "GaussianSegment",
+    "binary_error_stream",
+    "gaussian_error_stream",
+]
+
+
+@dataclass(frozen=True)
+class BinarySegment:
+    """One stationary segment of a Bernoulli error stream.
+
+    Attributes
+    ----------
+    length:
+        Number of elements in the segment.
+    error_rate:
+        Probability of an error (a value of 1.0) within the segment.
+    """
+
+    length: int
+    error_rate: float
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ConfigurationError(f"segment length must be >= 1, got {self.length}")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ConfigurationError(
+                f"error_rate must be in [0, 1], got {self.error_rate}"
+            )
+
+
+@dataclass(frozen=True)
+class GaussianSegment:
+    """One stationary segment of a real-valued error stream.
+
+    Attributes
+    ----------
+    length:
+        Number of elements in the segment.
+    mean:
+        Mean error value within the segment.
+    std:
+        Standard deviation of the error values within the segment.
+    """
+
+    length: int
+    mean: float
+    std: float
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ConfigurationError(f"segment length must be >= 1, got {self.length}")
+        if self.std < 0.0:
+            raise ConfigurationError(f"std must be >= 0, got {self.std}")
+
+
+def _transition_probability(offset_from_centre: float, width: int) -> float:
+    """Sigmoid probability of already being in the next concept."""
+    x = -4.0 * offset_from_centre / max(width, 1)
+    if x > 700.0:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(x))
+
+
+def _segment_index(position: int, boundaries: Sequence[int], width: int, rng) -> int:
+    """Which segment generates the element at ``position``.
+
+    Outside transition regions this is simply the segment the position falls
+    into; inside a transition region of ``width`` centred at a boundary, the
+    newer segment is chosen with sigmoid-increasing probability.
+    """
+    segment = 0
+    for boundary in boundaries:
+        if position >= boundary:
+            segment += 1
+    if width <= 1:
+        return segment
+    # Check whether the position sits inside the transition region of the
+    # previous or the next boundary and, if so, re-sample the concept.
+    for index, boundary in enumerate(boundaries):
+        if abs(position - boundary) <= width:
+            probability_new = _transition_probability(position - boundary, width)
+            if rng.random() < probability_new:
+                return index + 1
+            return index
+    return segment
+
+
+def binary_error_stream(
+    segments: Sequence[BinarySegment],
+    width: int = 1,
+    seed: int = 1,
+    name: str = "binary-error-stream",
+) -> ValueStream:
+    """Build a Bernoulli error stream with known drift positions.
+
+    Parameters
+    ----------
+    segments:
+        Stationary segments, in order; every segment boundary is a drift.
+    width:
+        Transition width (1 = sudden drifts; larger values mix the adjacent
+        segments with a sigmoid ramp, i.e. gradual drifts).
+    seed:
+        Seed of the random number generator.
+    name:
+        Name recorded in the resulting :class:`ValueStream`.
+    """
+    if len(segments) < 1:
+        raise ConfigurationError("need at least one segment")
+    rng = np.random.default_rng(seed)
+    boundaries = _boundaries(seg.length for seg in segments)
+    total = sum(seg.length for seg in segments)
+
+    values = np.empty(total, dtype=np.float64)
+    for position in range(total):
+        segment = _segment_index(position, boundaries, width, rng)
+        values[position] = 1.0 if rng.random() < segments[segment].error_rate else 0.0
+
+    return ValueStream(
+        values=values,
+        drift_positions=_onsets(boundaries, width),
+        drift_widths=tuple(width for _ in boundaries),
+        name=name,
+        metadata={"kind": "binary", "segments": list(segments), "width": width},
+    )
+
+
+def gaussian_error_stream(
+    segments: Sequence[GaussianSegment],
+    width: int = 1,
+    seed: int = 1,
+    name: str = "gaussian-error-stream",
+) -> ValueStream:
+    """Build a real-valued error stream with known drift positions.
+
+    Parameters are analogous to :func:`binary_error_stream`; each segment has
+    its own mean and standard deviation, so both mean drifts and
+    variance-only drifts can be expressed.
+    """
+    if len(segments) < 1:
+        raise ConfigurationError("need at least one segment")
+    rng = np.random.default_rng(seed)
+    boundaries = _boundaries(seg.length for seg in segments)
+    total = sum(seg.length for seg in segments)
+
+    values = np.empty(total, dtype=np.float64)
+    for position in range(total):
+        segment_spec = segments[_segment_index(position, boundaries, width, rng)]
+        values[position] = rng.normal(segment_spec.mean, segment_spec.std)
+
+    return ValueStream(
+        values=values,
+        drift_positions=_onsets(boundaries, width),
+        drift_widths=tuple(width for _ in boundaries),
+        name=name,
+        metadata={"kind": "gaussian", "segments": list(segments), "width": width},
+    )
+
+
+def _boundaries(lengths) -> List[int]:
+    """Cumulative segment boundaries (positions where each new segment starts)."""
+    boundaries: List[int] = []
+    running = 0
+    lengths = list(lengths)
+    for length in lengths[:-1]:
+        running += length
+        boundaries.append(running)
+    return boundaries
+
+
+def _onsets(boundaries: Sequence[int], width: int) -> Tuple[int, ...]:
+    """Ground-truth drift onsets: for gradual drifts the transition region is
+    centred at the segment boundary, so the drift *starts* half a width
+    earlier (the same convention as :class:`repro.streams.drift`)."""
+    if width <= 1:
+        return tuple(boundaries)
+    return tuple(max(boundary - width // 2, 0) for boundary in boundaries)

@@ -1,0 +1,26 @@
+"""Synthetic labeled-stream generators (the MOA generator substitutes).
+
+STAGGER, AGRAWAL, and RandomRBF are the generators used in the OPTWIN paper's
+classification experiments; SEA, SINE, LED, and the rotating hyperplane are
+extension generators commonly used in the drift-detection literature and are
+exercised by the extra examples and ablation benchmarks.
+"""
+
+from repro.streams.synthetic.agrawal import AgrawalGenerator
+from repro.streams.synthetic.hyperplane import HyperplaneGenerator
+from repro.streams.synthetic.led import LedGenerator
+from repro.streams.synthetic.random_rbf import RandomRbfDriftGenerator, RandomRbfGenerator
+from repro.streams.synthetic.sea import SeaGenerator
+from repro.streams.synthetic.sine import SineGenerator
+from repro.streams.synthetic.stagger import StaggerGenerator
+
+__all__ = [
+    "StaggerGenerator",
+    "AgrawalGenerator",
+    "RandomRbfGenerator",
+    "RandomRbfDriftGenerator",
+    "SeaGenerator",
+    "SineGenerator",
+    "LedGenerator",
+    "HyperplaneGenerator",
+]

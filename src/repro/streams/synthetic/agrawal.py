@@ -1,0 +1,230 @@
+"""AGRAWAL generator (Agrawal, Imielinski & Swami 1993).
+
+The AGRAWAL generator produces a hypothetical loan-application dataset with
+nine attributes (six numeric, three nominal) and ten pre-defined binary
+classification functions describing whether the loan should be approved.
+Concept drifts are produced by switching the classification function, exactly
+as in MOA's ``AgrawalGenerator`` used by the paper.
+
+Attribute ranges follow the original paper:
+
+========== ========= =====================================
+attribute  type      range
+========== ========= =====================================
+salary     numeric   20,000 .. 150,000
+commission numeric   0 (if salary >= 75k) or 10,000 .. 75,000
+age        numeric   20 .. 80
+elevel     nominal   0 .. 4
+car        nominal   1 .. 20
+zipcode    nominal   0 .. 8
+hvalue     numeric   50,000 .. 150,000 (scaled by zipcode)
+hyears     numeric   1 .. 30
+loan       numeric   0 .. 500,000
+========== ========= =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream, nominal_attribute, numeric_attribute
+
+__all__ = ["AgrawalGenerator"]
+
+
+def _function_1(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    return int(age < 40 or age >= 60)
+
+
+def _function_2(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    if age < 40:
+        return int(50_000 <= salary <= 100_000)
+    if age < 60:
+        return int(75_000 <= salary <= 125_000)
+    return int(25_000 <= salary <= 75_000)
+
+
+def _function_3(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    if age < 40:
+        return int(elevel in (0, 1))
+    if age < 60:
+        return int(elevel in (1, 2, 3))
+    return int(elevel in (2, 3, 4))
+
+
+def _function_4(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    if age < 40:
+        if elevel in (0, 1):
+            return int(25_000 <= salary <= 75_000)
+        return int(50_000 <= salary <= 100_000)
+    if age < 60:
+        if elevel in (1, 2, 3):
+            return int(50_000 <= salary <= 100_000)
+        return int(75_000 <= salary <= 125_000)
+    if elevel in (2, 3, 4):
+        return int(50_000 <= salary <= 100_000)
+    return int(25_000 <= salary <= 75_000)
+
+
+def _function_5(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    if age < 40:
+        if 50_000 <= salary <= 100_000:
+            return int(100_000 <= loan <= 300_000)
+        return int(200_000 <= loan <= 400_000)
+    if age < 60:
+        if 75_000 <= salary <= 125_000:
+            return int(200_000 <= loan <= 400_000)
+        return int(300_000 <= loan <= 500_000)
+    if 25_000 <= salary <= 75_000:
+        return int(300_000 <= loan <= 500_000)
+    return int(100_000 <= loan <= 300_000)
+
+
+def _function_6(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    total = salary + commission
+    if age < 40:
+        return int(50_000 <= total <= 100_000)
+    if age < 60:
+        return int(75_000 <= total <= 125_000)
+    return int(25_000 <= total <= 75_000)
+
+
+def _function_7(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    disposable = 0.67 * (salary + commission) - 0.2 * loan - 20_000
+    return int(disposable > 0)
+
+
+def _function_8(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    disposable = 0.67 * (salary + commission) - 5_000 * elevel - 20_000
+    return int(disposable > 0)
+
+
+def _function_9(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    disposable = 0.67 * (salary + commission) - 5_000 * elevel - 0.2 * loan - 10_000
+    return int(disposable > 0)
+
+
+def _function_10(salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan):
+    equity = 0.0
+    if hyears >= 20:
+        equity = 0.1 * hvalue * (hyears - 20)
+    disposable = 0.67 * (salary + commission) - 5_000 * elevel + 0.2 * equity - 10_000
+    return int(disposable > 0)
+
+
+_FUNCTIONS: Dict[int, Callable[..., int]] = {
+    1: _function_1,
+    2: _function_2,
+    3: _function_3,
+    4: _function_4,
+    5: _function_5,
+    6: _function_6,
+    7: _function_7,
+    8: _function_8,
+    9: _function_9,
+    10: _function_10,
+}
+
+
+class AgrawalGenerator(InstanceStream):
+    """Stream generator for the AGRAWAL loan-approval problem.
+
+    Parameters
+    ----------
+    classification_function:
+        Which of the ten functions defines the label (1..10).
+    perturbation:
+        Fraction (in ``[0, 1]``) of uniform noise added to the numeric
+        attributes after the label is computed, as in the original generator.
+    balance_classes:
+        Alternate positive/negative instances when ``True``.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        classification_function: int = 1,
+        perturbation: float = 0.0,
+        balance_classes: bool = False,
+        seed: int = 1,
+    ) -> None:
+        if classification_function not in _FUNCTIONS:
+            raise ConfigurationError(
+                "classification_function must be in 1..10, "
+                f"got {classification_function}"
+            )
+        if not 0.0 <= perturbation <= 1.0:
+            raise ConfigurationError(
+                f"perturbation must be in [0, 1], got {perturbation}"
+            )
+        schema = [
+            numeric_attribute("salary"),
+            numeric_attribute("commission"),
+            numeric_attribute("age"),
+            nominal_attribute("elevel", 5),
+            nominal_attribute("car", 20),
+            nominal_attribute("zipcode", 9),
+            numeric_attribute("hvalue"),
+            numeric_attribute("hyears"),
+            numeric_attribute("loan"),
+        ]
+        super().__init__(schema=schema, n_classes=2, seed=seed)
+        self._classification_function = classification_function
+        self._perturbation = perturbation
+        self._balance_classes = balance_classes
+        self._next_class_should_be_zero = False
+
+    @property
+    def classification_function(self) -> int:
+        """Index (1-based) of the active classification function."""
+        return self._classification_function
+
+    def _draw_raw(self):
+        rng = self._rng
+        salary = 20_000.0 + 130_000.0 * rng.random()
+        commission = 0.0 if salary >= 75_000.0 else 10_000.0 + 65_000.0 * rng.random()
+        age = float(rng.integers(20, 81))
+        elevel = int(rng.integers(0, 5))
+        car = int(rng.integers(1, 21))
+        zipcode = int(rng.integers(0, 9))
+        hvalue = (9.0 - zipcode) * 100_000.0 * (0.5 + rng.random())
+        hyears = float(rng.integers(1, 31))
+        loan = 500_000.0 * rng.random()
+        return salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan
+
+    def _perturb(self, value: float, minimum: float, maximum: float) -> float:
+        if self._perturbation <= 0.0:
+            return value
+        span = maximum - minimum
+        noise = (2.0 * self._rng.random() - 1.0) * self._perturbation * span
+        return float(min(max(value + noise, minimum), maximum))
+
+    def _generate_instance(self) -> Instance:
+        while True:
+            raw = self._draw_raw()
+            label = _FUNCTIONS[self._classification_function](*raw)
+            if not self._balance_classes:
+                break
+            desired_zero = self._next_class_should_be_zero
+            if (label == 0) == desired_zero:
+                self._next_class_should_be_zero = not desired_zero
+                break
+
+        salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan = raw
+        salary = self._perturb(salary, 20_000.0, 150_000.0)
+        if commission > 0.0:
+            commission = self._perturb(commission, 10_000.0, 75_000.0)
+        age = self._perturb(age, 20.0, 80.0)
+        hvalue = self._perturb(hvalue, 50_000.0, 900_000.0)
+        hyears = self._perturb(hyears, 1.0, 30.0)
+        loan = self._perturb(loan, 0.0, 500_000.0)
+
+        x = np.array(
+            [salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan],
+            dtype=np.float64,
+        )
+        return Instance(x=x, y=label)

@@ -1,0 +1,85 @@
+"""Rotating-hyperplane generator (Hulten et al. 2001) — extension stream.
+
+Instances are points in the unit hypercube; the label is positive when the
+weighted sum of the attributes exceeds a threshold equal to half the sum of
+the weights.  A configurable number of weights change by ``magnitude`` per
+instance (with occasional sign reversals), producing *incremental* concept
+drift, which complements the sudden/gradual drifts of the other generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream, numeric_attribute
+
+__all__ = ["HyperplaneGenerator"]
+
+
+class HyperplaneGenerator(InstanceStream):
+    """Stream generator for the rotating-hyperplane problem.
+
+    Parameters
+    ----------
+    n_features:
+        Number of numeric attributes.
+    n_drift_features:
+        How many of the weights drift.
+    magnitude:
+        Change applied to each drifting weight per instance.
+    noise_fraction:
+        Probability of flipping the label.
+    sigma_probability:
+        Probability of reversing the direction of a drifting weight.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        n_features: int = 10,
+        n_drift_features: int = 2,
+        magnitude: float = 0.0,
+        noise_fraction: float = 0.05,
+        sigma_probability: float = 0.1,
+        seed: int = 1,
+    ) -> None:
+        if n_features < 1:
+            raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+        if not 0 <= n_drift_features <= n_features:
+            raise ConfigurationError(
+                f"n_drift_features must be in [0, {n_features}], got {n_drift_features}"
+            )
+        if magnitude < 0.0:
+            raise ConfigurationError(f"magnitude must be >= 0, got {magnitude}")
+        if not 0.0 <= noise_fraction < 1.0:
+            raise ConfigurationError(
+                f"noise_fraction must be in [0, 1), got {noise_fraction}"
+            )
+        schema = [numeric_attribute(f"att{i}") for i in range(n_features)]
+        super().__init__(schema=schema, n_classes=2, seed=seed)
+        self._n_drift_features = n_drift_features
+        self._magnitude = magnitude
+        self._noise_fraction = noise_fraction
+        self._sigma_probability = sigma_probability
+        self._weights = self._rng.random(n_features)
+        self._directions = np.ones(n_features)
+
+    def _generate_instance(self) -> Instance:
+        x = self._rng.random(self.n_features)
+        total = float(np.dot(self._weights, x))
+        threshold = 0.5 * float(np.sum(self._weights))
+        label = int(total >= threshold)
+        if self._noise_fraction > 0.0 and self._rng.random() < self._noise_fraction:
+            label = 1 - label
+        self._apply_drift()
+        return Instance(x=x.astype(np.float64), y=label)
+
+    def _apply_drift(self) -> None:
+        if self._magnitude <= 0.0 or self._n_drift_features == 0:
+            return
+        for index in range(self._n_drift_features):
+            self._weights[index] += self._directions[index] * self._magnitude
+            if self._rng.random() < self._sigma_probability:
+                self._directions[index] *= -1.0

@@ -1,0 +1,92 @@
+"""LED generator (Breiman et al. 1984) — extension stream.
+
+The task is to predict the digit (0-9) shown on a seven-segment LED display
+from the segment states.  Each segment value is flipped with ``noise_fraction``
+probability, and ``n_irrelevant`` additional random binary attributes can be
+appended.  Concept drift is produced by swapping the roles of some relevant
+and irrelevant attributes (the ``n_drift_attributes`` parameter), as in MOA's
+``LEDGeneratorDrift``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream, nominal_attribute
+
+__all__ = ["LedGenerator"]
+
+# Segment patterns of the digits 0-9 (a, b, c, d, e, f, g).
+_DIGIT_SEGMENTS = np.array(
+    [
+        [1, 1, 1, 1, 1, 1, 0],
+        [0, 1, 1, 0, 0, 0, 0],
+        [1, 1, 0, 1, 1, 0, 1],
+        [1, 1, 1, 1, 0, 0, 1],
+        [0, 1, 1, 0, 0, 1, 1],
+        [1, 0, 1, 1, 0, 1, 1],
+        [1, 0, 1, 1, 1, 1, 1],
+        [1, 1, 1, 0, 0, 0, 0],
+        [1, 1, 1, 1, 1, 1, 1],
+        [1, 1, 1, 1, 0, 1, 1],
+    ],
+    dtype=np.int64,
+)
+
+
+class LedGenerator(InstanceStream):
+    """Stream generator for the LED digit-recognition problem.
+
+    Parameters
+    ----------
+    noise_fraction:
+        Probability of flipping each relevant segment.
+    n_irrelevant:
+        Number of additional random binary attributes.
+    n_drift_attributes:
+        Number of leading relevant attributes swapped with irrelevant ones;
+        use different values before/after a drift point to create a concept
+        drift.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        noise_fraction: float = 0.1,
+        n_irrelevant: int = 17,
+        n_drift_attributes: int = 0,
+        seed: int = 1,
+    ) -> None:
+        if not 0.0 <= noise_fraction < 1.0:
+            raise ConfigurationError(
+                f"noise_fraction must be in [0, 1), got {noise_fraction}"
+            )
+        if n_irrelevant < 0:
+            raise ConfigurationError(f"n_irrelevant must be >= 0, got {n_irrelevant}")
+        if n_drift_attributes < 0 or n_drift_attributes > min(7, n_irrelevant):
+            raise ConfigurationError(
+                "n_drift_attributes must be in [0, min(7, n_irrelevant)], "
+                f"got {n_drift_attributes}"
+            )
+        n_attributes = 7 + n_irrelevant
+        schema = [nominal_attribute(f"att{i}", 2) for i in range(n_attributes)]
+        super().__init__(schema=schema, n_classes=10, seed=seed)
+        self._noise_fraction = noise_fraction
+        self._n_irrelevant = n_irrelevant
+        self._n_drift_attributes = n_drift_attributes
+
+    def _generate_instance(self) -> Instance:
+        digit = int(self._rng.integers(0, 10))
+        segments = _DIGIT_SEGMENTS[digit].astype(np.float64).copy()
+        if self._noise_fraction > 0.0:
+            flips = self._rng.random(7) < self._noise_fraction
+            segments[flips] = 1.0 - segments[flips]
+        irrelevant = (self._rng.random(self._n_irrelevant) < 0.5).astype(np.float64)
+        x = np.concatenate([segments, irrelevant])
+        # Swap the first n_drift_attributes relevant segments with the first
+        # n_drift_attributes irrelevant attributes (concept drift mechanism).
+        for index in range(self._n_drift_attributes):
+            x[index], x[7 + index] = x[7 + index], x[index]
+        return Instance(x=x, y=digit)

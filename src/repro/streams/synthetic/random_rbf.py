@@ -1,0 +1,146 @@
+"""RandomRBF generator (Bifet et al. 2009).
+
+The generator places a fixed number of centroids in the unit hypercube, each
+with a random centre, class label, weight, and standard deviation.  Every
+instance picks a centroid (weighted), then offsets the centre in a random
+direction by a Gaussian-scaled distance.  Different seeds produce different
+concepts, and the drifting variant moves the centroids by a small amount per
+instance, producing incremental drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream, numeric_attribute
+
+__all__ = ["RandomRbfGenerator", "RandomRbfDriftGenerator"]
+
+
+class _Centroid:
+    """One RBF centroid."""
+
+    __slots__ = ("centre", "label", "std", "weight", "direction")
+
+    def __init__(self, centre: np.ndarray, label: int, std: float, weight: float) -> None:
+        self.centre = centre
+        self.label = label
+        self.std = std
+        self.weight = weight
+        self.direction: np.ndarray = np.zeros_like(centre)
+
+
+class RandomRbfGenerator(InstanceStream):
+    """Random radial-basis-function stream generator.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of class labels.
+    n_features:
+        Number of numeric attributes.
+    n_centroids:
+        Number of RBF centroids.
+    model_seed:
+        Seed controlling the centroid layout (the *concept*).
+    seed:
+        Seed controlling the instance sampling.
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 2,
+        n_features: int = 10,
+        n_centroids: int = 50,
+        model_seed: int = 1,
+        seed: int = 1,
+    ) -> None:
+        if n_features < 1:
+            raise ConfigurationError(f"n_features must be >= 1, got {n_features}")
+        if n_centroids < 1:
+            raise ConfigurationError(f"n_centroids must be >= 1, got {n_centroids}")
+        schema = [numeric_attribute(f"att{i}") for i in range(n_features)]
+        super().__init__(schema=schema, n_classes=n_classes, seed=seed)
+        self._model_seed = model_seed
+        self._n_centroids = n_centroids
+        self._centroids = self._build_centroids()
+        self._weights = np.array([c.weight for c in self._centroids])
+        self._weights = self._weights / self._weights.sum()
+
+    @property
+    def model_seed(self) -> int:
+        """Seed of the centroid layout (identifies the concept)."""
+        return self._model_seed
+
+    def _build_centroids(self):
+        model_rng = np.random.default_rng(self._model_seed)
+        centroids = []
+        for _ in range(self._n_centroids):
+            centre = model_rng.random(self.n_features)
+            label = int(model_rng.integers(0, self.n_classes))
+            std = float(model_rng.random())
+            weight = float(model_rng.random()) + 1e-9
+            centroids.append(_Centroid(centre, label, std, weight))
+        return centroids
+
+    def _generate_instance(self) -> Instance:
+        index = int(self._rng.choice(self._n_centroids, p=self._weights))
+        centroid = self._centroids[index]
+        direction = self._rng.normal(size=self.n_features)
+        norm = np.linalg.norm(direction)
+        if norm == 0.0:
+            direction = np.ones(self.n_features) / np.sqrt(self.n_features)
+        else:
+            direction = direction / norm
+        magnitude = self._rng.normal() * centroid.std
+        x = centroid.centre + direction * magnitude
+        return Instance(x=x.astype(np.float64), y=centroid.label)
+
+
+class RandomRbfDriftGenerator(RandomRbfGenerator):
+    """RandomRBF variant whose centroids move, producing incremental drift.
+
+    Parameters
+    ----------
+    change_speed:
+        Distance each drifting centroid moves per instance.
+    n_drift_centroids:
+        How many of the centroids drift (the rest stay fixed).
+    """
+
+    def __init__(
+        self,
+        n_classes: int = 2,
+        n_features: int = 10,
+        n_centroids: int = 50,
+        change_speed: float = 0.0001,
+        n_drift_centroids: int = 50,
+        model_seed: int = 1,
+        seed: int = 1,
+    ) -> None:
+        if change_speed < 0.0:
+            raise ConfigurationError(f"change_speed must be >= 0, got {change_speed}")
+        super().__init__(
+            n_classes=n_classes,
+            n_features=n_features,
+            n_centroids=n_centroids,
+            model_seed=model_seed,
+            seed=seed,
+        )
+        self._change_speed = change_speed
+        self._n_drift_centroids = min(n_drift_centroids, n_centroids)
+        direction_rng = np.random.default_rng(self._model_seed + 1)
+        for centroid in self._centroids[: self._n_drift_centroids]:
+            direction = direction_rng.normal(size=self.n_features)
+            centroid.direction = direction / (np.linalg.norm(direction) + 1e-12)
+
+    def _generate_instance(self) -> Instance:
+        for centroid in self._centroids[: self._n_drift_centroids]:
+            centroid.centre = centroid.centre + centroid.direction * self._change_speed
+            # Bounce off the unit hypercube walls.
+            for axis in range(self.n_features):
+                if centroid.centre[axis] < 0.0 or centroid.centre[axis] > 1.0:
+                    centroid.direction[axis] *= -1.0
+                    centroid.centre[axis] = min(max(centroid.centre[axis], 0.0), 1.0)
+        return super()._generate_instance()

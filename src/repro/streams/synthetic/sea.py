@@ -1,0 +1,64 @@
+"""SEA concepts generator (Street & Kim 2001) — extension stream.
+
+Three numeric attributes drawn uniformly from ``[0, 10]``; only the first two
+are relevant.  The label is positive when ``att1 + att2 <= threshold`` with a
+threshold of 8, 9, 7, or 9.5 depending on the chosen classification function.
+A configurable fraction of label noise can be added.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream, numeric_attribute
+
+__all__ = ["SeaGenerator"]
+
+_THRESHOLDS = {1: 8.0, 2: 9.0, 3: 7.0, 4: 9.5}
+
+
+class SeaGenerator(InstanceStream):
+    """Stream generator for the SEA concepts.
+
+    Parameters
+    ----------
+    classification_function:
+        Which threshold defines the label (1..4).
+    noise_fraction:
+        Probability of flipping the label of an instance.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        classification_function: int = 1,
+        noise_fraction: float = 0.0,
+        seed: int = 1,
+    ) -> None:
+        if classification_function not in _THRESHOLDS:
+            raise ConfigurationError(
+                f"classification_function must be in 1..4, got {classification_function}"
+            )
+        if not 0.0 <= noise_fraction < 1.0:
+            raise ConfigurationError(
+                f"noise_fraction must be in [0, 1), got {noise_fraction}"
+            )
+        schema = [numeric_attribute(f"att{i}") for i in range(3)]
+        super().__init__(schema=schema, n_classes=2, seed=seed)
+        self._threshold = _THRESHOLDS[classification_function]
+        self._classification_function = classification_function
+        self._noise_fraction = noise_fraction
+
+    @property
+    def classification_function(self) -> int:
+        """Index (1-based) of the active SEA concept."""
+        return self._classification_function
+
+    def _generate_instance(self) -> Instance:
+        x = self._rng.random(3) * 10.0
+        label = int(x[0] + x[1] <= self._threshold)
+        if self._noise_fraction > 0.0 and self._rng.random() < self._noise_fraction:
+            label = 1 - label
+        return Instance(x=x.astype(np.float64), y=label)

@@ -1,0 +1,57 @@
+"""SINE generators (Gama et al. 2004) — extension streams.
+
+Two numeric attributes drawn uniformly from ``[0, 1]``.  SINE1 labels an
+instance positive when it lies below the curve ``y = sin(x)``; SINE2 uses
+``y = 0.5 + 0.3 sin(3 pi x)``.  The "reversed" variants flip the labels, which
+is the standard way of producing an abrupt concept drift with these
+generators.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream, numeric_attribute
+
+__all__ = ["SineGenerator"]
+
+
+class SineGenerator(InstanceStream):
+    """Stream generator for the SINE1/SINE2 problems.
+
+    Parameters
+    ----------
+    classification_function:
+        1 = SINE1, 2 = reversed SINE1, 3 = SINE2, 4 = reversed SINE2.
+    seed:
+        Random seed.
+    """
+
+    def __init__(self, classification_function: int = 1, seed: int = 1) -> None:
+        if classification_function not in (1, 2, 3, 4):
+            raise ConfigurationError(
+                f"classification_function must be in 1..4, got {classification_function}"
+            )
+        schema = [numeric_attribute("x1"), numeric_attribute("x2")]
+        super().__init__(schema=schema, n_classes=2, seed=seed)
+        self._classification_function = classification_function
+
+    @property
+    def classification_function(self) -> int:
+        """Index (1-based) of the active SINE concept."""
+        return self._classification_function
+
+    def _generate_instance(self) -> Instance:
+        x1 = float(self._rng.random())
+        x2 = float(self._rng.random())
+        if self._classification_function in (1, 2):
+            below = x2 < math.sin(x1)
+        else:
+            below = x2 < 0.5 + 0.3 * math.sin(3.0 * math.pi * x1)
+        label = int(below)
+        if self._classification_function in (2, 4):
+            label = 1 - label
+        return Instance(x=np.array([x1, x2], dtype=np.float64), y=label)

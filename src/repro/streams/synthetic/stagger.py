@@ -1,0 +1,90 @@
+"""STAGGER concepts generator (Schlimmer & Granger 1986).
+
+The STAGGER problem has three nominal attributes — ``size`` (small, medium,
+large), ``color`` (red, green, blue), and ``shape`` (square, circular,
+triangular) — and three alternative target concepts:
+
+1. ``size = small and color = red``
+2. ``color = green or shape = circular``
+3. ``size = medium or size = large``
+
+Concept drifts are produced by switching the classification function, usually
+through :class:`repro.streams.drift.ConceptDriftStream`, exactly as in the
+paper's MOA experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import Instance, InstanceStream, nominal_attribute
+
+__all__ = ["StaggerGenerator"]
+
+_SIZE_SMALL, _SIZE_MEDIUM, _SIZE_LARGE = 0, 1, 2
+_COLOR_RED, _COLOR_GREEN, _COLOR_BLUE = 0, 1, 2
+_SHAPE_SQUARE, _SHAPE_CIRCULAR, _SHAPE_TRIANGULAR = 0, 1, 2
+
+
+class StaggerGenerator(InstanceStream):
+    """Stream generator for the STAGGER concepts.
+
+    Parameters
+    ----------
+    classification_function:
+        Which of the three STAGGER concepts defines the label (1, 2, or 3).
+    balance_classes:
+        When ``True``, instances are resampled so that positive and negative
+        examples alternate, matching MOA's ``balanceClasses`` option.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        classification_function: int = 1,
+        balance_classes: bool = False,
+        seed: int = 1,
+    ) -> None:
+        if classification_function not in (1, 2, 3):
+            raise ConfigurationError(
+                f"classification_function must be 1, 2, or 3, "
+                f"got {classification_function}"
+            )
+        schema = [
+            nominal_attribute("size", 3),
+            nominal_attribute("color", 3),
+            nominal_attribute("shape", 3),
+        ]
+        super().__init__(schema=schema, n_classes=2, seed=seed)
+        self._classification_function = classification_function
+        self._balance_classes = balance_classes
+        self._next_class_should_be_zero = False
+
+    @property
+    def classification_function(self) -> int:
+        """Index (1-based) of the active STAGGER concept."""
+        return self._classification_function
+
+    def _label(self, size: int, color: int, shape: int) -> int:
+        if self._classification_function == 1:
+            return int(size == _SIZE_SMALL and color == _COLOR_RED)
+        if self._classification_function == 2:
+            return int(color == _COLOR_GREEN or shape == _SHAPE_CIRCULAR)
+        return int(size in (_SIZE_MEDIUM, _SIZE_LARGE))
+
+    def _generate_instance(self) -> Instance:
+        while True:
+            size = int(self._rng.integers(0, 3))
+            color = int(self._rng.integers(0, 3))
+            shape = int(self._rng.integers(0, 3))
+            label = self._label(size, color, shape)
+            if not self._balance_classes:
+                break
+            desired_zero = self._next_class_should_be_zero
+            if (label == 0) == desired_zero:
+                self._next_class_should_be_zero = not desired_zero
+                break
+        x = np.array([size, color, shape], dtype=np.float64)
+        return Instance(x=x, y=label)

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.error_streams import (
+    BinarySegment,
+    GaussianSegment,
+    binary_error_stream,
+    gaussian_error_stream,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy random generator for the test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sudden_binary_stream():
+    """Binary error stream: error rate 0.2 -> 0.6, sudden drift at 2000."""
+    return binary_error_stream(
+        [BinarySegment(2_000, 0.2), BinarySegment(2_000, 0.6)], width=1, seed=7
+    )
+
+
+@pytest.fixture
+def gradual_binary_stream():
+    """Binary error stream: error rate 0.2 -> 0.6, gradual drift (width 500)."""
+    return binary_error_stream(
+        [BinarySegment(2_000, 0.2), BinarySegment(2_000, 0.6)], width=500, seed=7
+    )
+
+
+@pytest.fixture
+def sudden_gaussian_stream():
+    """Real-valued error stream with a sudden mean shift at 2000."""
+    return gaussian_error_stream(
+        [GaussianSegment(2_000, 0.2, 0.05), GaussianSegment(2_000, 0.7, 0.05)],
+        width=1,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def variance_only_stream():
+    """Real-valued error stream whose drift changes only the variance."""
+    return gaussian_error_stream(
+        [GaussianSegment(2_000, 0.5, 0.05), GaussianSegment(2_000, 0.5, 0.3)],
+        width=1,
+        seed=7,
+    )
+
+
+def feed(detector, values):
+    """Feed ``values`` to ``detector`` and return the drift positions."""
+    return detector.update_many(values)

@@ -1,0 +1,111 @@
+"""Integration tests: every detector over shared drift scenarios.
+
+These tests check the *relative* behaviours the paper reports rather than
+individual implementation details: OPTWIN detects all the drifts with very few
+false positives; the FP-prone baselines fire more often; binary-only baselines
+still work on error indicators produced by a real learner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optwin import Optwin
+from repro.detectors import Adwin, Ddm, Ecdd, Eddm, Stepd
+from repro.evaluation.drift_metrics import evaluate_detections
+from repro.evaluation.experiment import run_detector_on_values
+from repro.streams.error_streams import BinarySegment, binary_error_stream
+
+ALL_DETECTOR_FACTORIES = {
+    "ADWIN": Adwin,
+    "DDM": Ddm,
+    "EDDM": Eddm,
+    "STEPD": Stepd,
+    "ECDD": Ecdd,
+    "OPTWIN": lambda: Optwin(rho=0.5, w_max=25_000),
+}
+
+
+@pytest.fixture(scope="module")
+def multi_drift_stream():
+    """Four sudden drifts alternating between low and high error rates."""
+    segments = [
+        BinarySegment(3_000, 0.15),
+        BinarySegment(3_000, 0.55),
+        BinarySegment(3_000, 0.2),
+        BinarySegment(3_000, 0.65),
+        BinarySegment(3_000, 0.3),
+    ]
+    return binary_error_stream(segments, width=1, seed=17)
+
+
+@pytest.mark.parametrize("name", list(ALL_DETECTOR_FACTORIES))
+def test_every_detector_finds_the_error_increases(multi_drift_stream, name):
+    detector = ALL_DETECTOR_FACTORIES[name]()
+    result = run_detector_on_values(detector, multi_drift_stream)
+    # Drifts 1 and 3 are error-rate *increases* that every detector targets.
+    increase_positions = [multi_drift_stream.drift_positions[0],
+                          multi_drift_stream.drift_positions[2]]
+    evaluation = evaluate_detections(
+        drift_positions=increase_positions,
+        detections=result.detections,
+        stream_length=len(multi_drift_stream),
+        max_delay=3_000,
+    )
+    assert evaluation.true_positives >= 1, f"{name} missed every error increase"
+
+
+def test_optwin_detects_all_increases_with_few_false_positives(multi_drift_stream):
+    detector = Optwin(rho=0.5, w_max=25_000)
+    result = run_detector_on_values(detector, multi_drift_stream)
+    increase_positions = [multi_drift_stream.drift_positions[0],
+                          multi_drift_stream.drift_positions[2]]
+    evaluation = evaluate_detections(
+        drift_positions=increase_positions,
+        detections=result.detections,
+        stream_length=len(multi_drift_stream),
+        max_delay=3_000,
+    )
+    assert evaluation.true_positives == 2
+    assert evaluation.false_positives <= 3
+
+
+def test_optwin_precision_beats_fp_prone_baselines(multi_drift_stream):
+    def false_positives(factory):
+        result = run_detector_on_values(factory(), multi_drift_stream)
+        return result.evaluation.false_positives
+
+    optwin_fp = false_positives(lambda: Optwin(rho=0.5, w_max=25_000))
+    ecdd_fp = false_positives(Ecdd)
+    eddm_fp = false_positives(Eddm)
+    assert optwin_fp <= ecdd_fp
+    assert optwin_fp <= eddm_fp
+
+
+def test_optwin_one_sided_ignores_error_decreases(multi_drift_stream):
+    detector = Optwin(rho=0.5, w_max=25_000, one_sided=True)
+    result = run_detector_on_values(detector, multi_drift_stream)
+    decrease_positions = {multi_drift_stream.drift_positions[1],
+                          multi_drift_stream.drift_positions[3]}
+    # No detection should land within 500 elements after an error decrease
+    # unless it is attributable to a later increase.
+    for detection in result.detections:
+        for position in decrease_positions:
+            assert not (position <= detection < position + 500)
+
+
+def test_gradual_drift_detected_by_optwin_and_adwin():
+    stream = binary_error_stream(
+        [BinarySegment(4_000, 0.2), BinarySegment(4_000, 0.6)], width=1_500, seed=23
+    )
+    for factory in (lambda: Optwin(rho=0.5, w_max=25_000), Adwin):
+        detector = factory()
+        detections = detector.update_many(stream.values)
+        assert any(d >= stream.drift_positions[0] for d in detections)
+
+
+def test_detectors_are_reusable_after_reset(multi_drift_stream):
+    detector = Optwin(rho=0.5, w_max=25_000)
+    first = detector.update_many(multi_drift_stream.values)
+    detector.reset()
+    second = detector.update_many(multi_drift_stream.values)
+    assert first == second

@@ -1,0 +1,87 @@
+"""Integration tests for the neural-network (Figure 5) pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.optwin import Optwin
+from repro.detectors.adwin import Adwin
+from repro.experiments.figure5 import run_figure5
+from repro.learners.mlp import MLPClassifier
+from repro.pipelines.image_stream import SyntheticImageStream
+from repro.pipelines.online_learning import DriftAwarePipeline
+
+
+@pytest.fixture(scope="module")
+def figure5_results():
+    """One small-scale run of the Figure-5 experiment for both detectors."""
+    return run_figure5(
+        n_batches=300,
+        batch_size=24,
+        n_drifts=3,
+        n_features=32,
+        n_classes=6,
+        fine_tune_batches=25,
+        pretrain_examples=2_000,
+        pretrain_epochs=10,
+        seed=3,
+    )
+
+
+def test_pretraining_reaches_high_accuracy(figure5_results):
+    for result in figure5_results.values():
+        assert result.pretrain_accuracy > 0.85
+
+
+def test_both_detectors_catch_label_swaps(figure5_results):
+    for name, result in figure5_results.items():
+        assert result.true_positives >= 2, f"{name} missed most label swaps"
+
+
+def test_optwin_produces_no_more_false_positives_than_adwin(figure5_results):
+    optwin = figure5_results["OPTWIN rho=0.5"]
+    adwin = figure5_results["ADWIN"]
+    assert optwin.false_positives <= adwin.false_positives
+
+
+def test_retraining_budget_scales_with_detections(figure5_results):
+    for result in figure5_results.values():
+        expected_max = result.report.n_detections * 25
+        assert result.report.n_retraining_batches <= expected_max
+
+
+def test_fine_tuning_recovers_accuracy():
+    stream = SyntheticImageStream(
+        n_classes=6,
+        n_features=32,
+        batch_size=24,
+        n_batches=300,
+        n_drifts=1,
+        seed=9,
+    )
+    model = MLPClassifier(n_features=32, n_classes=6, hidden_sizes=(48, 24), seed=9)
+    x, y = stream.pretraining_set(n_examples=2_000)
+    model.pretrain(x, y, n_epochs=10)
+    pipeline = DriftAwarePipeline(
+        model, Optwin(rho=0.5, w_min=20, w_max=5_000), fine_tune_batches=40
+    )
+    report = pipeline.run(stream)
+    drift_batch = stream.drift_batches[0]
+    accuracy_dip = min(report.accuracies[drift_batch:drift_batch + 15])
+    post_recovery = np.mean(report.accuracies[-30:])
+    assert report.n_detections >= 1
+    assert accuracy_dip < post_recovery - 0.15
+    assert post_recovery > 0.9
+
+
+def test_report_rows_have_expected_fields(figure5_results):
+    row = figure5_results["ADWIN"].as_row()
+    assert {
+        "detector",
+        "detections",
+        "tp",
+        "fp",
+        "retraining_batches",
+        "retraining_seconds",
+        "total_seconds",
+        "mean_accuracy",
+    } <= set(row)

@@ -1,0 +1,114 @@
+"""Property-based tests for drift scoring and the stream generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.drift_metrics import evaluate_detections, micro_average
+from repro.streams.error_streams import BinarySegment, binary_error_stream
+from repro.streams.synthetic import AgrawalGenerator, SeaGenerator, StaggerGenerator
+
+
+class TestDriftMetricsProperties:
+    @given(
+        stream_length=st.integers(min_value=100, max_value=5_000),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counting_identities(self, stream_length, data):
+        drifts = sorted(
+            data.draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=stream_length - 1), max_size=8
+                )
+            )
+        )
+        detections = sorted(
+            data.draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=stream_length - 1), max_size=15
+                )
+            )
+        )
+        evaluation = evaluate_detections(drifts, detections, stream_length)
+        assert evaluation.true_positives + evaluation.false_negatives == len(drifts)
+        assert evaluation.true_positives + evaluation.false_positives == len(detections)
+        assert 0.0 <= evaluation.precision <= 1.0
+        assert 0.0 <= evaluation.recall <= 1.0
+        assert 0.0 <= evaluation.f1_score <= 1.0
+        assert all(delay >= 0 for delay in evaluation.delays)
+
+    @given(
+        stream_length=st.integers(min_value=100, max_value=2_000),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_micro_average_counts_are_sums(self, stream_length, data):
+        evaluations = []
+        for _ in range(3):
+            drifts = sorted(
+                data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=stream_length - 1),
+                        max_size=4,
+                    )
+                )
+            )
+            detections = sorted(
+                data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=stream_length - 1),
+                        max_size=6,
+                    )
+                )
+            )
+            evaluations.append(evaluate_detections(drifts, detections, stream_length))
+        merged = micro_average(evaluations)
+        assert merged.true_positives == sum(e.true_positives for e in evaluations)
+        assert merged.false_positives == sum(e.false_positives for e in evaluations)
+        assert merged.false_negatives == sum(e.false_negatives for e in evaluations)
+
+
+class TestStreamProperties:
+    @given(
+        lengths=st.lists(st.integers(min_value=5, max_value=200), min_size=1, max_size=5),
+        rates=st.data(),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binary_error_stream_structure(self, lengths, rates, seed):
+        segments = [
+            BinarySegment(length, rates.draw(st.floats(min_value=0.0, max_value=1.0)))
+            for length in lengths
+        ]
+        stream = binary_error_stream(segments, seed=seed)
+        assert len(stream) == sum(lengths)
+        assert len(stream.drift_positions) == len(lengths) - 1
+        assert set(np.unique(stream.values)).issubset({0.0, 1.0})
+        assert all(0 < p < len(stream) for p in stream.drift_positions)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_generators_are_deterministic_given_seed(self, seed):
+        for factory in (
+            lambda: StaggerGenerator(seed=seed),
+            lambda: SeaGenerator(seed=seed),
+            lambda: AgrawalGenerator(seed=seed),
+        ):
+            first = factory().take(30)
+            second = factory().take(30)
+            assert [i.y for i in first] == [i.y for i in second]
+            for a, b in zip(first, second):
+                np.testing.assert_array_equal(a.x, b.x)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        function_id=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_agrawal_labels_are_binary(self, seed, function_id):
+        stream = AgrawalGenerator(classification_function=function_id, seed=seed)
+        for instance in stream.take(50):
+            assert instance.y in (0, 1)
+            assert instance.x.shape == (9,)

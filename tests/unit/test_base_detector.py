@@ -1,0 +1,84 @@
+"""Unit tests for the shared detector interface (:mod:`repro.core.base`)."""
+
+import pytest
+
+from repro.core.base import DetectionResult, DriftDetector, DriftType
+
+
+class _EveryNth(DriftDetector):
+    """Toy detector that flags a drift every ``n`` elements."""
+
+    def __init__(self, n: int = 5) -> None:
+        super().__init__()
+        self._n = n
+        self._count = 0
+
+    def _update_one(self, value: float) -> DetectionResult:
+        self._count += 1
+        if self._count % self._n == 0:
+            return DetectionResult(
+                drift_detected=True, warning_detected=True, drift_type=DriftType.MEAN
+            )
+        if self._count % self._n == self._n - 1:
+            return DetectionResult(warning_detected=True)
+        return DetectionResult()
+
+    def reset(self) -> None:
+        self._count = 0
+        self._reset_counters()
+
+
+def test_detection_result_truthiness():
+    assert not DetectionResult()
+    assert DetectionResult(drift_detected=True)
+    assert not DetectionResult(warning_detected=True)
+
+
+def test_detection_result_defaults():
+    result = DetectionResult()
+    assert result.drift_type is None
+    assert result.statistics == {}
+
+
+def test_update_counts_and_properties():
+    detector = _EveryNth(n=3)
+    detector.update(0.0)
+    assert detector.n_seen == 1
+    assert not detector.drift_detected
+    detector.update(0.0)
+    assert detector.warning_detected
+    detector.update(0.0)
+    assert detector.drift_detected
+    assert detector.n_drifts == 1
+    assert detector.n_warnings == 2  # warning also set on the drift update
+
+
+def test_update_many_returns_indices():
+    detector = _EveryNth(n=4)
+    detections = detector.update_many([0.0] * 12)
+    assert detections == [3, 7, 11]
+    assert detector.n_drifts == 3
+
+
+def test_last_result_is_kept():
+    detector = _EveryNth(n=2)
+    detector.update(0.0)
+    first = detector.last_result
+    detector.update(0.0)
+    assert detector.last_result is not first
+    assert detector.last_result.drift_detected
+
+
+def test_reset_counters():
+    detector = _EveryNth(n=2)
+    detector.update_many([0.0] * 6)
+    detector.reset()
+    assert detector.n_seen == 0
+    assert detector.n_drifts == 0
+    assert not detector.drift_detected
+
+
+def test_drift_type_enum_values():
+    assert DriftType.MEAN.value == "mean"
+    assert DriftType.VARIANCE.value == "variance"
+    assert DriftType.DISTRIBUTION.value == "distribution"

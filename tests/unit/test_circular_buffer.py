@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.stats.circular_buffer`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotEnoughDataError
+from repro.stats.circular_buffer import CircularBuffer
+
+
+def test_starts_empty():
+    buffer = CircularBuffer(4)
+    assert len(buffer) == 0
+    assert buffer.is_empty
+    assert not buffer.is_full
+    assert buffer.capacity == 4
+
+
+def test_append_and_index():
+    buffer = CircularBuffer(3)
+    buffer.append(1.0)
+    buffer.append(2.0)
+    assert len(buffer) == 2
+    assert buffer[0] == 1.0
+    assert buffer[1] == 2.0
+    assert buffer[-1] == 2.0
+
+
+def test_popleft_returns_oldest():
+    buffer = CircularBuffer(3)
+    buffer.extend([1.0, 2.0, 3.0])
+    assert buffer.popleft() == 1.0
+    assert buffer.popleft() == 2.0
+    assert len(buffer) == 1
+
+
+def test_wraparound_preserves_order():
+    buffer = CircularBuffer(3)
+    buffer.extend([1.0, 2.0, 3.0])
+    buffer.popleft()
+    buffer.append(4.0)
+    assert buffer.to_list() == [2.0, 3.0, 4.0]
+    buffer.popleft()
+    buffer.append(5.0)
+    assert buffer.to_list() == [3.0, 4.0, 5.0]
+
+
+def test_append_to_full_raises():
+    buffer = CircularBuffer(2)
+    buffer.extend([1.0, 2.0])
+    assert buffer.is_full
+    with pytest.raises(IndexError):
+        buffer.append(3.0)
+
+
+def test_popleft_empty_raises():
+    buffer = CircularBuffer(2)
+    with pytest.raises(NotEnoughDataError):
+        buffer.popleft()
+
+
+def test_invalid_capacity_raises():
+    with pytest.raises(ConfigurationError):
+        CircularBuffer(0)
+
+
+def test_clear():
+    buffer = CircularBuffer(3)
+    buffer.extend([1.0, 2.0])
+    buffer.clear()
+    assert len(buffer) == 0
+    buffer.append(9.0)
+    assert buffer.to_list() == [9.0]
+
+
+def test_setitem():
+    buffer = CircularBuffer(3)
+    buffer.extend([1.0, 2.0, 3.0])
+    buffer[1] = 7.0
+    assert buffer.to_list() == [1.0, 7.0, 3.0]
+
+
+def test_index_out_of_range_raises():
+    buffer = CircularBuffer(3)
+    buffer.append(1.0)
+    with pytest.raises(IndexError):
+        _ = buffer[1]
+    with pytest.raises(IndexError):
+        _ = buffer[-2]
+
+
+def test_to_array_contiguous_and_wrapped():
+    buffer = CircularBuffer(3)
+    buffer.extend([1.0, 2.0, 3.0])
+    np.testing.assert_allclose(buffer.to_array(), [1.0, 2.0, 3.0])
+    buffer.popleft()
+    buffer.append(4.0)
+    np.testing.assert_allclose(buffer.to_array(), [2.0, 3.0, 4.0])
+
+
+def test_slice_array():
+    buffer = CircularBuffer(5)
+    buffer.extend([1.0, 2.0, 3.0, 4.0])
+    np.testing.assert_allclose(buffer.slice_array(1, 3), [2.0, 3.0])
+    np.testing.assert_allclose(buffer.slice_array(0, 0), [])
+    with pytest.raises(IndexError):
+        buffer.slice_array(2, 6)
+
+
+def test_slice_array_wrapped():
+    buffer = CircularBuffer(4)
+    buffer.extend([1.0, 2.0, 3.0, 4.0])
+    buffer.popleft()
+    buffer.popleft()
+    buffer.append(5.0)
+    buffer.append(6.0)
+    np.testing.assert_allclose(buffer.slice_array(0, 4), [3.0, 4.0, 5.0, 6.0])
+    np.testing.assert_allclose(buffer.slice_array(1, 3), [4.0, 5.0])
+
+
+def test_iteration_matches_to_list():
+    buffer = CircularBuffer(4)
+    buffer.extend([5.0, 6.0, 7.0])
+    assert list(iter(buffer)) == buffer.to_list()

@@ -1,0 +1,109 @@
+"""Unit tests for the DDM and EDDM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ddm import Ddm
+from repro.detectors.eddm import Eddm
+from repro.exceptions import ConfigurationError
+
+
+class TestDdm:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            Ddm(min_num_instances=0)
+        with pytest.raises(ConfigurationError):
+            Ddm(warning_level=3.0, drift_level=2.0)
+        with pytest.raises(ConfigurationError):
+            Ddm(warning_level=-1.0)
+
+    def test_no_detection_before_minimum(self):
+        detector = Ddm(min_num_instances=30)
+        for _ in range(29):
+            assert not detector.update(1.0).drift_detected
+
+    def test_error_rate_tracks_stream(self, rng):
+        detector = Ddm()
+        values = (rng.random(1_000) < 0.25).astype(float)
+        detector.update_many(values)
+        assert detector.error_rate == pytest.approx(np.mean(values), abs=0.02)
+
+    def test_detects_error_rate_increase(self, sudden_binary_stream):
+        detector = Ddm()
+        detections = detector.update_many(sudden_binary_stream.values)
+        post = [d for d in detections if d >= 2_000]
+        assert post
+        # DDM is accurate but known to be slow (cf. Table 1 of the paper).
+        assert post[0] - 2_000 < 1_500
+
+    def test_warning_before_drift(self, sudden_binary_stream):
+        detector = Ddm()
+        first_warning = None
+        first_drift = None
+        for index, value in enumerate(sudden_binary_stream.values):
+            result = detector.update(value)
+            if result.warning_detected and first_warning is None and index >= 2_000:
+                first_warning = index
+            if result.drift_detected and index >= 2_000:
+                first_drift = index
+                break
+        assert first_drift is not None and first_warning is not None
+        assert first_warning <= first_drift
+
+    def test_low_false_positives_on_stationary_stream(self, rng):
+        detector = Ddm()
+        values = (rng.random(10_000) < 0.3).astype(float)
+        assert len(detector.update_many(values)) <= 1
+
+    def test_reset_after_drift(self, sudden_binary_stream):
+        detector = Ddm()
+        for value in sudden_binary_stream.values:
+            if detector.update(value).drift_detected:
+                break
+        # After the internal reset the minimum statistics are re-initialised.
+        assert detector.p_min == float("inf")
+
+    def test_real_values_are_thresholded(self):
+        detector = Ddm()
+        # Values > 0.5 count as errors; a stream of 0.4s is error-free.
+        for _ in range(100):
+            result = detector.update(0.4)
+        assert detector.error_rate == 0.0
+
+
+class TestEddm:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            Eddm(alpha=0.9, beta=0.95)
+        with pytest.raises(ConfigurationError):
+            Eddm(alpha=1.2)
+        with pytest.raises(ConfigurationError):
+            Eddm(min_num_errors=0)
+
+    def test_requires_minimum_errors(self):
+        detector = Eddm(min_num_errors=30)
+        # 20 errors only: never a drift, whatever their spacing.
+        values = ([0.0] * 10 + [1.0]) * 20
+        assert detector.update_many(values) == []
+
+    def test_detects_shrinking_error_distance(self, rng):
+        detector = Eddm()
+        # Errors rare at first (distance large), then frequent (distance small).
+        first = (rng.random(3_000) < 0.05).astype(float)
+        second = (rng.random(2_000) < 0.5).astype(float)
+        detections = detector.update_many(np.concatenate([first, second]))
+        assert any(d >= 3_000 for d in detections)
+
+    def test_distance_statistics(self):
+        detector = Eddm()
+        pattern = [0.0, 0.0, 0.0, 1.0] * 50  # error every 4 elements
+        detector.update_many(pattern)
+        assert detector.n_errors == 50
+        assert detector.mean_distance == pytest.approx(4.0, abs=0.5)
+
+    def test_reset(self):
+        detector = Eddm()
+        detector.update_many([1.0] * 40)
+        detector.reset()
+        assert detector.n_errors == 0
+        assert detector.n_seen == 0

@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.stats.distributions`."""
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ConfigurationError
+from repro.stats import distributions
+
+
+class TestNormal:
+    def test_cdf_symmetry(self):
+        assert distributions.normal_cdf(0.0) == pytest.approx(0.5)
+        assert distributions.normal_cdf(1.96) == pytest.approx(0.975, abs=1e-3)
+        assert distributions.normal_cdf(-1.96) == pytest.approx(0.025, abs=1e-3)
+
+    def test_ppf_matches_scipy(self):
+        for p in (0.01, 0.1, 0.5, 0.9, 0.975, 0.999):
+            assert distributions.normal_ppf(p) == pytest.approx(
+                scipy_stats.norm.ppf(p), abs=1e-6
+            )
+
+    def test_ppf_cdf_roundtrip(self):
+        for p in (0.05, 0.3, 0.7, 0.99):
+            assert distributions.normal_cdf(distributions.normal_ppf(p)) == pytest.approx(
+                p, abs=1e-6
+            )
+
+    def test_ppf_invalid_raises(self):
+        with pytest.raises(ConfigurationError):
+            distributions.normal_ppf(0.0)
+        with pytest.raises(ConfigurationError):
+            distributions.normal_ppf(1.0)
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("df", [1.0, 2.5, 10.0, 62.0, 1000.0])
+    @pytest.mark.parametrize("confidence", [0.9, 0.95, 0.99, 0.9975])
+    def test_ppf_matches_scipy(self, df, confidence):
+        assert distributions.t_ppf(confidence, df) == pytest.approx(
+            scipy_stats.t.ppf(confidence, df), rel=1e-9
+        )
+
+    def test_cdf_matches_scipy(self):
+        assert distributions.t_cdf(2.0, 30.0) == pytest.approx(
+            scipy_stats.t.cdf(2.0, 30.0), rel=1e-9
+        )
+
+    def test_ppf_cdf_roundtrip(self):
+        quantile = distributions.t_ppf(0.99, 25.0)
+        assert distributions.t_cdf(quantile, 25.0) == pytest.approx(0.99, abs=1e-9)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            distributions.t_ppf(1.5, 10.0)
+        with pytest.raises(ConfigurationError):
+            distributions.t_ppf(0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            distributions.t_cdf(1.0, -1.0)
+
+    def test_larger_confidence_gives_larger_quantile(self):
+        assert distributions.t_ppf(0.99, 30.0) > distributions.t_ppf(0.95, 30.0)
+
+
+class TestFDistribution:
+    @pytest.mark.parametrize("dfn,dfd", [(5.0, 10.0), (62.0, 936.0), (936.0, 62.0)])
+    @pytest.mark.parametrize("confidence", [0.9, 0.99, 0.9975])
+    def test_ppf_matches_scipy(self, dfn, dfd, confidence):
+        assert distributions.f_ppf(confidence, dfn, dfd) == pytest.approx(
+            scipy_stats.f.ppf(confidence, dfn, dfd), rel=1e-9
+        )
+
+    def test_cdf_matches_scipy(self):
+        assert distributions.f_cdf(1.5, 10.0, 20.0) == pytest.approx(
+            scipy_stats.f.cdf(1.5, 10.0, 20.0), rel=1e-9
+        )
+
+    def test_cdf_non_positive_is_zero(self):
+        assert distributions.f_cdf(0.0, 5.0, 5.0) == 0.0
+        assert distributions.f_cdf(-1.0, 5.0, 5.0) == 0.0
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            distributions.f_ppf(0.99, 0.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            distributions.f_ppf(0.99, 5.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            distributions.f_cdf(1.0, 0.0, 5.0)
+
+    def test_ppf_cdf_roundtrip(self):
+        quantile = distributions.f_ppf(0.99, 12.0, 40.0)
+        assert distributions.f_cdf(quantile, 12.0, 40.0) == pytest.approx(0.99, abs=1e-9)
+
+    def test_quantile_above_one_for_high_confidence(self):
+        assert distributions.f_ppf(0.99, 30.0, 30.0) > 1.0

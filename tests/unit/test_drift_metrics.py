@@ -1,0 +1,125 @@
+"""Unit tests for drift-detection scoring."""
+
+import pytest
+
+from repro.evaluation.drift_metrics import (
+    DriftEvaluation,
+    evaluate_detections,
+    micro_average,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_perfect_detection():
+    evaluation = evaluate_detections(
+        drift_positions=[100, 200], detections=[105, 210], stream_length=300
+    )
+    assert evaluation.true_positives == 2
+    assert evaluation.false_positives == 0
+    assert evaluation.false_negatives == 0
+    assert evaluation.precision == 1.0
+    assert evaluation.recall == 1.0
+    assert evaluation.f1_score == 1.0
+    assert evaluation.delays == [5, 10]
+    assert evaluation.mean_delay == 7.5
+
+
+def test_missed_drift_is_false_negative():
+    evaluation = evaluate_detections(
+        drift_positions=[100, 200], detections=[105], stream_length=300
+    )
+    assert evaluation.true_positives == 1
+    assert evaluation.false_negatives == 1
+    assert evaluation.recall == 0.5
+
+
+def test_detection_before_drift_is_false_positive():
+    evaluation = evaluate_detections(
+        drift_positions=[100], detections=[50, 110], stream_length=200
+    )
+    assert evaluation.true_positives == 1
+    assert evaluation.false_positives == 1
+    assert evaluation.precision == 0.5
+
+
+def test_multiple_detections_in_window_count_once():
+    evaluation = evaluate_detections(
+        drift_positions=[100], detections=[105, 120, 150], stream_length=300
+    )
+    assert evaluation.true_positives == 1
+    assert evaluation.false_positives == 2
+    assert evaluation.delays == [5]
+
+
+def test_acceptance_window_ends_at_next_drift():
+    # The detection at 210 belongs to the second drift, not the first.
+    evaluation = evaluate_detections(
+        drift_positions=[100, 200], detections=[210], stream_length=300
+    )
+    assert evaluation.true_positives == 1
+    assert evaluation.false_negatives == 1
+    assert evaluation.matches[0].detected is False
+    assert evaluation.matches[1].delay == 10
+
+
+def test_max_delay_caps_window():
+    evaluation = evaluate_detections(
+        drift_positions=[100], detections=[180], stream_length=400, max_delay=50
+    )
+    assert evaluation.true_positives == 0
+    assert evaluation.false_positives == 1
+    assert evaluation.false_negatives == 1
+
+
+def test_no_drifts_no_detections_is_perfect():
+    evaluation = evaluate_detections(
+        drift_positions=[], detections=[], stream_length=100
+    )
+    assert evaluation.precision == 1.0
+    assert evaluation.recall == 1.0
+    assert evaluation.f1_score == 1.0
+
+
+def test_no_drifts_with_detections_gives_zero_precision():
+    evaluation = evaluate_detections(
+        drift_positions=[], detections=[10, 20], stream_length=100
+    )
+    assert evaluation.precision == 0.0
+    assert evaluation.recall == 1.0
+
+
+def test_all_missed_gives_zero_f1():
+    evaluation = evaluate_detections(
+        drift_positions=[50], detections=[], stream_length=100
+    )
+    assert evaluation.f1_score == 0.0
+    assert evaluation.mean_delay == 0.0
+
+
+def test_out_of_range_drift_raises():
+    with pytest.raises(ConfigurationError):
+        evaluate_detections(drift_positions=[500], detections=[], stream_length=100)
+
+
+def test_micro_average_merges_counts():
+    first = evaluate_detections([100], [105], stream_length=200)
+    second = evaluate_detections([100], [90], stream_length=400)
+    merged = micro_average([first, second])
+    assert merged.true_positives == 1
+    assert merged.false_positives == 1
+    assert merged.false_negatives == 1
+    assert merged.precision == pytest.approx(0.5)
+    assert merged.recall == pytest.approx(0.5)
+
+
+def test_as_dict_contains_all_fields():
+    evaluation = evaluate_detections([100], [110], stream_length=200)
+    summary = evaluation.as_dict()
+    assert set(summary) == {"tp", "fp", "fn", "precision", "recall", "f1", "mean_delay"}
+
+
+def test_empty_evaluation_defaults():
+    evaluation = DriftEvaluation()
+    assert evaluation.precision == 1.0
+    assert evaluation.recall == 1.0
+    assert evaluation.mean_delay == 0.0

@@ -1,0 +1,121 @@
+"""Unit tests for concept-drift stream composition."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.drift import ConceptDriftStream, MultiConceptDriftStream
+from repro.streams.synthetic import SeaGenerator, StaggerGenerator
+
+
+def _label_agreement(stream, reference_factory, n=400):
+    """Fraction of instances whose label matches the reference concept."""
+    reference = reference_factory()
+    agreement = 0
+    for instance in stream.take(n):
+        expected = reference
+        agreement += int(instance.y == _sea_label(instance.x, expected))
+    return agreement / n
+
+
+def _sea_label(x, generator):
+    threshold = generator._threshold
+    return int(x[0] + x[1] <= threshold)
+
+
+class TestConceptDriftStream:
+    def test_sudden_switch(self):
+        base = SeaGenerator(classification_function=1, seed=1)
+        drift = SeaGenerator(classification_function=3, seed=2)
+        stream = ConceptDriftStream(base, drift, position=500, width=1, seed=3)
+        # Before the drift the labels follow concept 1 (threshold 8).
+        for instance in stream.take(400):
+            assert instance.y == int(instance.x[0] + instance.x[1] <= 8.0)
+        stream.take(200)  # cross the drift point
+        mismatches = 0
+        for instance in stream.take(400):
+            if instance.y != int(instance.x[0] + instance.x[1] <= 7.0):
+                mismatches += 1
+        assert mismatches < 40  # overwhelmingly the new concept
+
+    def test_probability_sigmoid(self):
+        base = StaggerGenerator(seed=1)
+        drift = StaggerGenerator(classification_function=2, seed=2)
+        stream = ConceptDriftStream(base, drift, position=1_000, width=200, seed=3)
+        assert stream.probability_of_new_concept(0) < 0.01
+        assert stream.probability_of_new_concept(1_000) == pytest.approx(0.5)
+        assert stream.probability_of_new_concept(2_000) > 0.99
+
+    def test_drift_positions_metadata(self):
+        base = StaggerGenerator(seed=1)
+        drift = StaggerGenerator(classification_function=2, seed=2)
+        sudden = ConceptDriftStream(base, drift, position=100, width=1)
+        gradual = ConceptDriftStream(
+            StaggerGenerator(seed=1), StaggerGenerator(seed=2), position=100, width=40
+        )
+        assert sudden.drift_positions == (100,)
+        assert gradual.drift_positions == (80,)
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConceptDriftStream(StaggerGenerator(), SeaGenerator(), position=10)
+
+    def test_invalid_parameters_raise(self):
+        base, drift = StaggerGenerator(seed=1), StaggerGenerator(seed=2)
+        with pytest.raises(ConfigurationError):
+            ConceptDriftStream(base, drift, position=0)
+        with pytest.raises(ConfigurationError):
+            ConceptDriftStream(base, drift, position=10, width=0)
+
+    def test_restart(self):
+        base = StaggerGenerator(seed=1)
+        drift = StaggerGenerator(classification_function=2, seed=2)
+        stream = ConceptDriftStream(base, drift, position=50, width=10, seed=3)
+        first = [i.y for i in stream.take(120)]
+        stream.restart()
+        second = [i.y for i in stream.take(120)]
+        assert first == second
+
+
+class TestMultiConceptDriftStream:
+    def _build(self, width=1):
+        concepts = [
+            SeaGenerator(classification_function=f, seed=10 + f) for f in (1, 2, 3)
+        ]
+        return MultiConceptDriftStream(concepts, [300, 600], width=width, seed=5)
+
+    def test_drift_positions(self):
+        stream = self._build()
+        assert stream.drift_positions == (300, 600)
+        assert stream.drift_widths == (1, 1)
+
+    def test_concept_probabilities_sum_to_one(self):
+        stream = self._build(width=100)
+        for index in (0, 250, 300, 450, 600, 900):
+            probabilities = stream._concept_probabilities(index)
+            assert sum(probabilities) == pytest.approx(1.0)
+            assert all(p >= 0.0 for p in probabilities)
+
+    def test_active_concept_changes_over_time(self):
+        stream = self._build()
+        assert np.argmax(stream._concept_probabilities(0)) == 0
+        assert np.argmax(stream._concept_probabilities(450)) == 1
+        assert np.argmax(stream._concept_probabilities(900)) == 2
+
+    def test_generates_instances_across_drifts(self):
+        stream = self._build()
+        instances = stream.take(900)
+        assert len(instances) == 900
+
+    def test_validation(self):
+        concepts = [SeaGenerator(seed=1), SeaGenerator(seed=2)]
+        with pytest.raises(ConfigurationError):
+            MultiConceptDriftStream(concepts, [100, 200])
+        with pytest.raises(ConfigurationError):
+            MultiConceptDriftStream(concepts, [200, 100][:1], width=0)
+        with pytest.raises(ConfigurationError):
+            MultiConceptDriftStream([SeaGenerator(seed=1)], [])
+        with pytest.raises(ConfigurationError):
+            MultiConceptDriftStream(
+                [SeaGenerator(seed=1), StaggerGenerator(seed=2)], [100]
+            )

@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic error-rate streams."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.error_streams import (
+    BinarySegment,
+    GaussianSegment,
+    binary_error_stream,
+    gaussian_error_stream,
+)
+
+
+class TestSegments:
+    def test_binary_segment_validation(self):
+        with pytest.raises(ConfigurationError):
+            BinarySegment(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            BinarySegment(10, 1.5)
+
+    def test_gaussian_segment_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianSegment(0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            GaussianSegment(10, 0.0, -1.0)
+
+
+class TestBinaryErrorStream:
+    def test_length_and_drift_positions(self):
+        stream = binary_error_stream(
+            [BinarySegment(100, 0.1), BinarySegment(200, 0.5), BinarySegment(50, 0.9)],
+            seed=1,
+        )
+        assert len(stream) == 350
+        assert stream.drift_positions == (100, 300)
+        assert stream.drift_widths == (1, 1)
+
+    def test_values_are_binary(self):
+        stream = binary_error_stream([BinarySegment(500, 0.3)], seed=1)
+        assert set(np.unique(stream.values)).issubset({0.0, 1.0})
+
+    def test_segment_error_rates(self):
+        stream = binary_error_stream(
+            [BinarySegment(3_000, 0.1), BinarySegment(3_000, 0.7)], seed=2
+        )
+        first = float(np.mean(stream.values[:3_000]))
+        second = float(np.mean(stream.values[3_000:]))
+        assert first == pytest.approx(0.1, abs=0.03)
+        assert second == pytest.approx(0.7, abs=0.03)
+
+    def test_reproducible_with_seed(self):
+        a = binary_error_stream([BinarySegment(500, 0.4)], seed=9)
+        b = binary_error_stream([BinarySegment(500, 0.4)], seed=9)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_gradual_transition_is_smooth(self):
+        stream = binary_error_stream(
+            [BinarySegment(4_000, 0.1), BinarySegment(4_000, 0.9)], width=2_000, seed=3
+        )
+        middle = float(np.mean(stream.values[3_800:4_200]))
+        assert 0.3 < middle < 0.7
+        early = float(np.mean(stream.values[:2_500]))
+        late = float(np.mean(stream.values[-2_500:]))
+        assert early < 0.2 and late > 0.8
+
+    def test_empty_segments_raise(self):
+        with pytest.raises(ConfigurationError):
+            binary_error_stream([], seed=1)
+
+    def test_metadata(self):
+        stream = binary_error_stream([BinarySegment(10, 0.5)], width=5, seed=1)
+        assert stream.metadata["kind"] == "binary"
+        assert stream.metadata["width"] == 5
+
+
+class TestGaussianErrorStream:
+    def test_segment_means_and_stds(self):
+        stream = gaussian_error_stream(
+            [GaussianSegment(5_000, 0.2, 0.05), GaussianSegment(5_000, 0.7, 0.2)],
+            seed=4,
+        )
+        first, second = stream.values[:5_000], stream.values[5_000:]
+        assert float(np.mean(first)) == pytest.approx(0.2, abs=0.01)
+        assert float(np.std(first)) == pytest.approx(0.05, abs=0.01)
+        assert float(np.mean(second)) == pytest.approx(0.7, abs=0.01)
+        assert float(np.std(second)) == pytest.approx(0.2, abs=0.02)
+
+    def test_variance_only_drift(self):
+        stream = gaussian_error_stream(
+            [GaussianSegment(3_000, 0.5, 0.02), GaussianSegment(3_000, 0.5, 0.3)],
+            seed=5,
+        )
+        assert float(np.mean(stream.values[:3_000])) == pytest.approx(
+            float(np.mean(stream.values[3_000:])), abs=0.02
+        )
+        assert float(np.std(stream.values[3_000:])) > 5 * float(
+            np.std(stream.values[:3_000])
+        )
+
+    def test_single_segment_has_no_drifts(self):
+        stream = gaussian_error_stream([GaussianSegment(100, 0.0, 1.0)], seed=1)
+        assert stream.drift_positions == ()
+
+    def test_empty_segments_raise(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_error_stream([], seed=1)

@@ -1,0 +1,89 @@
+"""Unit tests for the experiment runner and detector summaries."""
+
+import pytest
+
+from repro.core.optwin import Optwin
+from repro.detectors.adwin import Adwin
+from repro.evaluation.experiment import (
+    DetectorSummary,
+    ExperimentRunner,
+    run_detector_on_values,
+)
+from repro.exceptions import ConfigurationError
+from repro.streams.error_streams import BinarySegment, binary_error_stream
+
+
+def _stream_factory(seed):
+    return binary_error_stream(
+        [BinarySegment(1_500, 0.2), BinarySegment(1_500, 0.7)], width=1, seed=seed
+    )
+
+
+def test_run_detector_on_values(sudden_binary_stream):
+    result = run_detector_on_values(Optwin(rho=0.5, w_max=5_000), sudden_binary_stream)
+    assert result.evaluation.true_positives == 1
+    assert result.detections
+
+
+def test_runner_produces_summary_per_detector():
+    runner = ExperimentRunner(n_repetitions=3, base_seed=10)
+    summaries = runner.run_value_experiment(
+        detector_factories={
+            "OPTWIN": lambda: Optwin(rho=0.5, w_max=5_000),
+            "ADWIN": Adwin,
+        },
+        stream_factory=_stream_factory,
+    )
+    assert set(summaries) == {"OPTWIN", "ADWIN"}
+    for summary in summaries.values():
+        assert len(summary.runs) == 3
+        row = summary.as_row()
+        assert set(row) == {"detector", "delay", "fp", "precision", "recall", "f1"}
+        assert 0.0 <= row["f1"] <= 1.0
+
+
+def test_runner_detectors_see_same_streams():
+    runner = ExperimentRunner(n_repetitions=2, base_seed=5)
+    summaries = runner.run_value_experiment(
+        detector_factories={
+            "A": lambda: Optwin(rho=0.5, w_max=5_000),
+            "B": lambda: Optwin(rho=0.5, w_max=5_000),
+        },
+        stream_factory=_stream_factory,
+    )
+    # Identical detectors over identical (paired) streams must agree exactly.
+    assert summaries["A"].runs[0].detections == summaries["B"].runs[0].detections
+
+
+def test_summary_aggregation_micro_average():
+    summary = DetectorSummary(detector_name="X")
+    runner = ExperimentRunner(n_repetitions=4, base_seed=2)
+    summaries = runner.run_value_experiment(
+        detector_factories={"X": lambda: Optwin(rho=0.5, w_max=5_000)},
+        stream_factory=_stream_factory,
+    )
+    summary = summaries["X"]
+    aggregate = summary.aggregate
+    total_tp = sum(run.evaluation.true_positives for run in summary.runs)
+    assert aggregate.true_positives == total_tp
+    assert len(summary.per_run_f1) == 4
+    assert summary.mean_false_positives == pytest.approx(
+        sum(run.evaluation.false_positives for run in summary.runs) / 4
+    )
+
+
+def test_runner_validation():
+    with pytest.raises(ConfigurationError):
+        ExperimentRunner(n_repetitions=0)
+
+
+def test_score_prequential_roundtrip():
+    from repro.evaluation.prequential import PrequentialResult
+
+    runner = ExperimentRunner(n_repetitions=1)
+    results = {
+        "X": [PrequentialResult(n_instances=1_000, n_correct=800, detections=[510])]
+    }
+    scored = runner.score_prequential(results, drift_positions=[500], n_instances=1_000)
+    assert scored["X"].aggregate.true_positives == 1
+    assert scored["X"].aggregate.delays == [10]

@@ -1,0 +1,153 @@
+"""Unit tests for :mod:`repro.stats.incremental`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotEnoughDataError
+from repro.stats.incremental import PrefixStats, RunningStats, WindowedStats
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.std == 0.0
+
+    def test_matches_numpy(self):
+        values = [0.3, 0.7, 0.1, 0.9, 0.4, 0.4, 0.6]
+        stats = RunningStats()
+        stats.update_many(values)
+        assert stats.count == len(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+        assert stats.std == pytest.approx(np.std(values, ddof=1))
+
+    def test_population_variance(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        stats = RunningStats()
+        stats.update_many(values)
+        assert stats.population_variance == pytest.approx(np.var(values))
+        assert stats.population_std == pytest.approx(np.std(values))
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.update(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+
+    def test_reset(self):
+        stats = RunningStats()
+        stats.update_many([1.0, 2.0])
+        stats.reset()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_numerical_stability_constant_stream(self):
+        stats = RunningStats()
+        stats.update_many([1e9 + 0.1] * 10_000)
+        assert stats.variance == pytest.approx(0.0, abs=1e-6)
+
+
+class TestWindowedStats:
+    def test_add_remove_matches_numpy(self):
+        stats = WindowedStats()
+        values = [0.2, 0.8, 0.5, 0.1, 0.9]
+        for value in values:
+            stats.add(value)
+        stats.remove(values[0])
+        stats.remove(values[1])
+        remaining = values[2:]
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(np.mean(remaining))
+        assert stats.variance == pytest.approx(np.var(remaining, ddof=1))
+
+    def test_remove_to_empty(self):
+        stats = WindowedStats()
+        stats.add(3.0)
+        stats.remove(3.0)
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_remove_from_empty_raises(self):
+        stats = WindowedStats()
+        with pytest.raises(NotEnoughDataError):
+            stats.remove(1.0)
+
+    def test_variance_never_negative(self):
+        stats = WindowedStats()
+        for _ in range(1000):
+            stats.add(0.1)
+        for _ in range(999):
+            stats.remove(0.1)
+        assert stats.variance >= 0.0
+
+    def test_reset(self):
+        stats = WindowedStats()
+        stats.add(1.0)
+        stats.reset()
+        assert stats.count == 0
+        assert stats.total == 0.0
+
+
+class TestPrefixStats:
+    def test_range_statistics_match_numpy(self, rng):
+        values = rng.random(200).tolist()
+        prefix = PrefixStats()
+        for value in values:
+            prefix.append(value)
+        assert len(prefix) == 200
+        assert prefix.mean(0, 200) == pytest.approx(np.mean(values))
+        assert prefix.variance(50, 150) == pytest.approx(
+            np.var(values[50:150], ddof=1)
+        )
+        assert prefix.std(10, 60) == pytest.approx(np.std(values[10:60], ddof=1))
+        assert prefix.range_sum(5, 15) == pytest.approx(sum(values[5:15]))
+
+    def test_popleft_shifts_window(self):
+        prefix = PrefixStats()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            prefix.append(value)
+        assert prefix.popleft() == 1.0
+        assert len(prefix) == 3
+        assert prefix.to_list() == [2.0, 3.0, 4.0]
+        assert prefix.mean(0, 3) == pytest.approx(3.0)
+        assert prefix.value_at(0) == 2.0
+
+    def test_popleft_empty_raises(self):
+        prefix = PrefixStats()
+        with pytest.raises(NotEnoughDataError):
+            prefix.popleft()
+
+    def test_invalid_range_raises(self):
+        prefix = PrefixStats()
+        prefix.append(1.0)
+        with pytest.raises(IndexError):
+            prefix.range_sum(0, 2)
+        with pytest.raises(IndexError):
+            prefix.value_at(5)
+
+    def test_empty_range_statistics(self):
+        prefix = PrefixStats()
+        prefix.append(1.0)
+        assert prefix.mean(0, 0) == 0.0
+        assert prefix.variance(0, 1) == 0.0
+
+    def test_compaction_preserves_values(self):
+        prefix = PrefixStats()
+        threshold = PrefixStats._COMPACT_THRESHOLD
+        for value in range(threshold + 100):
+            prefix.append(float(value))
+        for _ in range(threshold + 10):
+            prefix.popleft()
+        expected = [float(v) for v in range(threshold + 10, threshold + 100)]
+        assert prefix.to_list() == expected
+        assert prefix.mean(0, len(expected)) == pytest.approx(np.mean(expected))
+
+    def test_clear(self):
+        prefix = PrefixStats()
+        prefix.append(1.0)
+        prefix.clear()
+        assert len(prefix) == 0

@@ -1,0 +1,108 @@
+"""Unit tests for the numpy MLP (the CNN surrogate)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learners.mlp import MLPClassifier
+
+
+def _two_cluster_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(-2.0, 1.0, size=(n // 2, 8))
+    x1 = rng.normal(2.0, 1.0, size=(n // 2, 8))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ConfigurationError):
+        MLPClassifier(n_features=0, n_classes=2)
+    with pytest.raises(ConfigurationError):
+        MLPClassifier(n_features=4, n_classes=1)
+    with pytest.raises(ConfigurationError):
+        MLPClassifier(n_features=4, n_classes=2, hidden_sizes=())
+    with pytest.raises(ConfigurationError):
+        MLPClassifier(n_features=4, n_classes=2, learning_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        MLPClassifier(n_features=4, n_classes=2, momentum=1.0)
+
+
+def test_predict_proba_shape_and_normalisation():
+    model = MLPClassifier(n_features=8, n_classes=3, seed=1)
+    x = np.random.default_rng(0).normal(size=(5, 8))
+    probabilities = model.predict_proba(x)
+    assert probabilities.shape == (5, 3)
+    np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, rtol=1e-9)
+
+
+def test_training_reduces_loss():
+    x, y = _two_cluster_data()
+    model = MLPClassifier(n_features=8, n_classes=2, seed=1)
+    initial_loss, _ = model.evaluate_batch(x, y)
+    model.pretrain(x, y, n_epochs=10, batch_size=32)
+    final_loss, accuracy = model.evaluate_batch(x, y)
+    assert final_loss < initial_loss
+    assert accuracy > 0.95
+
+
+def test_pretrain_returns_accuracy():
+    x, y = _two_cluster_data()
+    model = MLPClassifier(n_features=8, n_classes=2, seed=1)
+    accuracy = model.pretrain(x, y, n_epochs=5)
+    assert 0.5 <= accuracy <= 1.0
+
+
+def test_train_batch_returns_loss_and_counts():
+    x, y = _two_cluster_data(n=64)
+    model = MLPClassifier(n_features=8, n_classes=2, seed=1)
+    loss = model.train_batch(x, y)
+    assert loss > 0.0
+    assert model.n_batches_trained == 1
+
+
+def test_train_batch_shape_mismatch_raises():
+    model = MLPClassifier(n_features=8, n_classes=2)
+    with pytest.raises(ConfigurationError):
+        model.train_batch(np.zeros((4, 8)), np.zeros(3, dtype=int))
+
+
+def test_loss_jumps_when_labels_swap():
+    x, y = _two_cluster_data()
+    model = MLPClassifier(n_features=8, n_classes=2, seed=1)
+    model.pretrain(x, y, n_epochs=10)
+    loss_before, _ = model.evaluate_batch(x, y)
+    loss_after, accuracy_after = model.evaluate_batch(x, 1 - y)
+    assert loss_after > 3 * loss_before
+    assert accuracy_after < 0.2
+
+
+def test_fine_tuning_recovers_from_label_swap():
+    x, y = _two_cluster_data()
+    model = MLPClassifier(n_features=8, n_classes=2, seed=1)
+    model.pretrain(x, y, n_epochs=10)
+    swapped = 1 - y
+    for _ in range(30):
+        model.train_batch(x, swapped)
+    _, accuracy = model.evaluate_batch(x, swapped)
+    assert accuracy > 0.9
+
+
+def test_reset_reinitialises():
+    x, y = _two_cluster_data()
+    model = MLPClassifier(n_features=8, n_classes=2, seed=1)
+    model.pretrain(x, y, n_epochs=5)
+    model.reset()
+    assert model.n_batches_trained == 0
+    _, accuracy = model.evaluate_batch(x, y)
+    assert accuracy < 0.9
+
+
+def test_deterministic_given_seed():
+    x, y = _two_cluster_data()
+    a = MLPClassifier(n_features=8, n_classes=2, seed=7)
+    b = MLPClassifier(n_features=8, n_classes=2, seed=7)
+    a.pretrain(x, y, n_epochs=3)
+    b.pretrain(x, y, n_epochs=3)
+    np.testing.assert_allclose(a.predict_proba(x[:10]), b.predict_proba(x[:10]))

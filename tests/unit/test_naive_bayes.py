@@ -1,0 +1,98 @@
+"""Unit tests for the incremental Naive Bayes classifier."""
+
+import numpy as np
+import pytest
+
+from repro.learners.naive_bayes import NaiveBayes
+from repro.streams.base import Instance, nominal_attribute, numeric_attribute
+from repro.streams.synthetic import SeaGenerator, StaggerGenerator
+
+
+def _train(stream, learner, n):
+    for instance in stream.take(n):
+        learner.learn_one(instance)
+
+
+def test_untrained_predicts_uniform():
+    schema = [numeric_attribute("a"), nominal_attribute("b", 3)]
+    learner = NaiveBayes(schema=schema, n_classes=4)
+    probabilities = learner.predict_proba_one(Instance(x=np.array([0.0, 1.0]), y=0))
+    np.testing.assert_allclose(probabilities, [0.25] * 4)
+
+
+def test_probabilities_sum_to_one():
+    stream = StaggerGenerator(seed=1)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    _train(stream, learner, 200)
+    probabilities = learner.predict_proba_one(stream.next_instance())
+    assert probabilities.sum() == pytest.approx(1.0)
+    assert np.all(probabilities >= 0.0)
+
+
+def test_learns_stagger_concept():
+    stream = StaggerGenerator(classification_function=1, seed=2)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    _train(stream, learner, 1_500)
+    test_instances = stream.take(500)
+    accuracy = learner.evaluate_accuracy(test_instances)
+    assert accuracy > 0.9
+
+
+def test_learns_numeric_concept():
+    stream = SeaGenerator(classification_function=1, seed=3)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    _train(stream, learner, 3_000)
+    accuracy = learner.evaluate_accuracy(stream.take(1_000))
+    assert accuracy > 0.8
+
+
+def test_learn_counts():
+    stream = StaggerGenerator(seed=1)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    _train(stream, learner, 50)
+    assert learner.n_trained == 50
+
+
+def test_reset_forgets_everything():
+    stream = StaggerGenerator(classification_function=1, seed=2)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    _train(stream, learner, 500)
+    learner.reset()
+    assert learner.n_trained == 0
+    probabilities = learner.predict_proba_one(stream.next_instance())
+    np.testing.assert_allclose(probabilities, [0.5, 0.5])
+
+
+def test_accuracy_drops_after_concept_switch_without_reset():
+    concept_a = StaggerGenerator(classification_function=1, seed=4)
+    concept_b = StaggerGenerator(classification_function=2, seed=5)
+    learner = NaiveBayes(schema=concept_a.schema, n_classes=2)
+    _train(concept_a, learner, 1_000)
+    accuracy_a = learner.evaluate_accuracy(concept_a.take(400))
+    accuracy_b = learner.evaluate_accuracy(concept_b.take(400))
+    assert accuracy_a > accuracy_b
+
+
+def test_unseen_nominal_value_is_smoothed():
+    schema = [nominal_attribute("color", 3)]
+    learner = NaiveBayes(schema=schema, n_classes=2)
+    learner.learn_one(Instance(x=np.array([0.0]), y=0))
+    learner.learn_one(Instance(x=np.array([1.0]), y=1))
+    # Value 2 was never observed; prediction must still be finite/normalised.
+    probabilities = learner.predict_proba_one(Instance(x=np.array([2.0]), y=0))
+    assert probabilities.sum() == pytest.approx(1.0)
+
+
+def test_clone_untrained():
+    stream = StaggerGenerator(seed=1)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    _train(stream, learner, 100)
+    clone = learner.clone_untrained()
+    assert clone.n_trained == 0
+    assert clone.n_classes == learner.n_classes
+
+
+def test_evaluate_accuracy_empty_batch():
+    stream = StaggerGenerator(seed=1)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    assert learner.evaluate_accuracy([]) == 0.0

@@ -1,0 +1,127 @@
+"""Unit tests for the optimal-cut machinery (Equations 1, 2, 13)."""
+
+import pytest
+
+from repro.core.optimal_cut import (
+    detectable_rho,
+    minimum_solvable_length,
+    optimal_split,
+    rho_temp,
+    welch_df_upper_bound,
+)
+from repro.exceptions import ConfigurationError
+from repro.stats.distributions import f_ppf
+
+CONFIDENCE = 0.99 ** 0.25
+
+
+class TestDetectableRho:
+    def test_decreases_with_more_data(self):
+        # More data in either sub-window makes smaller shifts detectable.
+        assert detectable_rho(500, 100, CONFIDENCE) < detectable_rho(50, 100, CONFIDENCE)
+        assert detectable_rho(500, 200, CONFIDENCE) < detectable_rho(500, 50, CONFIDENCE)
+
+    def test_equation_consistency(self):
+        # Re-derive Equation 1's right-hand side by hand for one split.
+        n_hist, n_new = 400, 100
+        f_factor = f_ppf(CONFIDENCE, n_hist - 1, n_new - 1)
+        df = welch_df_upper_bound(n_hist, n_new, f_factor)
+        from repro.stats.distributions import t_ppf
+
+        expected = t_ppf(CONFIDENCE, df) * (1.0 / n_hist + f_factor / n_new) ** 0.5
+        assert detectable_rho(n_hist, n_new, CONFIDENCE) == pytest.approx(expected)
+
+    def test_small_subwindows_raise(self):
+        with pytest.raises(ConfigurationError):
+            detectable_rho(1, 100, CONFIDENCE)
+        with pytest.raises(ConfigurationError):
+            detectable_rho(100, 1, CONFIDENCE)
+
+
+class TestWelchDfUpperBound:
+    def test_reasonable_range(self):
+        df = welch_df_upper_bound(900, 100, 1.5)
+        assert 1.0 <= df <= 1000.0
+
+    def test_dominated_by_smaller_window(self):
+        # With a large historical window the df is governed by the new window.
+        df = welch_df_upper_bound(10_000, 60, 1.7)
+        assert df < 200
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ConfigurationError):
+            welch_df_upper_bound(0, 10, 1.0)
+
+
+class TestRhoTemp:
+    def test_matches_fifty_fifty_split(self):
+        length = 200
+        expected = detectable_rho(100, 100, CONFIDENCE)
+        assert rho_temp(length, CONFIDENCE) == pytest.approx(expected)
+
+    def test_decreases_with_length(self):
+        assert rho_temp(400, CONFIDENCE) < rho_temp(60, CONFIDENCE)
+
+
+class TestOptimalSplit:
+    def test_solved_split_respects_rho_guarantee(self):
+        spec = optimal_split(1_000, rho=0.5, confidence=CONFIDENCE)
+        assert spec.solved
+        guaranteed = detectable_rho(spec.n_hist, spec.n_new, CONFIDENCE)
+        assert guaranteed <= 0.5
+        # The next-larger historical window would break the guarantee
+        # (otherwise the split would not be optimal).
+        if spec.n_hist + 1 <= spec.length - 2:
+            assert detectable_rho(spec.n_hist + 1, spec.n_new - 1, CONFIDENCE) > 0.5
+
+    def test_unsolvable_length_falls_back_to_half(self):
+        spec = optimal_split(40, rho=0.1, confidence=CONFIDENCE)
+        assert not spec.solved
+        assert spec.nu_split == 20
+
+    def test_hint_matches_unhinted_result(self):
+        unhinted = optimal_split(800, rho=0.5, confidence=CONFIDENCE)
+        hinted_low = optimal_split(800, rho=0.5, confidence=CONFIDENCE, hint=500)
+        hinted_high = optimal_split(800, rho=0.5, confidence=CONFIDENCE, hint=790)
+        assert hinted_low.nu_split == unhinted.nu_split
+        assert hinted_high.nu_split == unhinted.nu_split
+
+    def test_larger_rho_allows_larger_history(self):
+        loose = optimal_split(1_000, rho=1.0, confidence=CONFIDENCE)
+        strict = optimal_split(1_000, rho=0.25, confidence=CONFIDENCE)
+        assert loose.nu_split >= strict.nu_split
+
+    def test_spec_fields_consistent(self):
+        spec = optimal_split(500, rho=0.5, confidence=CONFIDENCE)
+        assert spec.length == 500
+        assert spec.n_hist + spec.n_new == 500
+        assert spec.nu == pytest.approx(spec.nu_split / 500)
+        assert spec.t_critical > 0
+        assert spec.f_critical > 1.0
+        assert spec.degrees_of_freedom >= 1.0
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            optimal_split(3, rho=0.5, confidence=CONFIDENCE)
+        with pytest.raises(ConfigurationError):
+            optimal_split(100, rho=0.0, confidence=CONFIDENCE)
+
+
+class TestMinimumSolvableLength:
+    def test_smaller_rho_needs_longer_window(self):
+        length_05 = minimum_solvable_length(0.5, CONFIDENCE)
+        length_01 = minimum_solvable_length(0.1, CONFIDENCE)
+        assert length_01 > length_05
+
+    def test_returned_length_is_solvable_at_half_split(self):
+        length = minimum_solvable_length(0.5, CONFIDENCE)
+        assert rho_temp(length, CONFIDENCE) <= 0.5
+        assert rho_temp(length - 1, CONFIDENCE) > 0.5
+
+    def test_invalid_rho_raises(self):
+        with pytest.raises(ConfigurationError):
+            minimum_solvable_length(0.0, CONFIDENCE)
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ConfigurationError):
+            minimum_solvable_length(1e-6, CONFIDENCE, max_length=100)

@@ -1,0 +1,59 @@
+"""Unit tests for :class:`repro.core.config.OptwinConfig`."""
+
+import pytest
+
+from repro.core.config import OptwinConfig
+from repro.exceptions import ConfigurationError
+
+
+def test_defaults_match_paper():
+    config = OptwinConfig()
+    assert config.delta == 0.99
+    assert config.w_min == 30
+    assert config.w_max == 25_000
+    assert config.eta == pytest.approx(1e-5)
+    assert config.one_sided
+    assert config.require_magnitude
+
+
+def test_delta_prime_is_fourth_root():
+    config = OptwinConfig(delta=0.99)
+    assert config.delta_prime == pytest.approx(0.99 ** 0.25)
+
+
+def test_warning_delta_prime():
+    config = OptwinConfig(warning_delta=0.95)
+    assert config.warning_enabled
+    assert config.warning_delta_prime == pytest.approx(0.95 ** 0.25)
+
+
+def test_warning_disabled():
+    config = OptwinConfig(warning_delta=0.0)
+    assert not config.warning_enabled
+    assert config.warning_delta_prime == 0.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"delta": 0.0},
+        {"delta": 1.0},
+        {"rho": 0.0},
+        {"rho": -1.0},
+        {"w_min": 2},
+        {"w_max": 10, "w_min": 30},
+        {"eta": -1e-3},
+        {"warning_delta": 1.0},
+        {"warning_delta": 0.999, "delta": 0.99},
+    ],
+)
+def test_invalid_configurations_raise(kwargs):
+    with pytest.raises(ConfigurationError):
+        OptwinConfig(**kwargs)
+
+
+def test_config_is_hashable_and_frozen():
+    config = OptwinConfig()
+    assert hash(config) == hash(OptwinConfig())
+    with pytest.raises(Exception):
+        config.delta = 0.5  # type: ignore[misc]

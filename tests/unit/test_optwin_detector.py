@@ -1,0 +1,210 @@
+"""Unit and behavioural tests for the OPTWIN detector itself."""
+
+import numpy as np
+import pytest
+
+from repro.core import DriftType, Optwin, OptwinConfig
+from repro.exceptions import ConfigurationError
+
+
+def test_no_detection_before_w_min():
+    detector = Optwin(w_min=30)
+    for index in range(29):
+        result = detector.update(0.5)
+        assert not result.drift_detected
+    assert detector.window_size == 29
+
+
+def test_window_bounded_by_w_max():
+    detector = Optwin(w_min=30, w_max=100)
+    for _ in range(500):
+        detector.update(0.5)
+    assert detector.window_size <= 100
+
+
+def test_detects_sudden_mean_increase(sudden_gaussian_stream):
+    detector = Optwin(rho=0.5, w_max=5_000)
+    detections = detector.update_many(sudden_gaussian_stream.values)
+    post = [d for d in detections if d >= 2_000]
+    assert post, "the mean shift at 2000 must be detected"
+    assert post[0] - 2_000 < 300
+
+
+def test_detects_sudden_binary_drift(sudden_binary_stream):
+    detector = Optwin(rho=0.5, w_max=5_000)
+    detections = detector.update_many(sudden_binary_stream.values)
+    post = [d for d in detections if d >= 2_000]
+    assert post
+    assert post[0] - 2_000 < 300
+
+
+def test_detects_variance_only_drift(variance_only_stream):
+    detector = Optwin(rho=0.5, w_max=5_000, one_sided=False)
+    drift_types = []
+    for index, value in enumerate(variance_only_stream.values):
+        result = detector.update(value)
+        if result.drift_detected and index >= 2_000:
+            drift_types.append(result.drift_type)
+            break
+    assert drift_types and drift_types[0] == DriftType.VARIANCE
+
+
+def test_one_sided_ignores_improvement():
+    rng = np.random.default_rng(3)
+    detector = Optwin(rho=0.5, w_max=5_000, one_sided=True)
+    detections = []
+    for index in range(4_000):
+        mean = 0.8 if index < 2_000 else 0.2  # the "error" improves
+        if detector.update(rng.normal(mean, 0.05)).drift_detected:
+            detections.append(index)
+    assert detections == []
+
+
+def test_two_sided_detects_improvement():
+    rng = np.random.default_rng(3)
+    detector = Optwin(rho=0.5, w_max=5_000, one_sided=False)
+    detections = []
+    for index in range(4_000):
+        mean = 0.8 if index < 2_000 else 0.2
+        if detector.update(rng.normal(mean, 0.05)).drift_detected:
+            detections.append(index)
+    assert any(d >= 2_000 for d in detections)
+
+
+def test_low_false_positive_rate_on_stationary_stream():
+    rng = np.random.default_rng(11)
+    detector = Optwin(rho=0.5, w_max=25_000)
+    false_positives = sum(
+        detector.update(value).drift_detected for value in rng.normal(0.3, 0.1, 20_000)
+    )
+    assert false_positives <= 3
+
+
+def test_warning_precedes_or_accompanies_drift(sudden_binary_stream):
+    detector = Optwin(rho=0.5, w_max=5_000, warning_delta=0.9)
+    first_warning = None
+    first_drift = None
+    for index, value in enumerate(sudden_binary_stream.values):
+        result = detector.update(value)
+        if result.warning_detected and first_warning is None and index >= 2_000:
+            first_warning = index
+        if result.drift_detected and first_drift is None and index >= 2_000:
+            first_drift = index
+            break
+    assert first_drift is not None
+    assert first_warning is not None
+    assert first_warning <= first_drift
+
+
+def test_reset_clears_state():
+    detector = Optwin()
+    for _ in range(100):
+        detector.update(0.5)
+    detector.reset()
+    assert detector.window_size == 0
+    assert detector.n_seen == 0
+    assert detector.n_drifts == 0
+
+
+def test_window_cleared_after_drift(sudden_binary_stream):
+    detector = Optwin(rho=0.5, w_max=5_000, reset_mode="full")
+    for value in sudden_binary_stream.values:
+        if detector.update(value).drift_detected:
+            break
+    assert detector.window_size == 0
+
+
+def test_keep_new_reset_mode_keeps_recent_window(sudden_binary_stream):
+    detector = Optwin(rho=0.5, w_max=5_000, reset_mode="keep_new")
+    for value in sudden_binary_stream.values:
+        if detector.update(value).drift_detected:
+            break
+    assert detector.window_size > 0
+
+
+def test_statistics_reported_on_update():
+    detector = Optwin(w_min=30)
+    for _ in range(50):
+        result = detector.update(0.5)
+    stats = result.statistics
+    assert stats["window_size"] == 50
+    assert "t_statistic" in stats and "f_statistic" in stats
+    assert stats["t_critical"] > 0 and stats["f_critical"] > 1.0
+
+
+def test_rho_trade_off_delay():
+    """Higher rho -> smaller W_new -> shorter delay on a large sudden drift."""
+
+    def first_delay(rho: float) -> int:
+        rng = np.random.default_rng(5)
+        detector = Optwin(rho=rho, w_max=25_000)
+        for index in range(8_000):
+            p = 0.2 if index < 4_000 else 0.7
+            value = 1.0 if rng.random() < p else 0.0
+            if detector.update(value).drift_detected and index >= 4_000:
+                return index - 4_000
+        return 10_000
+
+    assert first_delay(1.0) <= first_delay(0.1)
+
+
+def test_detectable_shift_reported():
+    detector = Optwin(rho=0.5)
+    assert detector.detectable_shift() is None
+    for _ in range(400):
+        detector.update(float(np.random.default_rng(1).random()))
+    shift = detector.detectable_shift()
+    assert shift is not None and shift > 0.0
+
+
+def test_memory_estimate_matches_paper_order_of_magnitude():
+    detector = Optwin(w_max=25_000)
+    # The paper quotes roughly 390 KB for w_max = 25,000.
+    assert 100_000 < detector.memory_bytes() < 2_000_000
+
+
+def test_variance_test_skipped_on_binary_streams():
+    # Rare-error Bernoulli streams violate the F-test's distributional
+    # assumptions; by default OPTWIN therefore relies on the t-test alone for
+    # 0/1 inputs, which keeps the false-positive count near zero.
+    rng = np.random.default_rng(2)
+    values = (rng.random(20_000) < 0.05).astype(float)
+    detector = Optwin(rho=0.5, w_max=25_000)
+    variance_detections = 0
+    total_detections = 0
+    for value in values:
+        result = detector.update(value)
+        if result.drift_detected:
+            total_detections += 1
+            if result.drift_type == DriftType.VARIANCE:
+                variance_detections += 1
+    assert variance_detections == 0
+    assert total_detections <= 1
+
+
+def test_variance_test_restored_when_flag_disabled():
+    rng = np.random.default_rng(2)
+    values = (rng.random(5_000) < 0.05).astype(float)
+    literal = Optwin(rho=0.5, w_max=25_000, skip_variance_on_binary=False)
+    default = Optwin(rho=0.5, w_max=25_000)
+    # The literal Algorithm-1 variant fires at least as often on skewed binary
+    # data as the default configuration.
+    assert len(literal.update_many(values)) >= len(default.update_many(values))
+
+
+def test_real_valued_input_keeps_variance_test(variance_only_stream):
+    detector = Optwin(rho=0.5, w_max=5_000, one_sided=False)
+    detections = detector.update_many(variance_only_stream.values)
+    assert any(d >= 2_000 for d in detections)
+
+
+def test_invalid_reset_mode_raises():
+    with pytest.raises(ConfigurationError):
+        Optwin(reset_mode="bogus")
+
+
+def test_config_object_takes_precedence():
+    config = OptwinConfig(delta=0.95, rho=2.0, w_min=40, w_max=500)
+    detector = Optwin(delta=0.99, rho=0.1, config=config)
+    assert detector.config is config
+    assert detector.config.rho == 2.0

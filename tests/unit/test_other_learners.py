@@ -1,0 +1,137 @@
+"""Unit tests for the perceptron, kNN, and Hoeffding-tree learners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learners.hoeffding_tree import HoeffdingTree
+from repro.learners.knn import KnnClassifier
+from repro.learners.perceptron import OnlinePerceptron
+from repro.streams.synthetic import SeaGenerator, StaggerGenerator
+
+
+def _prequential_accuracy(learner, stream, n):
+    correct = 0
+    for instance in stream.take(n):
+        correct += int(learner.predict_one(instance) == instance.y)
+        learner.learn_one(instance)
+    return correct / n
+
+
+class TestOnlinePerceptron:
+    def test_learns_linear_concept(self):
+        stream = SeaGenerator(classification_function=1, seed=2)
+        learner = OnlinePerceptron(schema=stream.schema, n_classes=2)
+        accuracy = _prequential_accuracy(learner, stream, 4_000)
+        assert accuracy > 0.8
+
+    def test_handles_nominal_attributes(self):
+        stream = StaggerGenerator(classification_function=3, seed=2)
+        learner = OnlinePerceptron(schema=stream.schema, n_classes=2)
+        accuracy = _prequential_accuracy(learner, stream, 2_000)
+        assert accuracy > 0.8
+
+    def test_probabilities_sum_to_one(self):
+        stream = SeaGenerator(seed=1)
+        learner = OnlinePerceptron(schema=stream.schema, n_classes=2)
+        learner.learn_one(stream.next_instance())
+        probabilities = learner.predict_proba_one(stream.next_instance())
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_reset(self):
+        stream = SeaGenerator(seed=1)
+        learner = OnlinePerceptron(schema=stream.schema, n_classes=2)
+        for instance in stream.take(100):
+            learner.learn_one(instance)
+        learner.reset()
+        assert learner.n_trained == 0
+        assert np.allclose(learner._weights, 0.0)
+
+
+class TestKnn:
+    def test_learns_simple_concept(self):
+        stream = SeaGenerator(classification_function=1, seed=3)
+        learner = KnnClassifier(schema=stream.schema, n_classes=2, k=7, window_size=500)
+        accuracy = _prequential_accuracy(learner, stream, 2_000)
+        assert accuracy > 0.8
+
+    def test_window_bounds_memory(self):
+        stream = SeaGenerator(seed=3)
+        learner = KnnClassifier(schema=stream.schema, n_classes=2, window_size=100)
+        for instance in stream.take(500):
+            learner.learn_one(instance)
+        assert len(learner._window) == 100
+
+    def test_untrained_predicts_uniform(self):
+        stream = SeaGenerator(seed=3)
+        learner = KnnClassifier(schema=stream.schema, n_classes=2)
+        probabilities = learner.predict_proba_one(stream.next_instance())
+        np.testing.assert_allclose(probabilities, [0.5, 0.5])
+
+    def test_invalid_parameters_raise(self):
+        stream = SeaGenerator(seed=3)
+        with pytest.raises(ConfigurationError):
+            KnnClassifier(schema=stream.schema, n_classes=2, k=0)
+        with pytest.raises(ConfigurationError):
+            KnnClassifier(schema=stream.schema, n_classes=2, k=10, window_size=5)
+
+    def test_reset(self):
+        stream = SeaGenerator(seed=3)
+        learner = KnnClassifier(schema=stream.schema, n_classes=2)
+        for instance in stream.take(50):
+            learner.learn_one(instance)
+        learner.reset()
+        assert learner.n_trained == 0
+        assert len(learner._window) == 0
+
+
+class TestHoeffdingTree:
+    def test_learns_stagger(self):
+        stream = StaggerGenerator(classification_function=1, seed=4)
+        learner = HoeffdingTree(
+            schema=stream.schema, n_classes=2, grace_period=100
+        )
+        accuracy = _prequential_accuracy(learner, stream, 4_000)
+        assert accuracy > 0.85
+
+    def test_tree_grows(self):
+        stream = StaggerGenerator(classification_function=1, seed=4)
+        learner = HoeffdingTree(schema=stream.schema, n_classes=2, grace_period=100)
+        assert learner.n_leaves == 1
+        for instance in stream.take(4_000):
+            learner.learn_one(instance)
+        assert learner.n_leaves > 1
+
+    def test_numeric_splits(self):
+        stream = SeaGenerator(classification_function=1, seed=4)
+        learner = HoeffdingTree(schema=stream.schema, n_classes=2, grace_period=150)
+        accuracy = _prequential_accuracy(learner, stream, 6_000)
+        # Must clearly beat the majority-class baseline (~0.67 for SEA f1).
+        assert accuracy > 0.72
+
+    def test_max_depth_limits_growth(self):
+        stream = SeaGenerator(seed=4)
+        shallow = HoeffdingTree(
+            schema=stream.schema, n_classes=2, grace_period=50, max_depth=1
+        )
+        for instance in stream.take(3_000):
+            shallow.learn_one(instance)
+        assert shallow.n_leaves <= 3
+
+    def test_probabilities_valid(self):
+        stream = StaggerGenerator(seed=4)
+        learner = HoeffdingTree(schema=stream.schema, n_classes=2)
+        for instance in stream.take(300):
+            learner.learn_one(instance)
+        probabilities = learner.predict_proba_one(stream.next_instance())
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities >= 0.0)
+
+    def test_reset(self):
+        stream = StaggerGenerator(seed=4)
+        learner = HoeffdingTree(schema=stream.schema, n_classes=2, grace_period=50)
+        for instance in stream.take(2_000):
+            learner.learn_one(instance)
+        learner.reset()
+        assert learner.n_leaves == 1
+        assert learner.n_trained == 0

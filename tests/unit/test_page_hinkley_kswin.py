@@ -1,0 +1,94 @@
+"""Unit tests for the Page-Hinkley and KSWIN extension baselines."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.kswin import Kswin, _ks_statistic
+from repro.detectors.no_detector import NoDriftDetector
+from repro.detectors.page_hinkley import PageHinkley
+from repro.exceptions import ConfigurationError
+
+
+class TestPageHinkley:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ConfigurationError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            PageHinkley(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            PageHinkley(min_num_instances=0)
+
+    def test_detects_mean_increase(self, sudden_gaussian_stream):
+        detector = PageHinkley(delta=0.005, threshold=20.0)
+        detections = detector.update_many(sudden_gaussian_stream.values)
+        assert any(d >= 2_000 for d in detections)
+
+    def test_no_drift_on_stationary_stream(self, rng):
+        detector = PageHinkley()
+        assert detector.update_many(rng.normal(0.3, 0.05, 10_000)) == []
+
+    def test_reset_after_drift(self, sudden_gaussian_stream):
+        detector = PageHinkley(threshold=20.0)
+        for value in sudden_gaussian_stream.values:
+            if detector.update(value).drift_detected:
+                break
+        assert detector.update(0.2).statistics["n"] == 1.0
+
+
+class TestKsStatistic:
+    def test_identical_samples_zero(self):
+        sample = [0.1, 0.5, 0.9, 0.3]
+        assert _ks_statistic(sample, sample) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert _ks_statistic([0.0, 0.1, 0.2], [0.8, 0.9, 1.0]) == pytest.approx(1.0)
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats as scipy_stats
+
+        a = rng.normal(0.0, 1.0, 50).tolist()
+        b = rng.normal(0.5, 1.2, 60).tolist()
+        expected = scipy_stats.ks_2samp(a, b).statistic
+        assert _ks_statistic(a, b) == pytest.approx(expected)
+
+    def test_handles_ties(self):
+        a = [0.0] * 10 + [1.0] * 10
+        b = [0.0] * 15 + [1.0] * 5
+        assert _ks_statistic(a, b) == pytest.approx(0.25)
+
+
+class TestKswin:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            Kswin(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            Kswin(window_size=50, stat_size=50)
+        with pytest.raises(ConfigurationError):
+            Kswin(stat_size=1, window_size=10)
+
+    def test_no_detection_until_window_full(self):
+        detector = Kswin(window_size=100, stat_size=30)
+        assert detector.update_many([0.5] * 99) == []
+
+    def test_detects_distribution_shift(self, sudden_gaussian_stream):
+        detector = Kswin(alpha=0.001, window_size=200, stat_size=40, seed=3)
+        detections = detector.update_many(sudden_gaussian_stream.values)
+        assert any(d >= 2_000 for d in detections)
+
+    def test_reset(self):
+        detector = Kswin()
+        detector.update_many([0.5] * 150)
+        detector.reset()
+        assert detector.update_many([0.5] * 99) == []
+
+
+class TestNoDriftDetector:
+    def test_never_fires(self, rng):
+        detector = NoDriftDetector()
+        assert detector.update_many(rng.random(1_000)) == []
+        assert detector.n_seen == 1_000
+        assert not detector.warning_detected
+        detector.reset()
+        assert detector.n_seen == 0

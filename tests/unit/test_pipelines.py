@@ -1,0 +1,138 @@
+"""Unit tests for the image stream, retraining policies, and OL pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.optwin import Optwin
+from repro.detectors.no_detector import NoDriftDetector
+from repro.exceptions import ConfigurationError
+from repro.learners.mlp import MLPClassifier
+from repro.pipelines.image_stream import SyntheticImageStream
+from repro.pipelines.online_learning import DriftAwarePipeline
+from repro.pipelines.retraining import FineTunePolicy, ResetPolicy
+
+
+class TestSyntheticImageStream:
+    def test_basic_shape(self):
+        stream = SyntheticImageStream(
+            n_classes=5, n_features=16, batch_size=8, n_batches=20, n_drifts=2, seed=1
+        )
+        assert len(stream) == 20
+        batch = stream.batch(0)
+        assert batch.x.shape == (8, 16)
+        assert batch.y.shape == (8,)
+        assert set(batch.y).issubset(set(range(5)))
+
+    def test_drift_batches_evenly_spaced(self):
+        stream = SyntheticImageStream(n_batches=100, n_drifts=4, seed=1)
+        assert stream.drift_batches == (20, 40, 60, 80)
+        assert len(stream.swaps) == 4
+
+    def test_batches_are_deterministic(self):
+        stream = SyntheticImageStream(n_batches=10, seed=3)
+        first = stream.batch(4)
+        second = stream.batch(4)
+        np.testing.assert_array_equal(first.x, second.x)
+        np.testing.assert_array_equal(first.y, second.y)
+
+    def test_label_swap_changes_labels_after_drift(self):
+        stream = SyntheticImageStream(
+            n_classes=4, n_features=8, batch_size=64, n_batches=40, n_drifts=1, seed=5
+        )
+        drift_batch = stream.drift_batches[0]
+        mapping_before = stream._label_map_at(drift_batch - 1)
+        mapping_after = stream._label_map_at(drift_batch)
+        assert not np.array_equal(mapping_before, mapping_after)
+        swapped = stream.swaps[0]
+        assert mapping_after[swapped[0]] == mapping_before[swapped[1]]
+
+    def test_pretraining_set_uses_original_labels(self):
+        stream = SyntheticImageStream(n_classes=4, n_features=8, seed=5)
+        x, y = stream.pretraining_set(n_examples=200)
+        assert x.shape == (200, 8)
+        assert set(y).issubset(set(range(4)))
+
+    def test_iteration_yields_all_batches(self):
+        stream = SyntheticImageStream(n_batches=15, seed=1)
+        assert sum(1 for _ in stream) == 15
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticImageStream(n_classes=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticImageStream(n_batches=10, n_drifts=10)
+        with pytest.raises(ConfigurationError):
+            SyntheticImageStream(n_batches=5).batch(7)
+
+
+class TestRetrainingPolicies:
+    def test_fine_tune_policy_counts_down(self):
+        policy = FineTunePolicy(n_batches=3)
+        assert not policy.on_batch(False, False).train
+        assert policy.on_batch(True, False).train
+        assert policy.remaining == 2
+        assert policy.on_batch(False, False).train
+        assert policy.on_batch(False, False).train
+        assert not policy.on_batch(False, False).train
+
+    def test_fine_tune_policy_restarts_on_new_drift(self):
+        policy = FineTunePolicy(n_batches=2)
+        policy.on_batch(True, False)
+        policy.on_batch(True, False)
+        assert policy.remaining == 1
+        policy.reset()
+        assert policy.remaining == 0
+
+    def test_reset_policy_resets_model_once(self):
+        policy = ResetPolicy(n_batches=2)
+        decision = policy.on_batch(True, False)
+        assert decision.train and decision.reset_model
+        decision = policy.on_batch(False, False)
+        assert decision.train and not decision.reset_model
+        assert not policy.on_batch(False, False).train
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            FineTunePolicy(n_batches=0)
+        with pytest.raises(ConfigurationError):
+            ResetPolicy(n_batches=0)
+
+
+class TestDriftAwarePipeline:
+    def _small_setup(self, detector, n_batches=80, n_drifts=1):
+        stream = SyntheticImageStream(
+            n_classes=4,
+            n_features=16,
+            batch_size=16,
+            n_batches=n_batches,
+            n_drifts=n_drifts,
+            seed=2,
+        )
+        model = MLPClassifier(n_features=16, n_classes=4, hidden_sizes=(32,), seed=2)
+        x, y = stream.pretraining_set(n_examples=800)
+        model.pretrain(x, y, n_epochs=10)
+        pipeline = DriftAwarePipeline(model, detector, fine_tune_batches=10)
+        return stream, pipeline
+
+    def test_report_structure(self):
+        stream, pipeline = self._small_setup(NoDriftDetector())
+        report = pipeline.run(stream)
+        assert len(report.losses) == len(stream)
+        assert len(report.accuracies) == len(stream)
+        assert report.n_retraining_batches == 0
+        assert report.total_seconds > 0.0
+
+    def test_drift_triggers_fine_tuning(self):
+        stream, pipeline = self._small_setup(Optwin(rho=0.5, w_min=20, w_max=2_000))
+        report = pipeline.run(stream)
+        assert report.n_detections >= 1
+        assert report.n_retraining_batches >= 10
+        assert report.retraining_seconds > 0.0
+
+    def test_losses_jump_at_drift(self):
+        stream, pipeline = self._small_setup(NoDriftDetector())
+        report = pipeline.run(stream)
+        drift_batch = stream.drift_batches[0]
+        before = np.mean(report.losses[drift_batch - 10:drift_batch])
+        after = np.mean(report.losses[drift_batch:drift_batch + 10])
+        assert after > before

@@ -1,0 +1,78 @@
+"""Unit tests for the cut-table cache (:mod:`repro.core.ppf_tables`)."""
+
+import pytest
+
+from repro.core.optimal_cut import optimal_split
+from repro.core.ppf_tables import CutTable, clear_cut_table_cache, get_cut_table
+from repro.exceptions import ConfigurationError
+
+CONFIDENCE = 0.99 ** 0.25
+
+
+def test_spec_matches_direct_computation():
+    table = CutTable(rho=0.5, confidence=CONFIDENCE)
+    for length in (40, 100, 333, 1_000):
+        expected = optimal_split(length, 0.5, CONFIDENCE)
+        actual = table.spec(length)
+        assert actual.nu_split == expected.nu_split
+        assert actual.t_critical == pytest.approx(expected.t_critical)
+        assert actual.f_critical == pytest.approx(expected.f_critical)
+
+
+def test_sequential_lengths_consistent_with_random_access():
+    sequential = CutTable(rho=0.5, confidence=CONFIDENCE)
+    for length in range(30, 300):
+        sequential.spec(length)
+    random_access = CutTable(rho=0.5, confidence=CONFIDENCE)
+    for length in (299, 157, 30, 220):
+        assert random_access.spec(length).nu_split == sequential.spec(length).nu_split
+
+
+def test_caching_counts():
+    table = CutTable(rho=0.5, confidence=CONFIDENCE)
+    assert table.n_cached == 0
+    table.spec(100)
+    table.spec(100)
+    assert table.n_cached == 1
+    table.spec(101)
+    assert table.n_cached == 2
+
+
+def test_precompute_fills_every_length():
+    table = CutTable(rho=1.0, confidence=CONFIDENCE, min_length=30)
+    table.precompute(120)
+    assert table.n_cached == 120 - 30 + 1
+
+
+def test_below_minimum_raises():
+    table = CutTable(rho=0.5, confidence=CONFIDENCE, min_length=30)
+    with pytest.raises(ConfigurationError):
+        table.spec(10)
+    with pytest.raises(ConfigurationError):
+        table.precompute(10)
+    with pytest.raises(ConfigurationError):
+        CutTable(rho=0.5, confidence=CONFIDENCE, min_length=2)
+
+
+def test_process_wide_cache_reuses_tables():
+    clear_cut_table_cache()
+    first = get_cut_table(0.5, CONFIDENCE)
+    second = get_cut_table(0.5, CONFIDENCE)
+    other = get_cut_table(1.0, CONFIDENCE)
+    assert first is second
+    assert first is not other
+    clear_cut_table_cache()
+    third = get_cut_table(0.5, CONFIDENCE)
+    assert third is not first
+
+
+def test_nu_split_monotone_trend():
+    # As the window grows the optimal historical share should not shrink by
+    # more than a couple of elements (it is essentially non-decreasing).
+    table = CutTable(rho=0.5, confidence=CONFIDENCE)
+    previous = None
+    for length in range(200, 400):
+        current = table.spec(length).nu_split
+        if previous is not None:
+            assert current >= previous - 2
+        previous = current

@@ -1,0 +1,94 @@
+"""Unit tests for the prequential evaluation loop."""
+
+import pytest
+
+from repro.core.optwin import Optwin
+from repro.detectors.no_detector import NoDriftDetector
+from repro.evaluation.prequential import run_prequential
+from repro.exceptions import ConfigurationError
+from repro.learners.naive_bayes import NaiveBayes
+from repro.streams.drift import ConceptDriftStream
+from repro.streams.synthetic import StaggerGenerator
+
+
+def _stagger_with_drift(seed=1, position=2_000):
+    return ConceptDriftStream(
+        StaggerGenerator(classification_function=1, seed=seed),
+        StaggerGenerator(classification_function=2, seed=seed + 1),
+        position=position,
+        width=1,
+        seed=seed,
+    )
+
+
+def test_basic_run_counts():
+    stream = StaggerGenerator(seed=1)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    result = run_prequential(stream, learner, NoDriftDetector(), n_instances=500)
+    assert result.n_instances == 500
+    assert 0.0 <= result.accuracy <= 1.0
+    assert result.detections == []
+
+
+def test_accuracy_improves_with_training():
+    stream = StaggerGenerator(classification_function=1, seed=2)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    result = run_prequential(
+        stream, learner, None, n_instances=2_000, curve_window=500
+    )
+    assert result.accuracy_curve[-1] > result.accuracy_curve[0] - 0.05
+    assert result.accuracy_curve[-1] > 0.9
+
+
+def test_accuracy_curve_length():
+    stream = StaggerGenerator(seed=1)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    result = run_prequential(stream, learner, None, n_instances=1_050, curve_window=500)
+    assert len(result.accuracy_curve) == 3  # 500 + 500 + 50
+
+
+def test_detector_reset_improves_recovery():
+    drifted = _stagger_with_drift(seed=3)
+    learner = NaiveBayes(schema=drifted.schema, n_classes=2)
+    with_detector = run_prequential(
+        drifted, learner, Optwin(rho=0.5, w_max=5_000), n_instances=4_000
+    )
+
+    drifted_again = _stagger_with_drift(seed=3)
+    learner_no_reset = NaiveBayes(schema=drifted_again.schema, n_classes=2)
+    without_detector = run_prequential(
+        drifted_again, learner_no_reset, None, n_instances=4_000
+    )
+    assert with_detector.n_detections >= 1
+    assert with_detector.accuracy >= without_detector.accuracy
+
+
+def test_warnings_recorded():
+    drifted = _stagger_with_drift(seed=4)
+    learner = NaiveBayes(schema=drifted.schema, n_classes=2)
+    result = run_prequential(
+        drifted, learner, Optwin(rho=0.5, w_max=5_000), n_instances=4_000
+    )
+    assert len(result.warnings) >= len(result.detections)
+
+
+def test_reset_on_drift_can_be_disabled():
+    drifted = _stagger_with_drift(seed=5)
+    learner = NaiveBayes(schema=drifted.schema, n_classes=2)
+    result = run_prequential(
+        drifted,
+        learner,
+        Optwin(rho=0.5, w_max=5_000),
+        n_instances=4_000,
+        reset_on_drift=False,
+    )
+    assert learner.n_trained == 4_000  # never reset
+
+
+def test_invalid_arguments_raise():
+    stream = StaggerGenerator(seed=1)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    with pytest.raises(ConfigurationError):
+        run_prequential(stream, learner, None, n_instances=0)
+    with pytest.raises(ConfigurationError):
+        run_prequential(stream, learner, None, n_instances=10, curve_window=0)

@@ -1,0 +1,103 @@
+"""Unit tests for the equality-of-proportions test and the EWMA estimator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.stats.ewma import SUPPORTED_ARL0, EwmaEstimator, ecdd_control_limit
+from repro.stats.proportions import equal_proportions_test
+
+
+class TestEqualProportions:
+    def test_no_difference_gives_high_p_value(self):
+        result = equal_proportions_test(24, 30, 240, 300)
+        assert result.p_value > 0.3
+
+    def test_accuracy_drop_gives_low_p_value(self):
+        result = equal_proportions_test(10, 30, 280, 300)
+        assert result.p_value < 0.001
+        assert result.statistic > 3.0
+
+    def test_accuracy_increase_not_flagged(self):
+        # One-sided: getting better is never a drift signal.
+        result = equal_proportions_test(30, 30, 150, 300)
+        assert result.p_value >= 0.5
+
+    def test_degenerate_all_correct(self):
+        result = equal_proportions_test(30, 30, 300, 300)
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            equal_proportions_test(5, 0, 10, 20)
+        with pytest.raises(ConfigurationError):
+            equal_proportions_test(31, 30, 10, 20)
+        with pytest.raises(ConfigurationError):
+            equal_proportions_test(5, 30, 25, 20)
+
+
+class TestEcddControlLimit:
+    def test_supported_arl0_values(self):
+        for arl0 in SUPPORTED_ARL0:
+            limit = ecdd_control_limit(0.1, arl0)
+            assert limit > 0.0
+
+    def test_larger_arl0_gives_larger_limit_at_low_p(self):
+        assert ecdd_control_limit(0.05, 1000) > ecdd_control_limit(0.05, 100)
+
+    def test_p_is_clamped(self):
+        assert ecdd_control_limit(0.9, 400) == ecdd_control_limit(0.5, 400)
+        assert ecdd_control_limit(-0.5, 400) == ecdd_control_limit(0.0, 400)
+
+    def test_intermediate_arl0_accepted(self):
+        # Any ARL0 >= 2 is accepted; the limit interpolates smoothly.
+        assert (
+            ecdd_control_limit(0.1, 100)
+            < ecdd_control_limit(0.1, 500)
+            < ecdd_control_limit(0.1, 1000)
+        )
+
+    def test_invalid_arl0_raises(self):
+        with pytest.raises(ConfigurationError):
+            ecdd_control_limit(0.1, 1)
+        with pytest.raises(ConfigurationError):
+            ecdd_control_limit(0.1, 400, lambda_=0.0)
+
+
+class TestEwmaEstimator:
+    def test_first_value_initialises_z(self):
+        ewma = EwmaEstimator(lambda_=0.2)
+        ewma.update(1.0)
+        assert ewma.z == 1.0
+        assert ewma.p_estimate == 1.0
+        assert ewma.count == 1
+
+    def test_converges_to_mean(self):
+        ewma = EwmaEstimator(lambda_=0.2)
+        for index in range(2000):
+            ewma.update(1.0 if index % 5 == 0 else 0.0)
+        assert ewma.p_estimate == pytest.approx(0.2, abs=0.01)
+        assert ewma.z == pytest.approx(0.2, abs=0.15)
+
+    def test_z_std_formula(self):
+        ewma = EwmaEstimator(lambda_=0.2)
+        for index in range(100):
+            ewma.update(float(index % 2))
+        p = ewma.p_estimate
+        factor = (0.2 / 1.8) * (1.0 - 0.8 ** 200)
+        assert ewma.z_std == pytest.approx(math.sqrt(p * (1 - p) * factor))
+
+    def test_reset(self):
+        ewma = EwmaEstimator()
+        ewma.update(1.0)
+        ewma.reset()
+        assert ewma.count == 0
+        assert ewma.z == 0.0
+
+    def test_invalid_lambda_raises(self):
+        with pytest.raises(ConfigurationError):
+            EwmaEstimator(lambda_=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaEstimator(lambda_=1.5)

@@ -1,0 +1,114 @@
+"""Unit tests for the RDDM and HDDM_A extension baselines."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.hddm import HddmA
+from repro.detectors.rddm import Rddm
+from repro.exceptions import ConfigurationError
+
+
+class TestRddm:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            Rddm(min_num_instances=0)
+        with pytest.raises(ConfigurationError):
+            Rddm(warning_level=3.0, drift_level=2.0)
+        with pytest.raises(ConfigurationError):
+            Rddm(max_concept_size=100, min_stable_size=100)
+        with pytest.raises(ConfigurationError):
+            Rddm(warning_limit=0)
+
+    def test_detects_error_rate_increase(self, sudden_binary_stream):
+        detector = Rddm()
+        detections = detector.update_many(sudden_binary_stream.values)
+        post = [d for d in detections if d >= 2_000]
+        assert post
+        assert post[0] - 2_000 < 1_000
+
+    def test_low_false_positives_on_stationary_stream(self, rng):
+        detector = Rddm()
+        values = (rng.random(10_000) < 0.3).astype(float)
+        assert len(detector.update_many(values)) <= 1
+
+    def test_statistics_rebuilt_after_max_concept_size(self, rng):
+        detector = Rddm(max_concept_size=2_000, min_stable_size=500)
+        values = (rng.random(5_000) < 0.3).astype(float)
+        detector.update_many(values)
+        # After the reactive rebuild the internal counter restarts from the
+        # recent buffer, so it stays well below the number of processed items.
+        assert detector._n < 3_000
+
+    def test_long_warning_forces_drift(self, rng):
+        detector = Rddm(warning_limit=50, min_num_instances=30)
+        # A slow, small increase keeps DDM-style statistics in the warning
+        # zone for a long time; RDDM converts that into a drift.
+        values = []
+        for index in range(4_000):
+            p = 0.2 + min(index / 8_000.0, 0.15)
+            values.append(1.0 if rng.random() < p else 0.0)
+        detections = detector.update_many(values)
+        assert detections
+
+    def test_reset(self):
+        detector = Rddm()
+        detector.update_many([1.0] * 200)
+        detector.reset()
+        assert detector.n_seen == 0
+        assert detector._n == 0
+
+
+class TestHddmA:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            HddmA(drift_confidence=0.01, warning_confidence=0.001)
+        with pytest.raises(ConfigurationError):
+            HddmA(value_range=0.0)
+
+    def test_detects_mean_increase_binary(self, sudden_binary_stream):
+        detector = HddmA()
+        detections = detector.update_many(sudden_binary_stream.values)
+        post = [d for d in detections if d >= 2_000]
+        assert post
+        assert post[0] - 2_000 < 400
+
+    def test_detects_mean_increase_real_valued(self, sudden_gaussian_stream):
+        detector = HddmA(value_range=1.0)
+        detections = detector.update_many(sudden_gaussian_stream.values)
+        assert any(d >= 2_000 for d in detections)
+
+    def test_ignores_improvements(self, rng):
+        detector = HddmA()
+        values = np.concatenate(
+            [
+                (rng.random(2_000) < 0.6).astype(float),
+                (rng.random(2_000) < 0.2).astype(float),
+            ]
+        )
+        detections = detector.update_many(values)
+        assert [d for d in detections if d >= 2_000] == []
+
+    def test_low_false_positives_on_stationary_stream(self, rng):
+        detector = HddmA()
+        values = (rng.random(10_000) < 0.3).astype(float)
+        assert len(detector.update_many(values)) <= 1
+
+    def test_warning_precedes_drift(self, sudden_binary_stream):
+        detector = HddmA()
+        first_warning = None
+        first_drift = None
+        for index, value in enumerate(sudden_binary_stream.values):
+            result = detector.update(value)
+            if result.warning_detected and first_warning is None and index >= 2_000:
+                first_warning = index
+            if result.drift_detected and index >= 2_000:
+                first_drift = index
+                break
+        assert first_drift is not None and first_warning is not None
+        assert first_warning <= first_drift
+
+    def test_reset(self):
+        detector = HddmA()
+        detector.update_many([0.2] * 100)
+        detector.reset()
+        assert detector.n_seen == 0

@@ -1,0 +1,84 @@
+"""Unit tests for the significance analysis and the table renderers."""
+
+import pytest
+
+from repro.evaluation.reporting import (
+    format_accuracy_table,
+    format_detection_rows,
+    format_table,
+)
+from repro.evaluation.significance import compare_f1_scores, significance_matrix
+from repro.exceptions import ConfigurationError
+
+
+class TestSignificance:
+    def test_clear_winner_is_significant(self):
+        high = [0.95, 0.97, 0.96, 0.94, 0.98, 0.93, 0.95, 0.96, 0.97, 0.95]
+        low = [0.60, 0.65, 0.62, 0.58, 0.66, 0.59, 0.61, 0.64, 0.63, 0.60]
+        comparison = compare_f1_scores("OPTWIN", high, "ADWIN", low)
+        assert comparison.a_better
+        assert comparison.detector_a == "OPTWIN"
+
+    def test_no_difference_is_not_significant(self):
+        scores = [0.8, 0.82, 0.81, 0.79, 0.8, 0.78, 0.83, 0.8]
+        comparison = compare_f1_scores("A", scores, "B", list(scores))
+        assert not comparison.a_better
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            compare_f1_scores("A", [0.5, 0.6], "B", [0.5])
+
+    def test_matrix_has_all_ordered_pairs(self):
+        scores = {
+            "A": [0.9, 0.8, 0.85, 0.9, 0.88],
+            "B": [0.5, 0.55, 0.6, 0.5, 0.52],
+            "C": [0.7, 0.72, 0.68, 0.71, 0.7],
+        }
+        comparisons = significance_matrix(scores)
+        assert len(comparisons) == 6
+        names = {(c.detector_a, c.detector_b) for c in comparisons}
+        assert ("A", "B") in names and ("B", "A") in names
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["x", 1.2345], ["longer-name", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data rows have the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_detection_rows(self):
+        rows = [
+            {
+                "detector": "OPTWIN",
+                "delay": 28.2,
+                "fp": 0.1,
+                "precision": 0.96,
+                "recall": 1.0,
+                "f1": 0.98,
+            }
+        ]
+        text = format_detection_rows(rows, title="Sudden binary drift")
+        assert "OPTWIN" in text
+        assert "96%" in text and "100%" in text and "98%" in text
+
+    def test_format_accuracy_table(self):
+        accuracies = {
+            "OPTWIN": {"STAGGER": 0.9996, "AGRAWAL": 0.7011},
+            "ADWIN": {"STAGGER": 0.9989, "AGRAWAL": 0.7022},
+        }
+        text = format_accuracy_table(
+            accuracies, dataset_order=["STAGGER", "AGRAWAL"], title="Table 2"
+        )
+        assert "99.96" in text and "70.22" in text
+        assert text.splitlines()[1].startswith("Detector")
+
+    def test_format_accuracy_table_missing_value(self):
+        accuracies = {"OPTWIN": {"STAGGER": 0.9}}
+        text = format_accuracy_table(accuracies, dataset_order=["STAGGER", "OTHER"])
+        assert "nan" in text

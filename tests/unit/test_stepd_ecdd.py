@@ -1,0 +1,92 @@
+"""Unit tests for the STEPD and ECDD baselines."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ecdd import Ecdd
+from repro.detectors.stepd import Stepd
+from repro.exceptions import ConfigurationError
+
+
+class TestStepd:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            Stepd(window_size=1)
+        with pytest.raises(ConfigurationError):
+            Stepd(alpha_drift=0.1, alpha_warning=0.05)
+        with pytest.raises(ConfigurationError):
+            Stepd(alpha_drift=0.0)
+
+    def test_needs_two_full_windows(self):
+        detector = Stepd(window_size=30)
+        # Fewer than 60 observations can never trigger anything.
+        assert detector.update_many([1.0] * 59) == []
+
+    def test_detects_accuracy_drop(self, sudden_binary_stream):
+        detector = Stepd()
+        detections = detector.update_many(sudden_binary_stream.values)
+        post = [d for d in detections if d >= 2_000]
+        assert post
+        assert post[0] - 2_000 < 300
+
+    def test_overall_accuracy_property(self):
+        detector = Stepd()
+        # Errors interleaved uniformly so no drift fires and accuracy is 0.8.
+        detector.update_many([0.0, 0.0, 0.0, 0.0, 1.0] * 20)
+        assert detector.overall_accuracy == pytest.approx(0.8, abs=0.01)
+
+    def test_no_drift_on_stationary_stream(self, rng):
+        detector = Stepd()
+        values = (rng.random(5_000) < 0.3).astype(float)
+        assert len(detector.update_many(values)) <= 3
+
+    def test_reset_after_drift(self, sudden_binary_stream):
+        detector = Stepd()
+        for value in sudden_binary_stream.values:
+            if detector.update(value).drift_detected:
+                break
+        assert detector.overall_accuracy == 0.0
+
+
+class TestEcdd:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            Ecdd(arl0=1)
+        with pytest.raises(ConfigurationError):
+            Ecdd(warning_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            Ecdd(min_num_instances=0)
+
+    def test_p_estimate_tracks_error_rate(self):
+        detector = Ecdd()
+        # Strict alternation keeps the EWMA glued to 0.5, so the estimator is
+        # never reset and the error-probability estimate converges to 0.5.
+        detector.update_many([0.0, 1.0] * 1_000)
+        assert detector.p_estimate == pytest.approx(0.5, abs=0.01)
+
+    def test_detects_error_rate_increase(self, sudden_binary_stream):
+        detector = Ecdd()
+        detections = detector.update_many(sudden_binary_stream.values)
+        post = [d for d in detections if d >= 2_000]
+        assert post
+        assert post[0] - 2_000 < 200
+
+    def test_detection_is_fast_but_fp_prone(self, rng):
+        # ECDD is known (and shown in the paper) to trade FPs for speed.
+        detector = Ecdd(arl0=100)
+        values = (rng.random(10_000) < 0.3).astype(float)
+        detections = detector.update_many(values)
+        assert len(detections) >= 1  # fires even without a true drift
+
+    def test_higher_arl0_reduces_false_positives(self, rng):
+        values = (rng.random(20_000) < 0.3).astype(float)
+        fast = Ecdd(arl0=100)
+        slow = Ecdd(arl0=1000)
+        assert len(slow.update_many(values)) <= len(fast.update_many(values))
+
+    def test_reset(self):
+        detector = Ecdd()
+        detector.update_many([1.0] * 100)
+        detector.reset()
+        assert detector.p_estimate == 0.0
+        assert detector.z == 0.0

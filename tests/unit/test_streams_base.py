@@ -1,0 +1,89 @@
+"""Unit tests for the stream base abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.base import (
+    Attribute,
+    Instance,
+    ValueStream,
+    nominal_attribute,
+    numeric_attribute,
+)
+from repro.streams.synthetic import StaggerGenerator
+
+
+class TestAttribute:
+    def test_numeric_constructor(self):
+        attribute = numeric_attribute("age")
+        assert attribute.kind == "numeric"
+        assert not attribute.is_nominal
+        assert attribute.n_values == 0
+
+    def test_nominal_constructor(self):
+        attribute = nominal_attribute("color", 3)
+        assert attribute.is_nominal
+        assert attribute.n_values == 3
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            Attribute(name="x", kind="ordinal")
+
+    def test_nominal_needs_two_values(self):
+        with pytest.raises(ConfigurationError):
+            nominal_attribute("flag", 1)
+
+
+class TestInstanceStream:
+    def test_take_and_counting(self):
+        stream = StaggerGenerator(seed=3)
+        instances = stream.take(25)
+        assert len(instances) == 25
+        assert stream.n_emitted == 25
+        assert all(isinstance(instance, Instance) for instance in instances)
+
+    def test_restart_reproduces_sequence(self):
+        stream = StaggerGenerator(seed=3)
+        first = [tuple(i.x) + (i.y,) for i in stream.take(50)]
+        stream.restart()
+        second = [tuple(i.x) + (i.y,) for i in stream.take(50)]
+        assert first == second
+        assert stream.n_emitted == 50
+
+    def test_iteration_protocol(self):
+        stream = StaggerGenerator(seed=1)
+        iterator = iter(stream)
+        instance = next(iterator)
+        assert isinstance(instance, Instance)
+
+    def test_schema_copy_is_defensive(self):
+        stream = StaggerGenerator(seed=1)
+        schema = stream.schema
+        schema.pop()
+        assert len(stream.schema) == 3
+
+    def test_take_negative_raises(self):
+        with pytest.raises(ConfigurationError):
+            StaggerGenerator().take(-1)
+
+
+class TestValueStream:
+    def test_basic_properties(self):
+        stream = ValueStream(values=np.array([0.1, 0.2, 0.3]), drift_positions=(1,))
+        assert len(stream) == 3
+        assert list(stream) == pytest.approx([0.1, 0.2, 0.3])
+        assert stream.drift_widths == (1,)
+
+    def test_default_widths_filled(self):
+        stream = ValueStream(values=np.zeros(10), drift_positions=(3, 7))
+        assert stream.drift_widths == (1, 1)
+
+    def test_mismatched_widths_raise(self):
+        with pytest.raises(ConfigurationError):
+            ValueStream(values=np.zeros(5), drift_positions=(1, 2), drift_widths=(1,))
+
+    def test_segment(self):
+        stream = ValueStream(values=np.arange(10, dtype=float))
+        np.testing.assert_allclose(stream.segment(2, 5), [2.0, 3.0, 4.0])
+        np.testing.assert_allclose(stream.segment(8), [8.0, 9.0])

@@ -1,0 +1,109 @@
+"""Unit tests for the Welch t-test and the variance F-test helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ConfigurationError
+from repro.stats.ftest import f_statistic, f_test
+from repro.stats.welch import welch_degrees_of_freedom, welch_statistic, welch_t_test
+
+
+def _summary(values):
+    return float(np.mean(values)), float(np.var(values, ddof=1)), len(values)
+
+
+class TestWelch:
+    def test_statistic_matches_scipy(self, rng):
+        a = rng.normal(0.3, 0.1, size=80)
+        b = rng.normal(0.5, 0.2, size=50)
+        expected = scipy_stats.ttest_ind(a, b, equal_var=False)
+        mean_a, var_a, n_a = _summary(a)
+        mean_b, var_b, n_b = _summary(b)
+        statistic = welch_statistic(mean_a, var_a, n_a, mean_b, var_b, n_b)
+        assert statistic == pytest.approx(expected.statistic, rel=1e-9)
+
+    def test_degrees_of_freedom_match_scipy_formula(self, rng):
+        a = rng.normal(0.0, 1.0, size=40)
+        b = rng.normal(0.0, 2.0, size=25)
+        _, var_a, n_a = _summary(a)
+        _, var_b, n_b = _summary(b)
+        df = welch_degrees_of_freedom(var_a, n_a, var_b, n_b)
+        term_a, term_b = var_a / n_a, var_b / n_b
+        expected = (term_a + term_b) ** 2 / (
+            term_a ** 2 / (n_a - 1) + term_b ** 2 / (n_b - 1)
+        )
+        assert df == pytest.approx(expected)
+
+    def test_p_value_matches_scipy(self, rng):
+        a = rng.normal(0.3, 0.1, size=60)
+        b = rng.normal(0.4, 0.1, size=60)
+        expected = scipy_stats.ttest_ind(a, b, equal_var=False)
+        result = welch_t_test(*_summary(a), *_summary(b))
+        assert result.p_value == pytest.approx(expected.pvalue, rel=1e-6)
+
+    def test_zero_variance_equal_means(self):
+        statistic = welch_statistic(0.5, 0.0, 10, 0.5, 0.0, 10)
+        assert statistic == 0.0
+
+    def test_zero_variance_different_means_is_infinite(self):
+        statistic = welch_statistic(0.9, 0.0, 10, 0.1, 0.0, 10)
+        assert math.isinf(statistic)
+        result = welch_t_test(0.9, 0.0, 10, 0.1, 0.0, 10)
+        assert result.significant
+        assert result.p_value == 0.0
+
+    def test_identical_samples_not_significant(self):
+        result = welch_t_test(0.5, 0.01, 100, 0.5, 0.01, 100, confidence=0.99)
+        assert not result.significant
+        assert result.statistic == 0.0
+
+    def test_large_shift_significant(self):
+        result = welch_t_test(0.2, 0.01, 100, 0.8, 0.01, 100, confidence=0.99)
+        assert result.significant
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ConfigurationError):
+            welch_statistic(0.5, 0.1, 0, 0.5, 0.1, 10)
+        with pytest.raises(ConfigurationError):
+            welch_degrees_of_freedom(0.1, 1, 0.1, 10)
+
+
+class TestFTest:
+    def test_statistic_with_eta(self):
+        assert f_statistic(0.2, 0.1, eta=0.0) == pytest.approx(4.0)
+        # eta keeps the statistic finite when the denominator is zero.
+        assert math.isfinite(f_statistic(0.2, 0.0, eta=1e-5))
+        assert math.isinf(f_statistic(0.2, 0.0, eta=0.0))
+
+    def test_negative_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            f_statistic(-0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            f_statistic(0.1, 0.1, eta=-1.0)
+
+    def test_equal_variances_not_significant(self):
+        result = f_test(0.1, 100, 0.1, 100, confidence=0.99)
+        assert not result.significant
+        assert result.statistic == pytest.approx(1.0, rel=1e-3)
+
+    def test_variance_increase_significant(self):
+        result = f_test(0.5, 100, 0.1, 100, confidence=0.99)
+        assert result.significant
+        assert result.p_value < 0.01
+
+    def test_variance_decrease_not_flagged(self):
+        # The test is one-sided: a smaller new variance never rejects.
+        result = f_test(0.05, 100, 0.2, 100, confidence=0.99)
+        assert not result.significant
+
+    def test_p_value_matches_scipy_survival(self):
+        result = f_test(0.3, 50, 0.2, 80, confidence=0.95, eta=0.0)
+        expected = scipy_stats.f.sf(result.statistic, 49, 79)
+        assert result.p_value == pytest.approx(expected, rel=1e-9)
+
+    def test_small_samples_raise(self):
+        with pytest.raises(ConfigurationError):
+            f_test(0.1, 1, 0.1, 100)

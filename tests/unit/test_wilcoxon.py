@@ -1,0 +1,72 @@
+"""Unit tests for the one-tailed Wilcoxon signed-rank test."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import ConfigurationError
+from repro.stats.wilcoxon import wilcoxon_signed_rank
+
+
+def test_clearly_better_sample_is_significant():
+    a = [0.9, 0.95, 0.92, 0.88, 0.97, 0.91, 0.94, 0.9, 0.93, 0.96]
+    b = [0.5, 0.55, 0.52, 0.48, 0.57, 0.51, 0.54, 0.5, 0.53, 0.56]
+    result = wilcoxon_signed_rank(a, b)
+    assert result.significant
+    assert result.p_value < 0.01
+
+
+def test_identical_samples_not_significant():
+    a = [0.5] * 10
+    result = wilcoxon_signed_rank(a, a)
+    assert not result.significant
+    assert result.p_value == 1.0
+    assert result.n_effective == 0
+
+
+def test_worse_sample_not_significant():
+    a = [0.3, 0.4, 0.35, 0.32, 0.38, 0.31, 0.36, 0.37]
+    b = [0.8, 0.85, 0.8, 0.82, 0.88, 0.81, 0.86, 0.87]
+    result = wilcoxon_signed_rank(a, b)
+    assert not result.significant
+    assert result.p_value > 0.5
+
+
+def test_exact_p_value_matches_scipy_small_sample():
+    a = [0.9, 0.8, 0.85, 0.7, 0.95, 0.88, 0.79, 0.91]
+    b = [0.6, 0.82, 0.7, 0.72, 0.65, 0.8, 0.81, 0.6]
+    ours = wilcoxon_signed_rank(a, b)
+    expected = scipy_stats.wilcoxon(a, b, alternative="greater", mode="exact")
+    assert ours.p_value == pytest.approx(expected.pvalue, abs=0.02)
+
+
+def test_normal_approximation_matches_scipy_large_sample(rng):
+    a = (rng.random(40) + 0.15).tolist()
+    b = rng.random(40).tolist()
+    ours = wilcoxon_signed_rank(a, b)
+    expected = scipy_stats.wilcoxon(a, b, alternative="greater", mode="approx")
+    assert ours.p_value == pytest.approx(expected.pvalue, abs=0.03)
+    assert ours.significant == (expected.pvalue < 0.05)
+
+
+def test_handles_ties_in_differences():
+    a = [0.8, 0.8, 0.9, 0.9, 0.7, 0.7, 0.85, 0.95]
+    b = [0.6, 0.6, 0.7, 0.7, 0.5, 0.5, 0.65, 0.75]
+    result = wilcoxon_signed_rank(a, b)
+    assert result.significant
+
+
+def test_zero_differences_are_dropped():
+    a = [0.5, 0.6, 0.7, 0.8, 0.9, 0.5]
+    b = [0.5, 0.5, 0.6, 0.7, 0.8, 0.5]
+    result = wilcoxon_signed_rank(a, b)
+    assert result.n_effective == 4
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ConfigurationError):
+        wilcoxon_signed_rank([1.0, 2.0], [1.0])
+    with pytest.raises(ConfigurationError):
+        wilcoxon_signed_rank([1.0, 2.0], [1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        wilcoxon_signed_rank([1.0] * 5, [0.5] * 5, alpha=1.5)
