@@ -1,4 +1,10 @@
-"""Section 3.4 — per-element update cost of OPTWIN vs the baselines (E14)."""
+"""Section 3.4 — per-element update cost of OPTWIN vs the baselines (E14).
+
+Extended beyond the paper: every detector with a vectorised ``update_batch``
+fast path is measured twice — once in the classic scalar ``update`` loop and
+once fed in chunks through the batch API — and the speedup between the two
+modes is reported alongside the paper's O(1)-per-element comparison.
+"""
 
 from conftest import run_once
 
@@ -15,27 +21,64 @@ def test_runtime_per_element(benchmark, scale, report):
     )
     measurements = run_once(benchmark, run_runtime_comparison, stream_lengths=lengths)
     rows = [
-        [m.detector_name, m.n_elements, f"{m.seconds_per_element * 1e6:.2f}"]
+        [m.detector_name, m.mode, m.n_elements, f"{m.seconds_per_element * 1e6:.2f}"]
         for m in measurements
     ]
     report(
         "runtime_per_element",
         format_table(
-            ["Detector", "Stream length", "Microseconds per element"],
+            ["Detector", "Mode", "Stream length", "Microseconds per element"],
             rows,
             title="Per-element update cost (steady state, pre-computed cut tables)",
         ),
     )
+
+    # Batch-vs-scalar speedup at the longest stream for each batch-capable
+    # detector (the headline number of the vectorised execution engine).
+    longest = max(lengths)
+    by_key = {
+        (m.detector_name, m.mode): m.seconds_per_element
+        for m in measurements
+        if m.n_elements == longest
+    }
+    speedup_rows = []
+    for (name, mode), cost in sorted(by_key.items()):
+        if mode != "batch":
+            continue
+        scalar_cost = by_key.get((name, "scalar"))
+        if scalar_cost and cost > 0:
+            speedup_rows.append([name, f"{scalar_cost / cost:.1f}x"])
+    if speedup_rows:
+        report(
+            "batch_speedup",
+            format_table(
+                ["Detector", "Batch speedup vs scalar"],
+                speedup_rows,
+                title=f"update_batch speedup at {longest} elements",
+            ),
+        )
+
     # Paper shape: OPTWIN's amortised cost stays flat (O(1)) as the stream and
     # window grow — the cost at the longest stream is within a small factor of
     # the cost at the shortest one.
     optwin_costs = {
         m.n_elements: m.seconds_per_element
         for m in measurements
-        if m.detector_name.startswith("OPTWIN")
+        if m.detector_name.startswith("OPTWIN") and m.mode == "scalar"
     }
     shortest, longest = min(optwin_costs), max(optwin_costs)
     assert optwin_costs[longest] < optwin_costs[shortest] * 5
+
+    # The vectorised engine must beat the scalar loop substantially.
+    optwin_batch = [
+        m.seconds_per_element
+        for m in measurements
+        if m.detector_name.startswith("OPTWIN") and m.mode == "batch"
+        and m.n_elements == longest
+    ]
+    optwin_scalar = optwin_costs[longest]
+    if optwin_batch:
+        assert optwin_batch[0] * 5 < optwin_scalar
 
     memory = Optwin(w_max=25_000).memory_bytes()
     report(
@@ -60,3 +103,19 @@ def test_optwin_update_throughput(benchmark):
         detector.update(values[index["value"]])
 
     benchmark(one_update)
+
+
+def test_optwin_batch_throughput(benchmark):
+    """Micro-benchmark: one 4096-element update_batch call in steady state."""
+    import numpy as np
+
+    detector = Optwin(rho=0.5, w_max=25_000)
+    detector.precompute_tables()
+    values = (np.random.default_rng(1).random(25_000) < 0.3).astype(float)
+    detector.update_many(values)  # warm the window
+    chunk = (np.random.default_rng(2).random(4_096) < 0.3).astype(float)
+
+    def one_batch():
+        detector.update_batch(chunk)
+
+    benchmark(one_batch)

@@ -10,7 +10,7 @@ Public surface:
   data-independent optimal-cut machinery.
 """
 
-from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.core.base import BatchResult, DetectionResult, DriftDetector, DriftType
 from repro.core.config import OptwinConfig
 from repro.core.optimal_cut import (
     SplitSpec,
@@ -21,13 +21,19 @@ from repro.core.optimal_cut import (
     welch_df_upper_bound,
 )
 from repro.core.optwin import Optwin
-from repro.core.ppf_tables import CutTable, clear_cut_table_cache, get_cut_table
+from repro.core.ppf_tables import (
+    CutTable,
+    DenseCutArrays,
+    clear_cut_table_cache,
+    get_cut_table,
+)
 
 __all__ = [
     "Optwin",
     "OptwinConfig",
     "DriftDetector",
     "DetectionResult",
+    "BatchResult",
     "DriftType",
     "SplitSpec",
     "optimal_split",
@@ -36,6 +42,7 @@ __all__ = [
     "welch_df_upper_bound",
     "minimum_solvable_length",
     "CutTable",
+    "DenseCutArrays",
     "get_cut_table",
     "clear_cut_table_cache",
 ]

@@ -23,7 +23,27 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional
 
-__all__ = ["DriftType", "DetectionResult", "DriftDetector"]
+import numpy as np
+
+
+def as_value_array(values: Iterable[float]) -> "np.ndarray":
+    """Coerce a chunk of monitored values into a contiguous float64 vector."""
+    if isinstance(values, np.ndarray):
+        array = np.ascontiguousarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            array = array.reshape(-1)
+        return array
+    if isinstance(values, (list, tuple)):
+        return np.asarray(values, dtype=np.float64)
+    return np.fromiter(values, dtype=np.float64)
+
+__all__ = [
+    "DriftType",
+    "DetectionResult",
+    "BatchResult",
+    "DriftDetector",
+    "as_value_array",
+]
 
 
 class DriftType(str, Enum):
@@ -60,6 +80,38 @@ class DetectionResult:
         return self.drift_detected
 
 
+@dataclass
+class BatchResult:
+    """Outcome of feeding a chunk of elements to a drift detector.
+
+    Attributes
+    ----------
+    n_processed:
+        Number of elements consumed from the chunk (always the full chunk).
+    drift_indices:
+        0-based positions within the chunk where drifts were flagged.
+    warning_indices:
+        0-based positions within the chunk where the warning zone was active
+        (drift positions are *not* repeated here unless the detector reports
+        the element as both, which all detectors in this library do — a drift
+        element always counts as a warning element as well).
+    results:
+        Per-element :class:`DetectionResult` objects, only populated when the
+        batch was run with ``collect_stats=True``; ``None`` otherwise so the
+        fast paths never allocate per-element objects.
+    """
+
+    n_processed: int
+    drift_indices: List[int] = field(default_factory=list)
+    warning_indices: List[int] = field(default_factory=list)
+    results: Optional[List[DetectionResult]] = None
+
+    @property
+    def n_drifts(self) -> int:
+        """Number of drifts flagged inside the chunk."""
+        return len(self.drift_indices)
+
+
 class DriftDetector(abc.ABC):
     """Abstract base class for error-rate-based concept-drift detectors.
 
@@ -88,12 +140,49 @@ class DriftDetector(abc.ABC):
         return result
 
     def update_many(self, values: Iterable[float]) -> List[int]:
-        """Feed many values; return the 0-based indices where drifts fired."""
-        detections: List[int] = []
+        """Feed many values; return the 0-based indices where drifts fired.
+
+        Routed through :meth:`update_batch`, so detectors with a vectorised
+        batch implementation serve this call at batch speed while reporting
+        exactly the same drift indices as element-by-element :meth:`update`.
+        """
+        return self.update_batch(values).drift_indices
+
+    def update_batch(
+        self, values: Iterable[float], collect_stats: bool = False
+    ) -> BatchResult:
+        """Feed a chunk of values and return the aggregated outcome.
+
+        The base implementation is the plain scalar loop; detectors with a
+        closed-form batched path override this method.  Overrides must be
+        *observationally equivalent* to the scalar loop: identical drift and
+        warning indices, identical post-batch detector state, and identical
+        ``n_seen``/``n_drifts``/``n_warnings`` counters.
+
+        Parameters
+        ----------
+        values:
+            Chunk of monitored values, oldest first.
+        collect_stats:
+            When ``True``, per-element :class:`DetectionResult` objects
+            (including their diagnostic ``statistics`` dicts) are collected in
+            :attr:`BatchResult.results`.  Fast paths fall back to the scalar
+            loop in this mode — ask for statistics only when you need them.
+        """
+        drift_indices: List[int] = []
+        warning_indices: List[int] = []
+        results: Optional[List[DetectionResult]] = [] if collect_stats else None
+        count = 0
         for index, value in enumerate(values):
-            if self.update(value).drift_detected:
-                detections.append(index)
-        return detections
+            outcome = self.update(value)
+            count += 1
+            if outcome.drift_detected:
+                drift_indices.append(index)
+            if outcome.warning_detected:
+                warning_indices.append(index)
+            if results is not None:
+                results.append(outcome)
+        return BatchResult(count, drift_indices, warning_indices, results)
 
     @abc.abstractmethod
     def _update_one(self, value: float) -> DetectionResult:
@@ -147,6 +236,47 @@ class DriftDetector(abc.ABC):
         self._n_drifts = 0
         self._n_warnings = 0
         self._last_result = DetectionResult()
+
+    def _commit_batch(
+        self,
+        n_processed: int,
+        n_drifts: int,
+        n_warnings: int,
+        last_result: DetectionResult,
+    ) -> None:
+        """Fold a fast-path batch into the bookkeeping counters."""
+        self._n_seen += n_processed
+        self._n_drifts += n_drifts
+        self._n_warnings += n_warnings
+        self._last_result = last_result
+
+    def _finish_batch(
+        self,
+        n_processed: int,
+        drift_indices: List[int],
+        warning_indices: List[int],
+        drift_type: Optional[DriftType] = None,
+    ) -> BatchResult:
+        """Build the :class:`BatchResult` of a fast path and commit counters.
+
+        Reconstructs the final element's drift/warning flags from the index
+        lists (which are ascending by construction) and mirrors them into
+        ``last_result``; ``drift_type`` is reported only when the final
+        element was a drift.
+        """
+        last_drift = bool(drift_indices) and drift_indices[-1] == n_processed - 1
+        last_warning = (
+            bool(warning_indices) and warning_indices[-1] == n_processed - 1
+        )
+        last_result = DetectionResult(
+            drift_detected=last_drift,
+            warning_detected=last_warning,
+            drift_type=drift_type if last_drift else None,
+        )
+        self._commit_batch(
+            n_processed, len(drift_indices), len(warning_indices), last_result
+        )
+        return BatchResult(n_processed, drift_indices, warning_indices)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(n_seen={self._n_seen}, n_drifts={self._n_drifts})"

@@ -24,10 +24,60 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.core.optimal_cut import SplitSpec, optimal_split
 from repro.exceptions import ConfigurationError
+from repro.stats.distributions import f_ppf, t_ppf
 
-__all__ = ["CutTable", "get_cut_table", "clear_cut_table_cache"]
+__all__ = ["CutTable", "DenseCutArrays", "get_cut_table", "clear_cut_table_cache"]
+
+
+class DenseCutArrays:
+    """Per-length split specs flattened into dense numpy arrays.
+
+    Index every array by the window length ``|W|``; entries below the table's
+    minimum length are zero-filled and must be masked out by the caller.  This
+    is the literal Section-3.4 pre-computation layout: one contiguous lookup
+    per quantity, so a batched detector can gather the specs for thousands of
+    window lengths with a single fancy-indexing operation instead of one
+    memoised dict lookup per element.
+
+    Attributes
+    ----------
+    max_length:
+        Largest window length the arrays cover (inclusive).
+    warning_confidence:
+        Per-test confidence the warning thresholds were computed for, or
+        ``None`` when warning thresholds were not materialised (the
+        ``f_warning``/``t_warning`` arrays are zero-filled in that case).
+    n_hist:
+        ``int64`` array; ``n_hist[L]`` is the historical sub-window size.
+    f_critical, t_critical:
+        ``float64`` arrays mirroring the :class:`SplitSpec` fields.
+    f_warning, t_warning:
+        ``float64`` arrays with the cached warning-zone critical values.
+    """
+
+    __slots__ = (
+        "max_length",
+        "warning_confidence",
+        "n_hist",
+        "f_critical",
+        "t_critical",
+        "f_warning",
+        "t_warning",
+    )
+
+    def __init__(self, max_length: int, warning_confidence: Optional[float]) -> None:
+        size = max_length + 1
+        self.max_length = max_length
+        self.warning_confidence = warning_confidence
+        self.n_hist = np.zeros(size, dtype=np.int64)
+        self.f_critical = np.zeros(size, dtype=np.float64)
+        self.t_critical = np.zeros(size, dtype=np.float64)
+        self.f_warning = np.zeros(size, dtype=np.float64)
+        self.t_warning = np.zeros(size, dtype=np.float64)
 
 
 class CutTable:
@@ -53,6 +103,9 @@ class CutTable:
         self._specs: Dict[int, SplitSpec] = {}
         self._last_length: Optional[int] = None
         self._lock = threading.Lock()
+        self._warning_cache: Dict[Tuple[float, int], Tuple[float, float]] = {}
+        self._dense: Dict[Optional[float], DenseCutArrays] = {}
+        self._dense_lock = threading.Lock()
 
     @property
     def rho(self) -> float:
@@ -101,6 +154,72 @@ class CutTable:
             if candidate.solved:
                 return candidate.nu_split
         return None
+
+    def warning_critical(self, length: int, confidence: float) -> Tuple[float, float]:
+        """Cached warning-zone critical values ``(f_warn, t_warn)``.
+
+        Like the drift thresholds, the warning-zone thresholds depend only on
+        the window length and the (relaxed) per-test confidence, so they are
+        memoised here instead of being recomputed from the F/t PPFs on every
+        element that reaches the warning branch.
+        """
+        key = (confidence, length)
+        cached = self._warning_cache.get(key)
+        if cached is not None:
+            return cached
+        spec = self.spec(length)
+        f_warn = f_ppf(confidence, spec.n_new - 1, spec.n_hist - 1)
+        t_warn = t_ppf(confidence, spec.degrees_of_freedom)
+        with self._lock:
+            self._warning_cache[key] = (f_warn, t_warn)
+        return f_warn, t_warn
+
+    def dense(
+        self, max_length: int, warning_confidence: Optional[float] = None
+    ) -> DenseCutArrays:
+        """Return dense per-length spec arrays covering ``[0, max_length]``.
+
+        Arrays are grown lazily and memoised per warning confidence; growth
+        copies the already-computed lengths and fills only the new tail, so
+        the amortised cost per length stays O(1) as a detector's window grows.
+        The returned object is immutable once published — callers may keep a
+        reference across updates.
+        """
+        if max_length < self._min_length:
+            raise ConfigurationError(
+                f"max_length {max_length} is below the table's minimum "
+                f"{self._min_length}"
+            )
+        current = self._dense.get(warning_confidence)
+        if current is not None and current.max_length >= max_length:
+            return current
+        with self._dense_lock:
+            current = self._dense.get(warning_confidence)
+            if current is not None and current.max_length >= max_length:
+                return current
+            dense = DenseCutArrays(max_length, warning_confidence)
+            start = self._min_length
+            if current is not None:
+                keep = current.max_length + 1
+                dense.n_hist[:keep] = current.n_hist
+                dense.f_critical[:keep] = current.f_critical
+                dense.t_critical[:keep] = current.t_critical
+                dense.f_warning[:keep] = current.f_warning
+                dense.t_warning[:keep] = current.t_warning
+                start = keep
+            for length in range(start, max_length + 1):
+                spec = self.spec(length)
+                dense.n_hist[length] = spec.nu_split
+                dense.f_critical[length] = spec.f_critical
+                dense.t_critical[length] = spec.t_critical
+                if warning_confidence is not None:
+                    f_warn, t_warn = self.warning_critical(
+                        length, warning_confidence
+                    )
+                    dense.f_warning[length] = f_warn
+                    dense.t_warning[length] = t_warn
+            self._dense[warning_confidence] = dense
+            return dense
 
     def precompute(self, max_length: int) -> None:
         """Eagerly fill the table for every length up to ``max_length``."""

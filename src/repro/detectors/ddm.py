@@ -16,9 +16,19 @@ the OPTWIN evaluation.
 from __future__ import annotations
 
 import math
+from typing import Iterable, List
 
-from repro.core.base import DetectionResult, DriftDetector, DriftType
+import numpy as np
+
+from repro.core.base import (
+    BatchResult,
+    DetectionResult,
+    DriftDetector,
+    DriftType,
+    as_value_array,
+)
 from repro.exceptions import ConfigurationError
+from repro.stats.incremental import seeded_segment_means
 
 __all__ = ["Ddm"]
 
@@ -63,6 +73,7 @@ class Ddm(DriftDetector):
 
     def _init_state(self) -> None:
         self._n = 0
+        self._error_sum = 0.0
         self._error_rate = 0.0
         self._p_min = math.inf
         self._s_min = math.inf
@@ -90,7 +101,11 @@ class Ddm(DriftDetector):
     def _update_one(self, value: float) -> DetectionResult:
         error = 1.0 if value > 0.5 else 0.0
         self._n += 1
-        self._error_rate += (error - self._error_rate) / self._n
+        # Sum-based mean: the error sum over 0/1 indicators is an exact
+        # integer, so the rate equals the batched cumulative-sum formulation
+        # bit for bit (an incremental mean would drift by rounding ulps).
+        self._error_sum += error
+        self._error_rate = self._error_sum / self._n
         std = math.sqrt(max(self._error_rate * (1.0 - self._error_rate), 0.0) / self._n)
 
         statistics = {
@@ -122,6 +137,113 @@ class Ddm(DriftDetector):
         if level >= self._p_min + self._warning_level * self._s_min:
             return DetectionResult(warning_detected=True, statistics=statistics)
         return DetectionResult(statistics=statistics)
+
+    # ------------------------------------------------------- batched updates
+
+    #: Maximum number of elements evaluated by one vectorised segment.
+    _BATCH_CHUNK = 8192
+    #: Segment size right after a drift; grows geometrically back to the
+    #: maximum so drift-dense streams do not redo full-chunk vector work for
+    #: every few consumed elements.
+    _BATCH_RESTART = 256
+
+    def update_batch(
+        self, values: Iterable[float], collect_stats: bool = False
+    ) -> BatchResult:
+        """Closed-form batched update (bit-identical to the scalar loop).
+
+        Between resets every DDM quantity has a closed form in the cumulative
+        error count: the error rate is an exact integer sum divided by ``n``,
+        the ``p_min``/``s_min`` pair is a running minimum served by
+        ``np.minimum.accumulate``, and the drift/warning comparisons are plain
+        vector comparisons.  Only a drift (which resets the statistics) ends a
+        vectorised segment.
+        """
+        if collect_stats or type(self)._update_one is not Ddm._update_one:
+            return super().update_batch(values, collect_stats=collect_stats)
+        arr = as_value_array(values)
+        n = arr.shape[0]
+        if n == 0:
+            return BatchResult(0)
+        errors = (arr > 0.5).astype(np.float64)
+        drift_indices: List[int] = []
+        warning_indices: List[int] = []
+        position = 0
+        limit = self._BATCH_CHUNK
+        while position < n:
+            # Bounded segments keep the whole call O(n) even on streams where
+            # drifts (which restart the closed form) are frequent.
+            segment = errors[position : position + limit]
+            count = segment.shape[0]
+            sums, counts, rates = seeded_segment_means(
+                self._error_sum, self._n, segment
+            )
+            stds = np.sqrt(np.maximum(rates * (1.0 - rates), 0.0) / counts)
+            levels = rates + stds
+
+            start_valid = max(0, self._min_num_instances - self._n - 1)
+            if start_valid >= count:
+                self._n += count
+                self._error_sum = float(sums[-1])
+                self._error_rate = float(rates[-1])
+                position += count
+                limit = min(limit * 4, self._BATCH_CHUNK)
+                continue
+
+            rates_v = rates[start_valid:]
+            stds_v = stds[start_valid:]
+            levels_v = levels[start_valid:]
+            m = levels_v.shape[0]
+
+            # running_prev[j] = min(prior ps_min, levels_v[0..j-1]); the min
+            # update uses <= so ties move the (p_min, s_min) pair forward,
+            # exactly like the scalar code.
+            running_prev = np.empty(m, dtype=np.float64)
+            running_prev[0] = self._ps_min
+            if m > 1:
+                np.minimum.accumulate(levels_v[:-1], out=running_prev[1:])
+                np.minimum(running_prev[1:], self._ps_min, out=running_prev[1:])
+            changed = levels_v <= running_prev
+            change_index = np.where(changed, np.arange(m), -1)
+            np.maximum.accumulate(change_index, out=change_index)
+            gather = np.maximum(change_index, 0)
+            p_min = np.where(change_index >= 0, rates_v[gather], self._p_min)
+            s_min = np.where(change_index >= 0, stds_v[gather], self._s_min)
+
+            drift = levels_v >= p_min + self._drift_level * s_min
+            warning = (~drift) & (
+                levels_v >= p_min + self._warning_level * s_min
+            )
+
+            drift_positions = np.flatnonzero(drift)
+            if drift_positions.size == 0:
+                for rel in np.flatnonzero(warning):
+                    warning_indices.append(position + start_valid + int(rel))
+                self._n += count
+                self._error_sum = float(sums[-1])
+                self._error_rate = float(rates[-1])
+                final_change = int(change_index[-1])
+                if final_change >= 0:
+                    self._p_min = float(rates_v[final_change])
+                    self._s_min = float(stds_v[final_change])
+                    self._ps_min = float(levels_v[final_change])
+                position += count
+                limit = min(limit * 4, self._BATCH_CHUNK)
+                continue
+
+            drift_rel = int(drift_positions[0])
+            for rel in np.flatnonzero(warning[:drift_rel]):
+                warning_indices.append(position + start_valid + int(rel))
+            drift_index = position + start_valid + drift_rel
+            drift_indices.append(drift_index)
+            warning_indices.append(drift_index)
+            self._init_state()
+            position = drift_index + 1
+            limit = self._BATCH_RESTART
+
+        return self._finish_batch(
+            n, drift_indices, warning_indices, DriftType.MEAN
+        )
 
     def reset(self) -> None:
         """Forget all statistics."""

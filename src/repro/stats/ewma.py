@@ -21,10 +21,31 @@ from typing import Tuple
 from repro.exceptions import ConfigurationError
 from repro.stats.distributions import normal_ppf
 
-__all__ = ["EwmaEstimator", "ecdd_control_limit", "SUPPORTED_ARL0"]
+__all__ = [
+    "EwmaEstimator",
+    "ecdd_base_limit",
+    "ecdd_control_limit",
+    "SUPPORTED_ARL0",
+]
 
 #: ARL0 values used in the literature (any value >= 2 is accepted).
 SUPPORTED_ARL0: Tuple[int, ...] = (100, 400, 1000)
+
+
+def ecdd_base_limit(arl0: int = 400, lambda_: float = 0.2) -> float:
+    """The p-independent factor of the ECDD control limit.
+
+    Split out of :func:`ecdd_control_limit` so that batched detector loops can
+    hoist it out of their per-element recurrence while provably sharing the
+    same arithmetic as the scalar path.
+    """
+    if arl0 < 2:
+        raise ConfigurationError(f"arl0 must be >= 2, got {arl0}")
+    if not 0.0 < lambda_ <= 1.0:
+        raise ConfigurationError(f"lambda_ must be in (0, 1], got {lambda_}")
+    # One exceedance opportunity per ~1/lambda observations.
+    tail_probability = min(max(1.0 / (lambda_ * arl0), 1e-12), 0.49)
+    return normal_ppf(1.0 - tail_probability)
 
 
 def ecdd_control_limit(
@@ -46,14 +67,8 @@ def ecdd_control_limit(
         values are and therefore how many effective exceedance opportunities
         occur per observation.
     """
-    if arl0 < 2:
-        raise ConfigurationError(f"arl0 must be >= 2, got {arl0}")
-    if not 0.0 < lambda_ <= 1.0:
-        raise ConfigurationError(f"lambda_ must be in (0, 1], got {lambda_}")
     p = min(max(p_estimate, 0.0), 0.5)
-    # One exceedance opportunity per ~1/lambda observations.
-    tail_probability = min(max(1.0 / (lambda_ * arl0), 1e-12), 0.49)
-    base_limit = normal_ppf(1.0 - tail_probability)
+    base_limit = ecdd_base_limit(arl0, lambda_)
     # Skewness adjustment: Bernoulli EWMAs with tiny p have a lighter upper
     # tail near zero, so the limit can sit slightly closer to the centre.
     adjustment = 0.7 + 0.6 * min(p, 0.5)
@@ -134,3 +149,21 @@ class EwmaEstimator:
         self._p_estimate = 0.0
         self._z = 0.0
         self._variance_factor = 0.0
+
+    def state(self) -> Tuple[int, float, float, float]:
+        """Snapshot ``(count, p_estimate, z, variance_factor)``.
+
+        Lets batched detector loops run the recurrence on local variables
+        (avoiding per-element attribute access) and write the state back with
+        :meth:`set_state` afterwards.
+        """
+        return self._count, self._p_estimate, self._z, self._variance_factor
+
+    def set_state(
+        self, count: int, p_estimate: float, z: float, variance_factor: float
+    ) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+        self._count = count
+        self._p_estimate = p_estimate
+        self._z = z
+        self._variance_factor = variance_factor

@@ -131,8 +131,27 @@ class TestAblationsAndRuntime:
     def test_runtime_measurements(self):
         measurements = runtime.run_runtime_comparison(stream_lengths=(1_000,), seed=1)
         names = {m.detector_name for m in measurements}
-        assert {"OPTWIN rho=0.5", "ADWIN", "DDM", "STEPD"} == names
+        assert {
+            "OPTWIN rho=0.5",
+            "ADWIN",
+            "DDM",
+            "ECDD",
+            "Page-Hinkley",
+            "STEPD",
+        } == names
         assert all(m.seconds_per_element > 0 for m in measurements)
+        # Every detector with a vectorised fast path is measured in both modes.
+        modes = {(m.detector_name, m.mode) for m in measurements}
+        for batch_capable in ("OPTWIN rho=0.5", "DDM", "ECDD", "Page-Hinkley"):
+            assert (batch_capable, "scalar") in modes
+            assert (batch_capable, "batch") in modes
+        assert ("ADWIN", "batch") not in modes
+
+    def test_runtime_measurements_scalar_only(self):
+        measurements = runtime.run_runtime_comparison(
+            stream_lengths=(1_000,), seed=1, include_batch=False
+        )
+        assert all(m.mode == "scalar" for m in measurements)
 
 
 class TestSignificanceDriver:

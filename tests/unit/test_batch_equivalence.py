@@ -1,0 +1,226 @@
+"""Golden equivalence tests for the batched detector execution engine.
+
+Every detector with a vectorised ``update_batch`` fast path must report
+*exactly* the same drift and warning indices as the element-by-element
+``update`` loop — over binary and real-valued streams, across multiple
+drifts/resets, for any chunking of the input, and leaving the detector in an
+indistinguishable internal state afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import DriftDetector
+from repro.core.optwin import Optwin
+from repro.detectors.ddm import Ddm
+from repro.detectors.ecdd import Ecdd
+from repro.detectors.page_hinkley import PageHinkley
+
+
+def _multi_drift_binary(seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    parts = [
+        (rng.random(2_500) < p).astype(np.float64)
+        for p in (0.2, 0.6, 0.15, 0.5, 0.3)
+    ]
+    return np.concatenate(parts)
+
+
+def _multi_drift_gaussian(seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    parts = [
+        rng.normal(mean, std, 2_500)
+        for mean, std in ((0.2, 0.05), (0.7, 0.05), (0.3, 0.3), (0.9, 0.1))
+    ]
+    return np.concatenate(parts)
+
+
+STREAMS = {
+    "binary_multi_drift": _multi_drift_binary(),
+    "gaussian_multi_drift": _multi_drift_gaussian(),
+    "constant": np.full(500, 0.25),
+    "tiny": np.asarray([0.0, 1.0, 0.0]),
+}
+
+DETECTORS = {
+    "optwin": lambda: Optwin(rho=0.5, w_max=5_000),
+    "optwin_keep_new": lambda: Optwin(rho=0.5, w_max=5_000, reset_mode="keep_new"),
+    "optwin_two_sided": lambda: Optwin(rho=0.5, w_max=5_000, one_sided=False),
+    "optwin_no_warning": lambda: Optwin(rho=0.5, w_max=5_000, warning_delta=0.0),
+    "optwin_small_window": lambda: Optwin(rho=0.5, w_max=300),
+    "optwin_literal": lambda: Optwin(
+        rho=0.5, w_max=5_000, skip_variance_on_binary=False, require_magnitude=False
+    ),
+    "ddm": Ddm,
+    "ecdd": Ecdd,
+    "ecdd_arl100": lambda: Ecdd(arl0=100),
+    "page_hinkley": PageHinkley,
+}
+
+
+def _scalar_reference(detector: DriftDetector, values: np.ndarray):
+    drifts, warnings = [], []
+    for index, value in enumerate(values):
+        outcome = detector.update(value)
+        if outcome.drift_detected:
+            drifts.append(index)
+        if outcome.warning_detected:
+            warnings.append(index)
+    return drifts, warnings
+
+
+_TAIL = (np.random.default_rng(42).random(400) < 0.4).astype(np.float64)
+_SCALAR_CACHE = {}
+
+
+def _scalar_fingerprint(detector_name: str, stream_name: str):
+    """Scalar-mode reference, memoised across the chunk-size parametrisation.
+
+    Returns drift/warning indices, the counter triple, the last-result flags,
+    and the outcomes of continuing the detector on a fixed tail stream (a
+    fingerprint of its internal post-run state).
+    """
+    key = (detector_name, stream_name)
+    cached = _SCALAR_CACHE.get(key)
+    if cached is None:
+        detector = DETECTORS[detector_name]()
+        drifts, warnings = _scalar_reference(detector, STREAMS[stream_name])
+        counters = (detector.n_seen, detector.n_drifts, detector.n_warnings)
+        flags = (detector.drift_detected, detector.warning_detected)
+        tail = [detector.update(v).drift_detected for v in _TAIL]
+        cached = (drifts, warnings, counters, flags, tail)
+        _SCALAR_CACHE[key] = cached
+    return cached
+
+
+def _batched(detector: DriftDetector, values: np.ndarray, chunk: int):
+    drifts, warnings = [], []
+    for low in range(0, values.shape[0], chunk):
+        outcome = detector.update_batch(values[low : low + chunk])
+        drifts.extend(low + k for k in outcome.drift_indices)
+        warnings.extend(low + k for k in outcome.warning_indices)
+    return drifts, warnings
+
+
+@pytest.mark.parametrize("chunk", [1, 7, 997, 10**9])
+@pytest.mark.parametrize("stream_name", sorted(STREAMS))
+@pytest.mark.parametrize("detector_name", sorted(DETECTORS))
+def test_batch_matches_scalar(detector_name, stream_name, chunk):
+    values = STREAMS[stream_name]
+    scalar_drifts, scalar_warnings, counters, flags, scalar_tail = (
+        _scalar_fingerprint(detector_name, stream_name)
+    )
+    batch_detector = DETECTORS[detector_name]()
+    batch_drifts, batch_warnings = _batched(batch_detector, values, chunk)
+
+    assert batch_drifts == scalar_drifts
+    assert batch_warnings == scalar_warnings
+    assert (
+        batch_detector.n_seen,
+        batch_detector.n_drifts,
+        batch_detector.n_warnings,
+    ) == counters
+    assert (
+        batch_detector.drift_detected,
+        batch_detector.warning_detected,
+    ) == flags
+
+    # The post-batch internal state must be indistinguishable: continuing the
+    # detector element-by-element must yield the scalar-mode outcomes.
+    batch_tail = [batch_detector.update(v).drift_detected for v in _TAIL]
+    assert batch_tail == scalar_tail
+
+
+def test_optwin_batch_survives_compaction():
+    """Long stream + small window: the dead-prefix compaction of PrefixStats
+    fires repeatedly in both modes and must not perturb the indices."""
+    rng = np.random.default_rng(11)
+    parts = [
+        (rng.random(9_000) < p).astype(np.float64) for p in (0.2, 0.5, 0.25)
+    ]
+    values = np.concatenate(parts)
+    scalar_detector = Optwin(rho=0.5, w_max=400)
+    batch_detector = Optwin(rho=0.5, w_max=400)
+    scalar_drifts, scalar_warnings = _scalar_reference(scalar_detector, values)
+    result = batch_detector.update_batch(values)
+    assert result.drift_indices == scalar_drifts
+    assert result.warning_indices == scalar_warnings
+    assert batch_detector.window_size == scalar_detector.window_size
+
+
+def test_optwin_batch_compaction_with_real_values_is_bit_identical():
+    """Regression test for the compaction boundary: 0/1 streams have integer
+    prefix sums, so their slice-and-rebase compaction is exact — only
+    real-valued streams can expose an ulp drift between rebased and
+    un-rebased range queries.  A large-magnitude stationary stream with
+    ~14,700 evictions forces the rebase mid-stream while warnings fire, and
+    the batched indices must still match scalar mode exactly."""
+    rng = np.random.default_rng(23)
+    values = rng.normal(1e6, 3.0, 15_000) + rng.random(15_000)
+    scalar_detector = Optwin(rho=0.5, w_max=300, one_sided=False)
+    batch_detector = Optwin(rho=0.5, w_max=300, one_sided=False)
+    scalar_drifts, scalar_warnings = _scalar_reference(scalar_detector, values)
+    result = batch_detector.update_batch(values)
+    assert scalar_warnings  # the stream must actually exercise the tests
+    assert result.drift_indices == scalar_drifts
+    assert result.warning_indices == scalar_warnings
+    assert batch_detector.window_mean == scalar_detector.window_mean
+    assert batch_detector.window_std == scalar_detector.window_std
+
+
+def test_update_many_routes_through_batch():
+    values = _multi_drift_binary()
+    via_many = Optwin(rho=0.5, w_max=5_000).update_many(values)
+    via_batch = Optwin(rho=0.5, w_max=5_000).update_batch(values).drift_indices
+    assert via_many == via_batch
+    assert via_many  # the stream contains real drifts
+
+
+def test_collect_stats_matches_scalar_statistics():
+    values = _multi_drift_binary()[:2_000]
+    scalar_detector = Optwin(rho=0.5, w_max=5_000)
+    batch_detector = Optwin(rho=0.5, w_max=5_000)
+    scalar_results = [scalar_detector.update(v) for v in values]
+    outcome = batch_detector.update_batch(values, collect_stats=True)
+    assert outcome.results is not None
+    assert len(outcome.results) == len(scalar_results)
+    for got, expected in zip(outcome.results, scalar_results):
+        assert got.drift_detected == expected.drift_detected
+        assert got.warning_detected == expected.warning_detected
+        assert got.statistics == expected.statistics
+
+
+def test_batch_empty_input_is_a_noop():
+    for factory in DETECTORS.values():
+        detector = factory()
+        outcome = detector.update_batch(np.empty(0))
+        assert outcome.n_processed == 0
+        assert outcome.drift_indices == []
+        assert detector.n_seen == 0
+
+
+def test_batch_accepts_plain_iterables():
+    detector = Optwin(rho=0.5, w_max=5_000)
+    values = _multi_drift_binary()
+    from_list = detector.update_many(values.tolist())
+    detector.reset()
+    from_generator = detector.update_many(float(v) for v in values)
+    detector.reset()
+    from_array = detector.update_many(values)
+    assert from_list == from_generator == from_array
+
+
+def test_subclass_overriding_update_one_falls_back_to_scalar():
+    class SilencedOptwin(Optwin):
+        def _update_one(self, value):
+            result = super()._update_one(value)
+            if result.drift_detected:
+                from repro.core.base import DetectionResult
+
+                return DetectionResult(statistics=result.statistics)
+            return result
+
+    values = _multi_drift_binary()
+    detector = SilencedOptwin(rho=0.5, w_max=5_000)
+    assert detector.update_many(values) == []
+    assert Optwin(rho=0.5, w_max=5_000).update_many(values) != []

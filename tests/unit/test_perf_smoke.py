@@ -1,0 +1,58 @@
+"""Tier-1 perf smoke test for the batched OPTWIN execution engine.
+
+Not a benchmark: the budgets are deliberately generous so the test is stable
+on slow CI machines, but tight enough that a regression that silently drops
+the vectorised fast path (falling back to the ~20 us/element scalar loop)
+fails immediately.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.optwin import Optwin
+
+_N_ELEMENTS = 50_000
+_W_MAX = 25_000
+
+#: Absolute ceiling for the batched pass over the 50k stream (hot path only;
+#: the one-time dense-table build happens before the clock starts).  The
+#: vectorised engine needs ~0.01 s here, the scalar loop ~1 s.
+_BATCH_BUDGET_SECONDS = 2.0
+
+#: The batched pass must also beat a scalar pass measured on the same machine
+#: by a wide margin — this catches fast-path regressions independently of how
+#: slow the machine is.  Typical speedup is far above 50x.
+_MIN_SPEEDUP = 5.0
+
+
+def test_batched_optwin_perf_smoke():
+    rng = np.random.default_rng(7)
+    values = (rng.random(_N_ELEMENTS) < 0.3).astype(np.float64)
+
+    scalar_detector = Optwin(rho=0.5, w_max=_W_MAX)
+    scalar_start = time.perf_counter()
+    scalar_drifts = []
+    for index, value in enumerate(values):
+        if scalar_detector.update(value).drift_detected:
+            scalar_drifts.append(index)
+    scalar_seconds = time.perf_counter() - scalar_start
+
+    batch_detector = Optwin(rho=0.5, w_max=_W_MAX)
+    batch_detector.precompute_tables(_N_ELEMENTS)  # the paper's offline step
+    batch_start = time.perf_counter()
+    batch_drifts = batch_detector.update_many(values)
+    batch_seconds = time.perf_counter() - batch_start
+
+    # Identical detections, first and foremost.
+    assert batch_drifts == scalar_drifts
+
+    assert batch_seconds < _BATCH_BUDGET_SECONDS, (
+        f"batched OPTWIN took {batch_seconds:.2f}s for {_N_ELEMENTS} elements "
+        f"(budget {_BATCH_BUDGET_SECONDS}s) — did the fast path regress to "
+        "the scalar loop?"
+    )
+    assert batch_seconds * _MIN_SPEEDUP < scalar_seconds, (
+        f"batched OPTWIN ({batch_seconds:.3f}s) is less than "
+        f"{_MIN_SPEEDUP}x faster than the scalar loop ({scalar_seconds:.3f}s)"
+    )

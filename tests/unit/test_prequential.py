@@ -92,3 +92,75 @@ def test_invalid_arguments_raise():
         run_prequential(stream, learner, None, n_instances=0)
     with pytest.raises(ConfigurationError):
         run_prequential(stream, learner, None, n_instances=10, curve_window=0)
+    with pytest.raises(ConfigurationError):
+        run_prequential(
+            stream, learner, None, n_instances=10, detector_batch_size=0
+        )
+
+
+def test_chunked_detector_feed_matches_scalar_without_resets():
+    """With reset_on_drift disabled the learner's error stream is independent
+    of the detector, so chunked and scalar detector feeds must agree exactly
+    on every detection and warning index."""
+    scalar_stream = _stagger_with_drift(seed=6)
+    scalar_learner = NaiveBayes(schema=scalar_stream.schema, n_classes=2)
+    scalar = run_prequential(
+        scalar_stream,
+        scalar_learner,
+        Optwin(rho=0.5, w_max=5_000),
+        n_instances=4_000,
+        reset_on_drift=False,
+    )
+
+    chunked_stream = _stagger_with_drift(seed=6)
+    chunked_learner = NaiveBayes(schema=chunked_stream.schema, n_classes=2)
+    chunked = run_prequential(
+        chunked_stream,
+        chunked_learner,
+        Optwin(rho=0.5, w_max=5_000),
+        n_instances=4_000,
+        reset_on_drift=False,
+        detector_batch_size=256,
+    )
+
+    assert chunked.detections == scalar.detections
+    assert chunked.warnings == scalar.warnings
+    assert chunked.n_instances == scalar.n_instances
+    assert chunked.accuracy == pytest.approx(scalar.accuracy)
+
+
+def test_chunked_detector_feed_with_resets_still_adapts():
+    drifted = _stagger_with_drift(seed=3)
+    learner = NaiveBayes(schema=drifted.schema, n_classes=2)
+    chunked = run_prequential(
+        drifted,
+        learner,
+        Optwin(rho=0.5, w_max=5_000),
+        n_instances=4_000,
+        detector_batch_size=128,
+    )
+
+    baseline_stream = _stagger_with_drift(seed=3)
+    baseline_learner = NaiveBayes(schema=baseline_stream.schema, n_classes=2)
+    baseline = run_prequential(
+        baseline_stream, baseline_learner, None, n_instances=4_000
+    )
+    assert chunked.n_detections >= 1
+    # The learner reset lands at a chunk boundary (at most 127 instances
+    # late), which must not cost the adaptation its benefit.
+    assert chunked.accuracy >= baseline.accuracy - 0.01
+
+
+def test_chunk_larger_than_stream_flushes_at_end():
+    drifted = _stagger_with_drift(seed=4)
+    learner = NaiveBayes(schema=drifted.schema, n_classes=2)
+    result = run_prequential(
+        drifted,
+        learner,
+        Optwin(rho=0.5, w_max=5_000),
+        n_instances=4_000,
+        reset_on_drift=False,
+        detector_batch_size=1_000_000,
+    )
+    assert result.n_instances == 4_000
+    assert result.n_detections >= 1
