@@ -27,8 +27,11 @@ Performance
 -----------
 For high-throughput streams, feed detectors in chunks through the batched
 API — it reports bit-identical drift indices at a fraction of the scalar
-per-element cost (OPTWIN, DDM, ECDD and Page-Hinkley have vectorised fast
-paths; everything else transparently falls back to the scalar loop):
+per-element cost.  Every exported detector has a batched fast path (OPTWIN,
+DDM, RDDM, HDDM-A and STEPD evaluate whole between-drift segments in closed
+form; EDDM, ECDD and Page-Hinkley run their sequential recurrences
+allocation-free; ADWIN and KSWIN strip the per-element overhead from their
+inherently sequential updates):
 
 >>> drift_indices = detector.update_many(error_chunk)     # doctest: +SKIP
 >>> outcome = detector.update_batch(error_chunk)          # doctest: +SKIP

@@ -37,12 +37,43 @@ def as_value_array(values: Iterable[float]) -> "np.ndarray":
         return np.asarray(values, dtype=np.float64)
     return np.fromiter(values, dtype=np.float64)
 
+def seeded_running_argmin(
+    values: "np.ndarray", seed: float, strict: bool = False
+) -> "np.ndarray":
+    """Index of the running minimum of ``values`` seeded with ``seed``.
+
+    Returns ``change_index`` with ``change_index[j]`` = the last position
+    ``k <= j`` where ``values[k]`` improved on the minimum of ``seed`` and all
+    earlier values, or ``-1`` while the seed still holds.  With
+    ``strict=False`` ties count as improvements (the index moves forward, as
+    DDM's ``p_min``/``s_min`` update does); with ``strict=True`` they do not
+    (HDDM's best-prefix update).  ``values`` must be non-empty.
+
+    This is the shared kernel of the error-indicator detectors' batched fast
+    paths: the scalar codes keep "statistics recorded at the best element so
+    far" (DDM and RDDM their minimum ``p + s``, HDDM_A its lowest Hoeffding
+    bound), and the batched forms recover those records for *every* position
+    of a segment at once by gathering at ``change_index``.
+    """
+    count = values.shape[0]
+    running_prev = np.empty(count, dtype=np.float64)
+    running_prev[0] = seed
+    if count > 1:
+        np.minimum.accumulate(values[:-1], out=running_prev[1:])
+        np.minimum(running_prev[1:], seed, out=running_prev[1:])
+    changed = values < running_prev if strict else values <= running_prev
+    change_index = np.where(changed, np.arange(count), -1)
+    np.maximum.accumulate(change_index, out=change_index)
+    return change_index
+
+
 __all__ = [
     "DriftType",
     "DetectionResult",
     "BatchResult",
     "DriftDetector",
     "as_value_array",
+    "seeded_running_argmin",
 ]
 
 
@@ -119,6 +150,15 @@ class DriftDetector(abc.ABC):
     :meth:`update` wraps :meth:`_update_one` with element counting and result
     bookkeeping so every detector exposes identical statistics.
     """
+
+    #: Maximum number of elements evaluated by one vectorised segment of a
+    #: batched fast path.  Shared by every ``update_batch`` override so the
+    #: segmentation policy is tuned in one place.
+    _BATCH_CHUNK = 8192
+    #: Segment size right after a drift/boundary event; the fast paths grow
+    #: it geometrically back to :attr:`_BATCH_CHUNK` so drift-dense streams
+    #: do not redo full-chunk vector work for every few consumed elements.
+    _BATCH_RESTART = 256
 
     def __init__(self) -> None:
         self._n_seen = 0

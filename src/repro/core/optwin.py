@@ -264,13 +264,6 @@ class Optwin(DriftDetector):
 
     # ------------------------------------------------------- batched updates
 
-    #: Maximum number of elements evaluated by one vectorised segment.
-    _BATCH_CHUNK = 8192
-    #: Segment size right after a drift; grows geometrically back to the
-    #: maximum so drift-dense streams do not redo full-chunk vector work for
-    #: every few consumed elements.
-    _BATCH_RESTART = 256
-
     def precompute_tables(self, max_length: Optional[int] = None) -> None:
         """Eagerly build the dense cut arrays (the paper's offline step).
 

@@ -9,7 +9,7 @@ Every class implements :class:`repro.core.base.DriftDetector`, so they are
 drop-in interchangeable with :class:`repro.core.optwin.Optwin`.
 """
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple, Type
 
 from repro.core.base import DriftDetector
 from repro.core.optwin import Optwin
@@ -38,7 +38,31 @@ __all__ = [
     "Optwin",
     "detector_factories",
     "binary_only_detectors",
+    "exported_detector_classes",
 ]
+
+
+def exported_detector_classes() -> Tuple[Type[DriftDetector], ...]:
+    """Every exported detector class — the paper line-up plus the extensions.
+
+    This is the registry used by the cross-detector test suites (golden
+    batch-vs-scalar equivalence, chunked-prequential smoke) so that a newly
+    added detector is automatically picked up by them; keep it in sync with
+    ``__all__``.
+    """
+    return (
+        Adwin,
+        Ddm,
+        Eddm,
+        Stepd,
+        Ecdd,
+        PageHinkley,
+        Kswin,
+        Rddm,
+        HddmA,
+        NoDriftDetector,
+        Optwin,
+    )
 
 
 def detector_factories() -> Dict[str, Callable[[], DriftDetector]]:

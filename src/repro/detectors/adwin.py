@@ -17,9 +17,15 @@ main baseline.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Iterable, List
 
-from repro.core.base import DetectionResult, DriftDetector, DriftType
+from repro.core.base import (
+    BatchResult,
+    DetectionResult,
+    DriftDetector,
+    DriftType,
+    as_value_array,
+)
 from repro.exceptions import ConfigurationError
 
 __all__ = ["Adwin"]
@@ -139,6 +145,93 @@ class Adwin(DriftDetector):
             )
         return DetectionResult(statistics=statistics)
 
+    # ------------------------------------------------------- batched updates
+
+    def update_batch(
+        self, values: Iterable[float], collect_stats: bool = False
+    ) -> BatchResult:
+        """Chunked update, bit-identical to the scalar loop.
+
+        ADWIN's exponential histogram is inherently sequential (every insert
+        can cascade compressions and every cut shrinks the window), so the
+        batch cannot be expressed in closed form.  Instead the per-element
+        work is run in a tight loop that keeps the running ``width`` /
+        ``total`` / ``variance`` in locals, inlines the level-0 insert,
+        invokes bucket compression only when level 0 actually overflows, and
+        synchronises with the instance state only at check-clock ticks —
+        eliminating the per-element ``DetectionResult``/statistics-dict
+        allocations and attribute traffic of the scalar path while driving
+        the bucket structure through exactly the same sequence of states.
+        """
+        if collect_stats or type(self)._update_one is not Adwin._update_one:
+            return super().update_batch(values, collect_stats=collect_stats)
+        arr = as_value_array(values)
+        n = arr.shape[0]
+        if n == 0:
+            return BatchResult(0)
+        drift_indices: List[int] = []
+
+        rows = self._rows
+        row0_buckets = rows[0].buckets
+        compress_trigger = self._max_buckets + 1
+        clock = self._clock
+        min_check = self._min_n_for_check
+        ticks = self._ticks
+        width = self._width
+        total = self._total
+        variance = self._variance
+
+        for index, value in enumerate(arr.tolist()):
+            # Inline _insert_element on the local running aggregates.
+            row0_buckets.insert(0, _Bucket(total=value, variance=0.0))
+            if width > 0:
+                mean = total / width
+                variance += (width * (value - mean) ** 2) / (width + 1)
+            width += 1
+            total += value
+            if len(row0_buckets) > compress_trigger:
+                # Inline the level-0 merge (the overwhelmingly common case:
+                # two single-element buckets, size 1, variance 0) and cascade
+                # into _compress_buckets only when level 1 overflows too.
+                # _compress_buckets never touches the running aggregates, so
+                # they stay in locals.
+                if len(rows) < 2:
+                    rows.append(_BucketRow())
+                next_buckets = rows[1].buckets
+                older = row0_buckets.pop()
+                newer = row0_buckets.pop()
+                merged_variance = (
+                    older.variance
+                    + newer.variance
+                    + 0.5 * (older.total - newer.total) ** 2
+                )
+                next_buckets.insert(
+                    0,
+                    _Bucket(
+                        total=older.total + newer.total, variance=merged_variance
+                    ),
+                )
+                if len(next_buckets) > compress_trigger:
+                    self._compress_buckets(level=1)
+            ticks += 1
+            if ticks % clock == 0 and width >= min_check:
+                self._width = width
+                self._total = total
+                self._variance = variance
+                if self._detect_and_shrink():
+                    drift_indices.append(index)
+                width = self._width
+                total = self._total
+                variance = self._variance
+
+        self._width = width
+        self._total = total
+        self._variance = variance
+        self._ticks = ticks
+        return self._finish_batch(
+            n, drift_indices, list(drift_indices), DriftType.MEAN
+        )
+
     def reset(self) -> None:
         """Drop the whole window and restart."""
         self._init_state()
@@ -155,8 +248,7 @@ class Adwin(DriftDetector):
         self._width += 1
         self._total += value
 
-    def _compress_buckets(self) -> None:
-        level = 0
+    def _compress_buckets(self, level: int = 0) -> None:
         while level < len(self._rows):
             row = self._rows[level]
             if len(row.buckets) <= self._max_buckets + 1:

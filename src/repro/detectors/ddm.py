@@ -26,6 +26,7 @@ from repro.core.base import (
     DriftDetector,
     DriftType,
     as_value_array,
+    seeded_running_argmin,
 )
 from repro.exceptions import ConfigurationError
 from repro.stats.incremental import seeded_segment_means
@@ -140,13 +141,6 @@ class Ddm(DriftDetector):
 
     # ------------------------------------------------------- batched updates
 
-    #: Maximum number of elements evaluated by one vectorised segment.
-    _BATCH_CHUNK = 8192
-    #: Segment size right after a drift; grows geometrically back to the
-    #: maximum so drift-dense streams do not redo full-chunk vector work for
-    #: every few consumed elements.
-    _BATCH_RESTART = 256
-
     def update_batch(
         self, values: Iterable[float], collect_stats: bool = False
     ) -> BatchResult:
@@ -193,19 +187,10 @@ class Ddm(DriftDetector):
             rates_v = rates[start_valid:]
             stds_v = stds[start_valid:]
             levels_v = levels[start_valid:]
-            m = levels_v.shape[0]
 
-            # running_prev[j] = min(prior ps_min, levels_v[0..j-1]); the min
-            # update uses <= so ties move the (p_min, s_min) pair forward,
-            # exactly like the scalar code.
-            running_prev = np.empty(m, dtype=np.float64)
-            running_prev[0] = self._ps_min
-            if m > 1:
-                np.minimum.accumulate(levels_v[:-1], out=running_prev[1:])
-                np.minimum(running_prev[1:], self._ps_min, out=running_prev[1:])
-            changed = levels_v <= running_prev
-            change_index = np.where(changed, np.arange(m), -1)
-            np.maximum.accumulate(change_index, out=change_index)
+            # The min update uses <= so ties move the (p_min, s_min) pair
+            # forward, exactly like the scalar code.
+            change_index = seeded_running_argmin(levels_v, self._ps_min)
             gather = np.maximum(change_index, 0)
             p_min = np.where(change_index >= 0, rates_v[gather], self._p_min)
             s_min = np.where(change_index >= 0, stds_v[gather], self._s_min)

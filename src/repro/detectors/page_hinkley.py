@@ -111,13 +111,6 @@ class PageHinkley(DriftDetector):
 
     # ------------------------------------------------------- batched updates
 
-    #: Maximum number of elements evaluated by one vectorised segment.
-    _BATCH_CHUNK = 8192
-    #: Segment size right after a drift; grows geometrically back to the
-    #: maximum so drift-dense streams do not redo full-chunk vector work for
-    #: every few consumed elements.
-    _BATCH_RESTART = 256
-
     def update_batch(
         self, values: Iterable[float], collect_stats: bool = False
     ) -> BatchResult:

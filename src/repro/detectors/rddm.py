@@ -15,10 +15,21 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque
+from itertools import islice
+from typing import Deque, Iterable, List
 
-from repro.core.base import DetectionResult, DriftDetector, DriftType
+import numpy as np
+
+from repro.core.base import (
+    BatchResult,
+    DetectionResult,
+    DriftDetector,
+    DriftType,
+    as_value_array,
+    seeded_running_argmin,
+)
 from repro.exceptions import ConfigurationError
+from repro.stats.incremental import seeded_segment_means
 
 __all__ = ["Rddm"]
 
@@ -81,6 +92,7 @@ class Rddm(DriftDetector):
 
     def _init_statistics(self) -> None:
         self._n = 0
+        self._error_sum = 0.0
         self._error_rate = 0.0
         self._p_min = math.inf
         self._s_min = math.inf
@@ -91,7 +103,11 @@ class Rddm(DriftDetector):
     def _fold(self, error: float) -> float:
         """Fold one 0/1 error into the statistics; return the current std."""
         self._n += 1
-        self._error_rate += (error - self._error_rate) / self._n
+        # Sum-based mean: the error sum over 0/1 indicators is an exact
+        # integer, so the rate equals the batched cumulative-sum formulation
+        # bit for bit (an incremental mean would drift by rounding ulps).
+        self._error_sum += error
+        self._error_rate = self._error_sum / self._n
         std = math.sqrt(max(self._error_rate * (1.0 - self._error_rate), 0.0) / self._n)
         if self._n >= self._min_num_instances and self._error_rate + std <= self._ps_min:
             self._p_min = self._error_rate
@@ -144,8 +160,11 @@ class Rddm(DriftDetector):
             self._warning_count = 0
             self._init_statistics()
             # Re-seed the statistics with the recent (post-drift) behaviour so
-            # detection can resume immediately — the "reactive" idea.
-            for recent_error in list(self._recent)[-self._min_num_instances:]:
+            # detection can resume immediately — the "reactive" idea.  The
+            # tail is taken through the reverse iterator so a drift costs
+            # O(min_num_instances), not a copy of the whole recent buffer.
+            tail = list(islice(reversed(self._recent), self._min_num_instances))
+            for recent_error in reversed(tail):
                 self._fold(recent_error)
             return DetectionResult(
                 drift_detected=True,
@@ -154,6 +173,147 @@ class Rddm(DriftDetector):
                 statistics=statistics,
             )
         return DetectionResult(warning_detected=warning, statistics=statistics)
+
+    # ------------------------------------------------------- batched updates
+
+    #: Elements run through the plain scalar path after each boundary event
+    #: before vectorisation resumes.  On drift-dense streams (a detector
+    #: firing every few elements) the fixed numpy setup of a vectorised
+    #: segment costs more than it saves, so the batch degrades gracefully to
+    #: scalar speed instead of re-paying the setup per event; another drift
+    #: inside the burst extends it.
+    _SCALAR_BURST = 24
+
+    def update_batch(
+        self, values: Iterable[float], collect_stats: bool = False
+    ) -> BatchResult:
+        """Closed-form batched update (bit-identical to the scalar loop).
+
+        Between boundary events every RDDM quantity has a closed form in the
+        cumulative error count: the error rate is an exact integer sum divided
+        by ``n``, the ``p_min``/``s_min`` tracking is a running minimum served
+        by ``np.minimum.accumulate``, and the consecutive-warning counter is a
+        vectorised run length.  The events that end a vectorised segment —
+        a drift (natural or warning-limit forced) and the reactive rebuild at
+        ``max_concept_size`` — are each executed through the scalar
+        ``_update_one`` for that single element, so the refold/rebuild
+        behaviour is the scalar code itself.
+        """
+        if collect_stats or type(self)._update_one is not Rddm._update_one:
+            return super().update_batch(values, collect_stats=collect_stats)
+        arr = as_value_array(values)
+        n = arr.shape[0]
+        if n == 0:
+            return BatchResult(0)
+        errors = np.where(arr > 0.5, 1.0, 0.0)
+        drift_indices: List[int] = []
+        warning_indices: List[int] = []
+        position = 0
+        limit = self._BATCH_CHUNK
+        while position < n:
+            segment = errors[position : position + limit]
+            count = segment.shape[0]
+            sums, counts, rates = seeded_segment_means(
+                self._error_sum, self._n, segment
+            )
+            stds = np.sqrt(np.maximum(rates * (1.0 - rates), 0.0) / counts)
+
+            start_valid = max(0, self._min_num_instances - self._n - 1)
+            if start_valid >= count:
+                self._n += count
+                self._error_sum = float(sums[-1])
+                self._error_rate = float(rates[-1])
+                self._recent.extend(segment.tolist())
+                position += count
+                limit = min(limit * 4, self._BATCH_CHUNK)
+                continue
+
+            rates_v = rates[start_valid:]
+            stds_v = stds[start_valid:]
+            levels_v = rates_v + stds_v
+            m = levels_v.shape[0]
+
+            # The min update uses <= so ties move the (p_min, s_min) pair
+            # forward, exactly like the scalar ``_fold``.
+            change_index = seeded_running_argmin(levels_v, self._ps_min)
+            gather = np.maximum(change_index, 0)
+            p_min = np.where(change_index >= 0, rates_v[gather], self._p_min)
+            s_min = np.where(change_index >= 0, stds_v[gather], self._s_min)
+
+            natural = levels_v >= p_min + self._drift_level * s_min
+            warning = levels_v >= p_min + self._warning_level * s_min
+
+            # Consecutive-warning run length, seeded with the current counter:
+            # a non-warning element resets the run, warnings extend it.
+            pos_v = np.arange(m)
+            last_block = np.where(~warning, pos_v, -1)
+            np.maximum.accumulate(last_block, out=last_block)
+            runs = np.where(
+                last_block >= 0,
+                pos_v - last_block,
+                pos_v + 1 + self._warning_count,
+            )
+            forced = warning & ~natural & (runs >= self._warning_limit)
+            drift = natural | forced
+            rebuild = (counts[start_valid:] >= self._max_concept_size) & ~drift
+
+            event_positions = np.flatnonzero(drift | rebuild)
+            if event_positions.size == 0:
+                for rel in np.flatnonzero(warning):
+                    warning_indices.append(position + start_valid + int(rel))
+                self._n += count
+                self._error_sum = float(sums[-1])
+                self._error_rate = float(rates[-1])
+                final_change = int(change_index[-1])
+                if final_change >= 0:
+                    self._p_min = float(rates_v[final_change])
+                    self._s_min = float(stds_v[final_change])
+                    self._ps_min = float(levels_v[final_change])
+                self._warning_count = int(runs[-1]) if warning[-1] else 0
+                self._recent.extend(segment.tolist())
+                position += count
+                limit = min(limit * 4, self._BATCH_CHUNK)
+                continue
+
+            # Commit the closed-form state up to (excluding) the event element,
+            # then run that element through the scalar path so the refold /
+            # rebuild logic is executed verbatim.
+            event_rel = int(event_positions[0])
+            consumed = start_valid + event_rel
+            for rel in np.flatnonzero(warning[:event_rel]):
+                warning_indices.append(position + start_valid + int(rel))
+            if consumed > 0:
+                self._n += consumed
+                self._error_sum = float(sums[consumed - 1])
+                self._error_rate = float(rates[consumed - 1])
+            if event_rel > 0:
+                prior_change = int(change_index[event_rel - 1])
+                if prior_change >= 0:
+                    self._p_min = float(rates_v[prior_change])
+                    self._s_min = float(stds_v[prior_change])
+                    self._ps_min = float(levels_v[prior_change])
+                self._warning_count = (
+                    int(runs[event_rel - 1]) if warning[event_rel - 1] else 0
+                )
+            self._recent.extend(segment[:consumed].tolist())
+            position += consumed
+            burst_remaining = 1
+            while burst_remaining > 0 and position < n:
+                outcome = self._update_one(float(arr[position]))
+                if outcome.drift_detected:
+                    drift_indices.append(position)
+                    warning_indices.append(position)
+                    burst_remaining = self._SCALAR_BURST
+                else:
+                    if outcome.warning_detected:
+                        warning_indices.append(position)
+                    burst_remaining -= 1
+                position += 1
+            limit = self._BATCH_RESTART
+
+        return self._finish_batch(
+            n, drift_indices, warning_indices, DriftType.MEAN
+        )
 
     def reset(self) -> None:
         """Forget all statistics and the recent-prediction buffer."""

@@ -17,11 +17,23 @@ could run STEPD on its non-binary streams.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, Iterable, List
 
-from repro.core.base import DetectionResult, DriftDetector, DriftType
+import numpy as np
+
+from repro.core.base import (
+    BatchResult,
+    DetectionResult,
+    DriftDetector,
+    DriftType,
+    as_value_array,
+)
 from repro.exceptions import ConfigurationError
-from repro.stats.proportions import equal_proportions_test
+from repro.stats.distributions import normal_cdf, normal_ppf
+from repro.stats.proportions import (
+    equal_proportions_statistics,
+    equal_proportions_test,
+)
 
 __all__ = ["Stepd"]
 
@@ -57,6 +69,12 @@ class Stepd(DriftDetector):
         self._window_size = window_size
         self._alpha_drift = alpha_drift
         self._alpha_warning = alpha_warning
+        # Conservative screen for the batched path: any statistic whose exact
+        # one-sided p-value could fall below ``alpha_warning`` exceeds this
+        # (Acklam's ppf is accurate to ~1e-9; the margin is orders of
+        # magnitude wider), so the exact ``normal_cdf`` is only evaluated for
+        # the rare candidates near or past the warning threshold.
+        self._screen_statistic = normal_ppf(1.0 - alpha_warning) - 1e-6
         self._init_state()
 
     def _init_state(self) -> None:
@@ -121,6 +139,102 @@ class Stepd(DriftDetector):
         if outcome.p_value < self._alpha_warning:
             return DetectionResult(warning_detected=True, statistics=statistics)
         return DetectionResult(statistics=statistics)
+
+    # ------------------------------------------------------- batched updates
+
+    def update_batch(
+        self, values: Iterable[float], collect_stats: bool = False
+    ) -> BatchResult:
+        """Closed-form batched update (bit-identical to the scalar loop).
+
+        Between resets STEPD's two segment summaries have closed forms in the
+        cumulative correct count: one prefix sum over the retained recent
+        window plus the segment yields every per-element
+        ``(recent_correct, older_count, older_correct)`` triple at once (the
+        0/1 sums are exact integers, so they equal the scalar deque
+        bookkeeping bit for bit), and the two-proportion z statistics for the
+        whole segment are one call to
+        :func:`repro.stats.proportions.equal_proportions_statistics`.  The
+        exact scalar p-value is evaluated only for the few candidates that
+        pass a conservative statistic screen; a drift (which resets the
+        state) ends the vectorised segment.
+        """
+        if collect_stats or type(self)._update_one is not Stepd._update_one:
+            return super().update_batch(values, collect_stats=collect_stats)
+        arr = as_value_array(values)
+        n = arr.shape[0]
+        if n == 0:
+            return BatchResult(0)
+        corrects = np.where(arr > 0.5, 0.0, 1.0)
+        drift_indices: List[int] = []
+        warning_indices: List[int] = []
+        window = self._window_size
+        alpha_drift = self._alpha_drift
+        alpha_warning = self._alpha_warning
+        screen = self._screen_statistic
+        position = 0
+        limit = self._BATCH_CHUNK
+        while position < n:
+            # Bounded segments keep the whole call O(n) even on streams where
+            # drifts (which restart the closed form) are frequent.
+            segment = corrects[position : position + limit]
+            count = segment.shape[0]
+            retained = len(self._recent)
+            combined = np.empty(retained + count, dtype=np.float64)
+            combined[:retained] = self._recent
+            combined[retained:] = segment
+            prefix = np.empty(retained + count + 1, dtype=np.float64)
+            prefix[0] = 0.0
+            np.cumsum(combined, out=prefix[1:])
+
+            totals = retained + 1 + np.arange(count)
+            popped = np.maximum(totals - window, 0)
+            recent_count = np.minimum(totals, window)
+            recent_correct = prefix[totals] - prefix[popped]
+            older_count = self._older_count + popped
+            older_correct = self._older_correct + prefix[popped]
+            testable = (recent_count == window) & (older_count >= window)
+
+            statistics = equal_proportions_statistics(
+                recent_correct,
+                recent_count,
+                older_correct,
+                np.maximum(older_count, 1),
+            )
+            candidates = np.flatnonzero(testable & (statistics > screen))
+
+            drift_rel = -1
+            for rel in candidates.tolist():
+                p_value = 1.0 - normal_cdf(float(statistics[rel]))
+                if p_value < alpha_drift:
+                    drift_rel = rel
+                    break
+                if p_value < alpha_warning:
+                    warning_indices.append(position + rel)
+
+            if drift_rel < 0:
+                final_total = retained + count
+                keep = min(final_total, window)
+                self._recent = deque(
+                    combined[final_total - keep :].tolist(), maxlen=window
+                )
+                self._recent_correct = float(recent_correct[-1])
+                self._older_count = int(older_count[-1])
+                self._older_correct = float(older_correct[-1])
+                position += count
+                limit = min(limit * 4, self._BATCH_CHUNK)
+                continue
+
+            drift_index = position + drift_rel
+            drift_indices.append(drift_index)
+            warning_indices.append(drift_index)
+            self._init_state()
+            position = drift_index + 1
+            limit = self._BATCH_RESTART
+
+        return self._finish_batch(
+            n, drift_indices, warning_indices, DriftType.MEAN
+        )
 
     def reset(self) -> None:
         """Forget all statistics."""

@@ -94,10 +94,14 @@ def run_prequential(
         preserves the exact element-by-element semantics.  Larger chunks cut
         the detector overhead to the batched fast-path cost; the recorded
         drift/warning *indices* are unaffected by the chunking as long as the
-        learner is not reset mid-chunk, but with ``reset_on_drift`` the
-        learner reset is applied at the end of the chunk that contained the
-        drift, i.e. up to ``detector_batch_size - 1`` instances later than in
-        scalar mode.
+        learner is not reset mid-chunk.  With ``reset_on_drift`` the learner
+        reset is applied when the chunk containing the drift is flushed —
+        up to ``detector_batch_size - 1`` instances later than in scalar
+        mode — and the instances from the *last* detected drift onward are
+        replayed into the fresh learner, so after a flush (even one whose
+        chunk contained several drifts) the learner is in exactly the state
+        scalar mode produces for the same detections: reset at the final
+        drift, then trained on every instance from that drift on.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
@@ -112,6 +116,7 @@ def run_prequential(
     window_correct = 0
     window_count = 0
     error_buffer: List[float] = []
+    instance_buffer: list = []
     buffer_start = 0
     chunked = detector is not None and detector_batch_size > 1
 
@@ -123,9 +128,17 @@ def run_prequential(
         result.warnings.extend(buffer_start + k for k in outcome.warning_indices)
         result.detections.extend(buffer_start + k for k in outcome.drift_indices)
         if outcome.drift_indices and reset_on_drift:
+            # Scalar mode resets the learner at each drift *before* training
+            # on the drift instance, so its state after the chunk is "fresh at
+            # the last drift, then trained on everything from that instance
+            # on".  Replaying that suffix reproduces the state exactly, no
+            # matter how many drifts the chunk contained.
             learner.reset()
+            for instance in instance_buffer[outcome.drift_indices[-1] :]:
+                learner.learn_one(instance)
         buffer_start += len(error_buffer)
         error_buffer.clear()
+        instance_buffer.clear()
 
     for index in range(n_instances):
         instance = stream.next_instance()
@@ -144,6 +157,8 @@ def run_prequential(
 
         if chunked:
             error_buffer.append(error)
+            if reset_on_drift:
+                instance_buffer.append(instance)
             learner.learn_one(instance)
             if len(error_buffer) >= detector_batch_size:
                 flush_errors()

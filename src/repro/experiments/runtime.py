@@ -35,7 +35,11 @@ from repro.core.optwin import Optwin
 from repro.detectors.adwin import Adwin
 from repro.detectors.ddm import Ddm
 from repro.detectors.ecdd import Ecdd
+from repro.detectors.eddm import Eddm
+from repro.detectors.hddm import HddmA
+from repro.detectors.kswin import Kswin
 from repro.detectors.page_hinkley import PageHinkley
+from repro.detectors.rddm import Rddm
 from repro.detectors.stepd import Stepd
 
 __all__ = [
@@ -122,9 +126,13 @@ def run_runtime_comparison(
             "OPTWIN rho=0.5": lambda: Optwin(rho=0.5, w_max=25_000),
             "ADWIN": Adwin,
             "DDM": Ddm,
+            "EDDM": Eddm,
+            "STEPD": Stepd,
             "ECDD": Ecdd,
             "Page-Hinkley": PageHinkley,
-            "STEPD": Stepd,
+            "KSWIN": Kswin,
+            "RDDM": Rddm,
+            "HDDM-A": HddmA,
         }
     rng = np.random.default_rng(seed)
     measurements: List[RuntimeMeasurement] = []

@@ -10,10 +10,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.stats.distributions import normal_cdf
 
-__all__ = ["ProportionTestResult", "equal_proportions_test"]
+__all__ = [
+    "ProportionTestResult",
+    "equal_proportions_test",
+    "equal_proportions_statistics",
+]
 
 
 @dataclass(frozen=True)
@@ -75,3 +81,44 @@ def equal_proportions_test(
         statistic = min(statistic, 0.0)
     p_value = 1.0 - normal_cdf(statistic)
     return ProportionTestResult(statistic=statistic, p_value=p_value)
+
+
+def equal_proportions_statistics(
+    successes_recent: "np.ndarray",
+    n_recent: "np.ndarray",
+    successes_older: "np.ndarray",
+    n_older: "np.ndarray",
+) -> "np.ndarray":
+    """Vectorised z statistics of :func:`equal_proportions_test`.
+
+    Evaluates the continuity-corrected two-proportion statistic for a whole
+    chunk of ``(recent, older)`` segment summaries at once with exactly the
+    arithmetic of the scalar test, so each returned element is bit-identical
+    to ``equal_proportions_test(...).statistic`` for the same inputs — with
+    one deliberate exception: degenerate positions (pooled variance ``<= 0``,
+    where the scalar test short-circuits to ``statistic=0, p_value=1``) are
+    reported as ``-inf`` so that their one-sided upper-tail p-value is exactly
+    the scalar 1.0 under any threshold comparison.
+
+    Inputs broadcast against each other; callers are responsible for the
+    validation the scalar test performs (counts ``>= 1`` and success counts
+    within range).
+    """
+    successes_recent = np.asarray(successes_recent, dtype=np.float64)
+    successes_older = np.asarray(successes_older, dtype=np.float64)
+    n_recent = np.asarray(n_recent, dtype=np.float64)
+    n_older = np.asarray(n_older, dtype=np.float64)
+
+    p_recent = successes_recent / n_recent
+    p_older = successes_older / n_older
+    pooled = (successes_recent + successes_older) / (n_recent + n_older)
+    inverse = 1.0 / n_recent + 1.0 / n_older
+    correction = 0.5 * inverse
+    variance = pooled * (1.0 - pooled) * inverse
+    degenerate = variance <= 0.0
+    safe_variance = np.where(degenerate, 1.0, variance)
+    statistic = (np.abs(p_older - p_recent) - correction) / np.sqrt(safe_variance)
+    statistic = np.where(
+        p_recent >= p_older, np.minimum(statistic, 0.0), statistic
+    )
+    return np.where(degenerate, -np.inf, statistic)

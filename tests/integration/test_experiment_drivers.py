@@ -135,17 +135,21 @@ class TestAblationsAndRuntime:
             "OPTWIN rho=0.5",
             "ADWIN",
             "DDM",
+            "EDDM",
+            "STEPD",
             "ECDD",
             "Page-Hinkley",
-            "STEPD",
+            "KSWIN",
+            "RDDM",
+            "HDDM-A",
         } == names
         assert all(m.seconds_per_element > 0 for m in measurements)
-        # Every detector with a vectorised fast path is measured in both modes.
+        # Every detector in the line-up now has a vectorised fast path and is
+        # measured in both modes.
         modes = {(m.detector_name, m.mode) for m in measurements}
-        for batch_capable in ("OPTWIN rho=0.5", "DDM", "ECDD", "Page-Hinkley"):
-            assert (batch_capable, "scalar") in modes
-            assert (batch_capable, "batch") in modes
-        assert ("ADWIN", "batch") not in modes
+        for name in names:
+            assert (name, "scalar") in modes
+            assert (name, "batch") in modes
 
     def test_runtime_measurements_scalar_only(self):
         measurements = runtime.run_runtime_comparison(

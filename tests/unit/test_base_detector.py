@@ -78,6 +78,22 @@ def test_reset_counters():
     assert not detector.drift_detected
 
 
+def test_seeded_running_argmin_tracks_ties_by_mode():
+    import numpy as np
+
+    from repro.core.base import seeded_running_argmin
+
+    values = np.asarray([5.0, 3.0, 3.0, 4.0, 2.0, 2.0])
+    # Ties advance the index when not strict (DDM-style <=) ...
+    assert seeded_running_argmin(values, 10.0).tolist() == [0, 1, 2, 2, 4, 5]
+    # ... and keep the earlier record when strict (HDDM-style <).
+    assert seeded_running_argmin(values, 10.0, strict=True).tolist() == [
+        0, 1, 1, 1, 4, 4,
+    ]
+    # A seed below every value means the prior record always holds.
+    assert seeded_running_argmin(values, 1.0).tolist() == [-1] * 6
+
+
 def test_drift_type_enum_values():
     assert DriftType.MEAN.value == "mean"
     assert DriftType.VARIANCE.value == "variance"

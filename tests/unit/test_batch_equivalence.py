@@ -1,10 +1,12 @@
 """Golden equivalence tests for the batched detector execution engine.
 
-Every detector with a vectorised ``update_batch`` fast path must report
-*exactly* the same drift and warning indices as the element-by-element
-``update`` loop — over binary and real-valued streams, across multiple
+Every exported detector must report *exactly* the same drift and warning
+indices through ``update_batch`` as through the element-by-element ``update``
+loop — over binary, real-valued, and drift-dense streams, across multiple
 drifts/resets, for any chunking of the input, and leaving the detector in an
-indistinguishable internal state afterwards.
+indistinguishable internal state afterwards.  The detector line-up is checked
+against :func:`repro.detectors.exported_detector_classes`, so adding a
+detector without covering it here fails the registry test.
 """
 
 import numpy as np
@@ -12,9 +14,17 @@ import pytest
 
 from repro.core.base import DriftDetector
 from repro.core.optwin import Optwin
+from repro.detectors import exported_detector_classes
+from repro.detectors.adwin import Adwin
 from repro.detectors.ddm import Ddm
 from repro.detectors.ecdd import Ecdd
+from repro.detectors.eddm import Eddm
+from repro.detectors.hddm import HddmA
+from repro.detectors.kswin import Kswin
+from repro.detectors.no_detector import NoDriftDetector
 from repro.detectors.page_hinkley import PageHinkley
+from repro.detectors.rddm import Rddm
+from repro.detectors.stepd import Stepd
 
 
 def _multi_drift_binary(seed: int = 3) -> np.ndarray:
@@ -35,9 +45,20 @@ def _multi_drift_gaussian(seed: int = 5) -> np.ndarray:
     return np.concatenate(parts)
 
 
+def _drift_dense_binary(seed: int = 9) -> np.ndarray:
+    """Short alternating segments: every detector resets many times."""
+    rng = np.random.default_rng(seed)
+    parts = [
+        (rng.random(400) < p).astype(np.float64)
+        for p in (0.05, 0.9) * 8
+    ]
+    return np.concatenate(parts)
+
+
 STREAMS = {
     "binary_multi_drift": _multi_drift_binary(),
     "gaussian_multi_drift": _multi_drift_gaussian(),
+    "drift_dense": _drift_dense_binary(),
     "constant": np.full(500, 0.25),
     "tiny": np.asarray([0.0, 1.0, 0.0]),
 }
@@ -51,11 +72,35 @@ DETECTORS = {
     "optwin_literal": lambda: Optwin(
         rho=0.5, w_max=5_000, skip_variance_on_binary=False, require_magnitude=False
     ),
+    "adwin": Adwin,
+    "adwin_every_element": lambda: Adwin(clock=1, delta=0.05),
     "ddm": Ddm,
+    "eddm": Eddm,
+    "stepd": Stepd,
+    "stepd_wide": lambda: Stepd(window_size=100, alpha_drift=0.01, alpha_warning=0.2),
     "ecdd": Ecdd,
     "ecdd_arl100": lambda: Ecdd(arl0=100),
     "page_hinkley": PageHinkley,
+    "kswin": Kswin,
+    "kswin_sensitive": lambda: Kswin(alpha=0.01, window_size=200, stat_size=40, seed=3),
+    "rddm": Rddm,
+    "rddm_reactive": lambda: Rddm(
+        max_concept_size=3_000, min_stable_size=1_000, warning_limit=200
+    ),
+    "hddm_a": HddmA,
+    "no_detector": NoDriftDetector,
 }
+
+
+def test_registry_every_exported_detector_is_covered():
+    """The golden suite must exercise every exported detector class."""
+    covered = {type(factory()) for factory in DETECTORS.values()}
+    missing = [
+        cls.__name__
+        for cls in exported_detector_classes()
+        if cls not in covered
+    ]
+    assert not missing, f"exported detectors missing golden coverage: {missing}"
 
 
 def _scalar_reference(detector: DriftDetector, values: np.ndarray):
@@ -102,7 +147,7 @@ def _batched(detector: DriftDetector, values: np.ndarray, chunk: int):
     return drifts, warnings
 
 
-@pytest.mark.parametrize("chunk", [1, 7, 997, 10**9])
+@pytest.mark.parametrize("chunk", [1, 7, 64, 10**9])
 @pytest.mark.parametrize("stream_name", sorted(STREAMS))
 @pytest.mark.parametrize("detector_name", sorted(DETECTORS))
 def test_batch_matches_scalar(detector_name, stream_name, chunk):

@@ -68,6 +68,28 @@ class TestKswin:
         with pytest.raises(ConfigurationError):
             Kswin(stat_size=1, window_size=10)
 
+    def test_window_must_hold_two_stat_samples(self):
+        """Regression: ``stat_size < window_size < 2 * stat_size`` used to
+        pass construction and then crash with ``ValueError`` in
+        ``random.Random.sample`` at element ``window_size``, because the
+        older window segment held fewer than ``stat_size`` values.  The
+        constructor now rejects the configuration up front, naming both
+        values."""
+        with pytest.raises(
+            ConfigurationError,
+            match=r"window_size \(40\).*2 \* stat_size \(60\)",
+        ):
+            Kswin(window_size=40, stat_size=30)
+        # The boundary configuration is legal and must survive past the
+        # element that used to crash (the first full window) in both modes.
+        stream = [float(v % 3) / 2.0 for v in range(150)]
+        scalar = Kswin(window_size=60, stat_size=30)
+        for value in stream:
+            scalar.update(value)
+        batched = Kswin(window_size=60, stat_size=30)
+        batched.update_batch(stream)
+        assert scalar.n_seen == batched.n_seen == 150
+
     def test_no_detection_until_window_full(self):
         detector = Kswin(window_size=100, stat_size=30)
         assert detector.update_many([0.5] * 99) == []

@@ -2,13 +2,15 @@
 
 import pytest
 
+from repro.core.base import DetectionResult, DriftDetector
 from repro.core.optwin import Optwin
+from repro.detectors import exported_detector_classes
 from repro.detectors.no_detector import NoDriftDetector
 from repro.evaluation.prequential import run_prequential
 from repro.exceptions import ConfigurationError
 from repro.learners.naive_bayes import NaiveBayes
 from repro.streams.drift import ConceptDriftStream
-from repro.streams.synthetic import StaggerGenerator
+from repro.streams.synthetic import SeaGenerator, StaggerGenerator
 
 
 def _stagger_with_drift(seed=1, position=2_000):
@@ -149,6 +151,108 @@ def test_chunked_detector_feed_with_resets_still_adapts():
     # The learner reset lands at a chunk boundary (at most 127 instances
     # late), which must not cost the adaptation its benefit.
     assert chunked.accuracy >= baseline.accuracy - 0.01
+
+
+class _ScriptedDetector(DriftDetector):
+    """Flags drifts at fixed absolute stream positions, whatever the values.
+
+    Because its detections do not depend on the error stream, scalar and
+    chunked prequential runs see identical drift indices, which lets the
+    tests compare learner state across the two modes directly.
+    """
+
+    def __init__(self, drift_positions):
+        super().__init__()
+        self._drift_positions = frozenset(drift_positions)
+        self._position = 0
+
+    def _update_one(self, value):
+        position = self._position
+        self._position += 1
+        if position in self._drift_positions:
+            return DetectionResult(drift_detected=True, warning_detected=True)
+        return DetectionResult()
+
+    def reset(self):
+        self._position = 0
+        self._reset_counters()
+
+
+def test_chunked_multi_drift_chunk_matches_scalar_learner_state():
+    """Two drifts inside one flushed chunk: the learner must end up exactly
+    as in scalar mode — fresh at the *last* drift, then trained on every
+    instance from that drift on (regression: the reset used to land at the
+    chunk end without any retraining, leaving the learner untrained)."""
+    drift_positions = (10, 25)
+
+    scalar_stream = StaggerGenerator(seed=11)
+    scalar_learner = NaiveBayes(schema=scalar_stream.schema, n_classes=2)
+    scalar = run_prequential(
+        scalar_stream,
+        scalar_learner,
+        _ScriptedDetector(drift_positions),
+        n_instances=40,
+    )
+
+    chunked_stream = StaggerGenerator(seed=11)
+    chunked_learner = NaiveBayes(schema=chunked_stream.schema, n_classes=2)
+    chunked = run_prequential(
+        chunked_stream,
+        chunked_learner,
+        _ScriptedDetector(drift_positions),
+        n_instances=40,
+        detector_batch_size=32,
+    )
+
+    assert chunked.detections == scalar.detections == [10, 25]
+    # Scalar mode: reset at 25, then trained on instances 25..39.
+    assert scalar_learner.n_trained == 15
+    assert chunked_learner.n_trained == scalar_learner.n_trained
+    probe_stream = StaggerGenerator(seed=99)
+    probes = [probe_stream.next_instance() for _ in range(50)]
+    assert [chunked_learner.predict_one(p) for p in probes] == [
+        scalar_learner.predict_one(p) for p in probes
+    ]
+
+
+def test_chunked_drift_replay_spans_partial_final_chunk():
+    """A drift detected in the final (partial) flush must also replay the
+    post-drift instances into the fresh learner."""
+    stream = StaggerGenerator(seed=12)
+    learner = NaiveBayes(schema=stream.schema, n_classes=2)
+    result = run_prequential(
+        stream,
+        learner,
+        _ScriptedDetector([33]),
+        n_instances=37,
+        detector_batch_size=32,
+    )
+    assert result.detections == [33]
+    # Fresh at 33, then trained on instances 33..36.
+    assert learner.n_trained == 4
+
+
+def test_every_exported_detector_survives_chunked_prequential():
+    """Crash-class smoke: every registered detector must run end-to-end
+    through the chunked prequential loop on a short SEA stream (this is the
+    scenario that exposed the KSWIN sampler crash)."""
+    for detector_class in exported_detector_classes():
+        drifted = ConceptDriftStream(
+            SeaGenerator(classification_function=1, seed=21),
+            SeaGenerator(classification_function=3, seed=22),
+            position=200,
+            width=1,
+            seed=21,
+        )
+        learner = NaiveBayes(schema=drifted.schema, n_classes=2)
+        result = run_prequential(
+            drifted,
+            learner,
+            detector_class(),
+            n_instances=400,
+            detector_batch_size=32,
+        )
+        assert result.n_instances == 400, detector_class.__name__
 
 
 def test_chunk_larger_than_stream_flushes_at_end():

@@ -6,7 +6,10 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.stats.ewma import SUPPORTED_ARL0, EwmaEstimator, ecdd_control_limit
-from repro.stats.proportions import equal_proportions_test
+from repro.stats.proportions import (
+    equal_proportions_statistics,
+    equal_proportions_test,
+)
 
 
 class TestEqualProportions:
@@ -36,6 +39,48 @@ class TestEqualProportions:
             equal_proportions_test(31, 30, 10, 20)
         with pytest.raises(ConfigurationError):
             equal_proportions_test(5, 30, 25, 20)
+
+
+class TestEqualProportionsStatistics:
+    def test_bit_identical_to_scalar_test(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        n_recent = 30
+        n_older = rng.integers(30, 500, size=200)
+        successes_recent = rng.integers(0, n_recent + 1, size=200).astype(float)
+        successes_older = np.minimum(
+            rng.integers(0, 500, size=200), n_older
+        ).astype(float)
+        vectorised = equal_proportions_statistics(
+            successes_recent, n_recent, successes_older, n_older
+        )
+        for k in range(200):
+            scalar = equal_proportions_test(
+                successes_recent=float(successes_recent[k]),
+                n_recent=n_recent,
+                successes_older=float(successes_older[k]),
+                n_older=int(n_older[k]),
+            )
+            pooled = (successes_recent[k] + successes_older[k]) / (
+                n_recent + n_older[k]
+            )
+            degenerate = (
+                pooled * (1.0 - pooled) * (1.0 / n_recent + 1.0 / n_older[k])
+                <= 0.0
+            )
+            if degenerate:
+                # Reported as -inf so the upper-tail p-value is exactly the
+                # scalar short-circuit of 1.0.
+                assert vectorised[k] == -math.inf
+                assert scalar.p_value == 1.0
+            else:
+                assert vectorised[k] == scalar.statistic, k
+
+    def test_degenerate_variance_reports_minus_inf(self):
+        # Both segments all-success: the scalar test short-circuits to p=1.
+        result = equal_proportions_statistics(30.0, 30, 100.0, 100)
+        assert result == -math.inf
 
 
 class TestEcddControlLimit:
