@@ -1,0 +1,114 @@
+"""Grid-level wall-clock of the orchestrated experiment layer (experiment E14).
+
+Two comparisons, both on deliberately small grids so the suite stays fast:
+
+* **Value grid** (Table 1, sudden binary): the sequential scalar reference
+  path (``detector_batch_size=1``, the literal element-by-element loop)
+  versus the batched orchestrated path — bit-identical results, detector
+  cost cut to the vectorized fast-path cost.
+* **Classification grid** (Table 1, STAGGER): the historical driver loop
+  that regenerated the stream for every (detector, repetition) cell versus
+  the orchestrated path that materializes each repetition's stream once and
+  replays it to all detectors.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.evaluation.prequential import run_prequential
+from repro.evaluation.reporting import format_table
+from repro.experiments import orchestrator
+from repro.experiments.config import paper_detectors
+from repro.experiments.table1 import _stagger_stream, run_stagger, run_sudden_binary
+from repro.learners.naive_bayes import NaiveBayes
+
+
+def _timed(function, **kwargs):
+    orchestrator._STREAM_CACHE.clear()
+    start = time.perf_counter()
+    result = function(**kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_value_grid_batched_vs_scalar(benchmark, scale, report):
+    kwargs = dict(
+        n_repetitions=scale["n_repetitions"],
+        segment_length=scale["segment_length"],
+        w_max=scale["w_max"],
+    )
+    scalar_summaries, scalar_seconds = _timed(
+        run_sudden_binary, detector_batch_size=1, **kwargs
+    )
+    orchestrator._STREAM_CACHE.clear()
+    batched_summaries = run_once(
+        benchmark, run_sudden_binary, detector_batch_size=4_096, **kwargs
+    )
+    batched_seconds = benchmark.stats.stats.total
+
+    assert {
+        name: [run.detections for run in summary.runs]
+        for name, summary in scalar_summaries.items()
+    } == {
+        name: [run.detections for run in summary.runs]
+        for name, summary in batched_summaries.items()
+    }
+
+    speedup = scalar_seconds / max(batched_seconds, 1e-9)
+    report(
+        "experiment_grid",
+        format_table(
+            ["grid", "mode", "seconds", "speedup"],
+            [
+                ["table1 sudden-binary", "scalar sequential", f"{scalar_seconds:.2f}", "1.0x"],
+                ["table1 sudden-binary", "batched orchestrated", f"{batched_seconds:.2f}", f"{speedup:.1f}x"],
+            ],
+            title="Experiment-grid wall-clock (bit-identical results)",
+        ),
+    )
+    # The batched fast paths carry the grid; generation cost is shared.
+    assert speedup >= 1.5
+
+
+def test_classification_grid_shared_materialization(scale, report):
+    n_repetitions = max(scale["n_repetitions"] // 3, 1)
+    n_instances = scale["n_instances"] // 2
+    drift_every = scale["drift_every"]
+    w_max = scale["w_max"]
+    n_drifts = max(n_instances // drift_every - 1, 1)
+    factories = paper_detectors(binary=True, w_max=w_max)
+
+    def legacy_loop():
+        for repetition in range(n_repetitions):
+            for factory in factories.values():
+                stream = _stagger_stream(1 + repetition, drift_every, n_drifts, 1)
+                learner = NaiveBayes(schema=stream.schema, n_classes=stream.n_classes)
+                run_prequential(
+                    stream=stream,
+                    learner=learner,
+                    detector=factory(),
+                    n_instances=n_instances,
+                )
+
+    _, legacy_seconds = _timed(legacy_loop)
+    _, orchestrated_seconds = _timed(
+        run_stagger,
+        n_repetitions=n_repetitions,
+        n_instances=n_instances,
+        drift_every=drift_every,
+        w_max=w_max,
+    )
+    speedup = legacy_seconds / max(orchestrated_seconds, 1e-9)
+    report(
+        "experiment_grid_classification",
+        format_table(
+            ["grid", "mode", "seconds", "speedup"],
+            [
+                ["table1 stagger", "per-cell regeneration (legacy)", f"{legacy_seconds:.2f}", "1.0x"],
+                ["table1 stagger", "shared materialization", f"{orchestrated_seconds:.2f}", f"{speedup:.1f}x"],
+            ],
+            title="Classification grid: one generation pass per repetition",
+        ),
+    )
+    # Stream generation is no longer paid once per detector.
+    assert orchestrated_seconds <= legacy_seconds * 1.10

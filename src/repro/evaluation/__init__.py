@@ -20,6 +20,7 @@ from repro.evaluation.experiment import (
     DetectorRunResult,
     DetectorSummary,
     ExperimentRunner,
+    chunked_drift_indices,
     run_detector_on_values,
 )
 from repro.evaluation.prequential import PrequentialResult, run_prequential
@@ -42,6 +43,7 @@ __all__ = [
     "DetectorRunResult",
     "DetectorSummary",
     "ExperimentRunner",
+    "chunked_drift_indices",
     "run_detector_on_values",
     "PrequentialResult",
     "run_prequential",

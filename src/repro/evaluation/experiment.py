@@ -10,15 +10,15 @@ for *prequential* experiments (detector + learner over a labeled stream).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.core.base import DriftDetector
+from repro.core.base import DriftDetector, as_value_array
 from repro.evaluation.drift_metrics import (
     DriftEvaluation,
     evaluate_detections,
     micro_average,
 )
-from repro.evaluation.prequential import PrequentialResult, run_prequential
+from repro.evaluation.prequential import PrequentialResult
 from repro.exceptions import ConfigurationError
 from repro.learners.base import Classifier
 from repro.streams.base import InstanceStream, ValueStream
@@ -27,6 +27,7 @@ __all__ = [
     "DetectorRunResult",
     "DetectorSummary",
     "ExperimentRunner",
+    "chunked_drift_indices",
     "run_detector_on_values",
 ]
 
@@ -94,13 +95,55 @@ class DetectorSummary:
         }
 
 
+def chunked_drift_indices(
+    detector: DriftDetector,
+    values: Iterable[float],
+    detector_batch_size: Optional[int] = None,
+) -> List[int]:
+    """Feed ``values`` to ``detector`` and return absolute drift indices.
+
+    ``detector_batch_size`` selects the execution mode; every mode reports
+    bit-identical drift indices (the batched fast paths are observationally
+    equivalent to the scalar loop by contract):
+
+    * ``None`` — one :meth:`~repro.core.base.DriftDetector.update_batch` call
+      over the whole stream (fastest, the default);
+    * ``1`` — the literal element-by-element scalar loop, kept as the golden
+      reference path for equivalence tests and benchmarks;
+    * ``k > 1`` — chunks of ``k`` values through ``update_batch``, the mode
+      used when values arrive incrementally.
+    """
+    if detector_batch_size is not None and detector_batch_size < 1:
+        raise ConfigurationError(
+            f"detector_batch_size must be None or >= 1, got {detector_batch_size}"
+        )
+    array = as_value_array(values)
+    if detector_batch_size == 1:
+        return [
+            index for index, value in enumerate(array) if detector.update(value).drift_detected
+        ]
+    if detector_batch_size is None or detector_batch_size >= array.shape[0]:
+        return list(detector.update_batch(array).drift_indices)
+    detections: List[int] = []
+    for start in range(0, array.shape[0], detector_batch_size):
+        outcome = detector.update_batch(array[start : start + detector_batch_size])
+        detections.extend(start + index for index in outcome.drift_indices)
+    return detections
+
+
 def run_detector_on_values(
     detector: DriftDetector,
     stream: ValueStream,
     max_delay: Optional[int] = None,
+    detector_batch_size: Optional[int] = None,
 ) -> DetectorRunResult:
-    """Feed a value stream to a detector and score the detections."""
-    detections = detector.update_many(stream.values)
+    """Feed a value stream to a detector and score the detections.
+
+    The stream is routed through the detector's batched ``update_batch`` API
+    (see :func:`chunked_drift_indices` for the ``detector_batch_size``
+    semantics); the reported detections are bit-identical across modes.
+    """
+    detections = chunked_drift_indices(detector, stream.values, detector_batch_size)
     evaluation = evaluate_detections(
         drift_positions=stream.drift_positions,
         detections=detections,
@@ -113,6 +156,14 @@ def run_detector_on_values(
 class ExperimentRunner:
     """Repeat detector evaluations over freshly generated streams.
 
+    The repetition grid is decomposed into independent, deterministically
+    seeded cells and executed by
+    :mod:`repro.experiments.orchestrator`: one stream materialization per
+    repetition is shared by every detector, ``n_jobs`` fans the repetitions
+    out over a process pool, and ``out_path`` persists per-cell results for
+    resumable grids.  ``n_jobs=1`` without ``out_path`` runs fully inline and
+    is bit-identical to the historical sequential loop.
+
     Parameters
     ----------
     n_repetitions:
@@ -121,6 +172,17 @@ class ExperimentRunner:
         Base seed; repetition ``i`` uses ``base_seed + i``.
     max_delay:
         Optional cap on the drift acceptance window when scoring.
+    n_jobs:
+        Number of worker processes (1 = run inline).  Parallel runs require
+        the stream/detector factories to be picklable (module-level callables,
+        ``functools.partial`` of importable classes, or dataclass instances —
+        everything in :mod:`repro.experiments` qualifies).
+    detector_batch_size:
+        Chunk size for the detectors' batched ``update_batch`` feed; ``None``
+        feeds whole streams in one batch, ``1`` forces the scalar reference
+        loop.  Value-stream detections are bit-identical across settings; in
+        prequential experiments the learner reset lands at the chunk flush
+        (see :func:`repro.evaluation.prequential.run_prequential`).
     """
 
     def __init__(
@@ -128,19 +190,34 @@ class ExperimentRunner:
         n_repetitions: int = 30,
         base_seed: int = 1,
         max_delay: Optional[int] = None,
+        n_jobs: int = 1,
+        detector_batch_size: Optional[int] = None,
     ) -> None:
         if n_repetitions < 1:
             raise ConfigurationError(
                 f"n_repetitions must be >= 1, got {n_repetitions}"
             )
+        if n_jobs < 1:
+            raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+        if detector_batch_size is not None and detector_batch_size < 1:
+            raise ConfigurationError(
+                f"detector_batch_size must be None or >= 1, got {detector_batch_size}"
+            )
         self._n_repetitions = n_repetitions
         self._base_seed = base_seed
         self._max_delay = max_delay
+        self._n_jobs = n_jobs
+        self._detector_batch_size = detector_batch_size
 
     @property
     def n_repetitions(self) -> int:
         """Number of repetitions per detector."""
         return self._n_repetitions
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of worker processes used to execute the grid."""
+        return self._n_jobs
 
     # ------------------------------------------------------- value streams
 
@@ -148,6 +225,8 @@ class ExperimentRunner:
         self,
         detector_factories: Dict[str, Callable[[], DriftDetector]],
         stream_factory: Callable[[int], ValueStream],
+        out_path: Optional[str] = None,
+        block: str = "value-experiment",
     ) -> Dict[str, DetectorSummary]:
         """Evaluate every detector over ``n_repetitions`` generated streams.
 
@@ -160,18 +239,29 @@ class ExperimentRunner:
             Callable mapping a seed to a :class:`ValueStream`; every
             repetition uses a different seed, and every detector sees the
             same streams (paired comparison).
+        out_path:
+            Optional JSON-lines file persisting per-cell results; re-running
+            with the same configuration resumes instead of recomputing.
+        block:
+            Display/persistence name of this experiment block.
         """
-        summaries = {
-            name: DetectorSummary(detector_name=name) for name in detector_factories
-        }
-        for repetition in range(self._n_repetitions):
-            seed = self._base_seed + repetition
-            stream = stream_factory(seed)
-            for name, factory in detector_factories.items():
-                detector = factory()
-                run = run_detector_on_values(detector, stream, self._max_delay)
-                summaries[name].runs.append(run)
-        return summaries
+        # Deferred: the orchestrator sits in the experiments layer above this
+        # one and imports back into repro.evaluation; importing it lazily
+        # keeps the module graph acyclic at import time while this runner
+        # remains the stable public entry point.
+        from repro.experiments.orchestrator import run_value_grid
+
+        return run_value_grid(
+            stream_factory=stream_factory,
+            detector_factories=detector_factories,
+            n_repetitions=self._n_repetitions,
+            base_seed=self._base_seed,
+            n_jobs=self._n_jobs,
+            detector_batch_size=self._detector_batch_size,
+            max_delay=self._max_delay,
+            out_path=out_path,
+            block=block,
+        )
 
     # -------------------------------------------------------- prequential
 
@@ -182,6 +272,8 @@ class ExperimentRunner:
         learner_factory: Callable[[InstanceStream], Classifier],
         n_instances: int,
         drift_positions: Sequence[int] = (),
+        out_path: Optional[str] = None,
+        block: str = "prequential-experiment",
     ) -> Dict[str, List[PrequentialResult]]:
         """Run the prequential loop for every detector over every repetition.
 
@@ -189,23 +281,21 @@ class ExperimentRunner:
         :meth:`score_prequential` to turn them into Table-1-style summaries
         when ground-truth drift positions are known.
         """
-        results: Dict[str, List[PrequentialResult]] = {
-            name: [] for name in detector_factories
-        }
-        for repetition in range(self._n_repetitions):
-            seed = self._base_seed + repetition
-            for name, factory in detector_factories.items():
-                stream = stream_factory(seed)
-                learner = learner_factory(stream)
-                detector = factory() if factory is not None else None
-                result = run_prequential(
-                    stream=stream,
-                    learner=learner,
-                    detector=detector,
-                    n_instances=n_instances,
-                )
-                results[name].append(result)
-        return results
+        # Deferred for the same layering reason as run_value_experiment.
+        from repro.experiments.orchestrator import run_prequential_grid
+
+        return run_prequential_grid(
+            stream_builder=stream_factory,
+            detector_factories=detector_factories,
+            learner_factory=learner_factory,
+            n_instances=n_instances,
+            n_repetitions=self._n_repetitions,
+            base_seed=self._base_seed,
+            n_jobs=self._n_jobs,
+            detector_batch_size=self._detector_batch_size,
+            out_path=out_path,
+            block=block,
+        )
 
     def score_prequential(
         self,

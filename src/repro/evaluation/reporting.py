@@ -18,10 +18,23 @@ def format_table(
     rows: Iterable[Sequence[object]],
     title: str = "",
 ) -> str:
-    """Render a list of rows as an aligned plain-text table."""
+    """Render a list of rows as an aligned plain-text table.
+
+    Ragged input is rendered deterministically: the column count is the
+    longest of the header row and every data row, and shorter rows (or a
+    shorter header row) are padded with empty cells — no cell is ever
+    silently dropped and over-long rows no longer raise ``IndexError``.
+    """
     rendered_rows: List[List[str]] = [[_render_cell(cell) for cell in row] for row in rows]
-    widths = [len(header) for header in headers]
+    rendered_headers = [str(header) for header in headers]
+    n_columns = max(
+        len(rendered_headers),
+        max((len(row) for row in rendered_rows), default=0),
+    )
+    rendered_headers += [""] * (n_columns - len(rendered_headers))
+    widths = [len(header) for header in rendered_headers]
     for row in rendered_rows:
+        row += [""] * (n_columns - len(row))
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
 
@@ -29,7 +42,9 @@ def format_table(
     if title:
         lines.append(title)
     separator = "-+-".join("-" * width for width in widths)
-    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(rendered_headers, widths))
+    )
     lines.append(separator)
     for row in rendered_rows:
         lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))

@@ -6,11 +6,15 @@
 * :mod:`repro.experiments.figure5` — the neural-network pipeline (Figure 5);
 * :mod:`repro.experiments.significance` — Wilcoxon analysis (Section 4.1);
 * :mod:`repro.experiments.runtime` — per-element cost comparison (Section 3.4);
-* :mod:`repro.experiments.ablations` — design-choice ablations (DESIGN.md).
+* :mod:`repro.experiments.ablations` — design-choice ablations (DESIGN.md);
+* :mod:`repro.experiments.orchestrator` — parallel grid execution with
+  shared stream materialization and resumable JSON-lines persistence.
 
 The benchmark harness under ``benchmarks/`` wraps these drivers and prints the
 same rows/series the paper reports; see EXPERIMENTS.md for paper-vs-measured
-numbers.
+numbers.  ``python -m repro.experiments <block> --jobs N --batch-size B --out
+results.jsonl`` runs any block from the command line (see
+:mod:`repro.experiments.__main__`).
 """
 
 from repro.experiments import (  # noqa: F401  (re-exported driver modules)
@@ -18,6 +22,7 @@ from repro.experiments import (  # noqa: F401  (re-exported driver modules)
     config,
     figure5,
     figures,
+    orchestrator,
     runtime,
     significance,
     table1,
@@ -29,6 +34,7 @@ __all__ = [
     "config",
     "figures",
     "figure5",
+    "orchestrator",
     "runtime",
     "significance",
     "table1",

@@ -1,0 +1,165 @@
+"""Command-line entry point for the orchestrated experiment grids.
+
+Run any Table-1 block, the Table-2 accuracy matrix, or the significance
+analysis with parallel fan-out, batched detector execution, and resumable
+persistence::
+
+    python -m repro.experiments sudden-binary --jobs 4 --batch-size 64 \\
+        --repetitions 30 --out results/table1.jsonl
+    python -m repro.experiments table2 --instances 20000 --drift-every 4000
+    python -m repro.experiments significance --repetitions 10
+
+Only the options a block actually accepts are forwarded to its driver; the
+rest keep the driver's documented defaults.  With ``--out``, re-running the
+same configuration resumes from the persisted per-cell results instead of
+recomputing the grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.evaluation.reporting import (
+    format_accuracy_table,
+    format_detection_rows,
+    format_table,
+)
+from repro.experiments import significance, table1, table2
+
+#: Map from CLI block name to its driver function.
+_TABLE1_BLOCKS: Dict[str, Callable] = {
+    "sudden-binary": table1.run_sudden_binary,
+    "gradual-binary": table1.run_gradual_binary,
+    "sudden-nonbinary": table1.run_sudden_nonbinary,
+    "gradual-nonbinary": table1.run_gradual_nonbinary,
+    "stagger": table1.run_stagger,
+    "random-rbf": table1.run_random_rbf,
+    "agrawal": table1.run_agrawal,
+}
+
+_BLOCK_CHOICES = [*_TABLE1_BLOCKS, "table2", "significance"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run one paper-reproduction experiment block through the "
+        "parallel orchestrator and print its table.",
+    )
+    parser.add_argument("block", choices=_BLOCK_CHOICES, help="experiment block to run")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="detector_batch_size: chunk size of the batched detector feed "
+        "(default: whole-stream batches for value blocks, scalar loop for "
+        "classification blocks; 1 forces the scalar reference path)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="JSON-lines file persisting per-cell results (enables resume)",
+    )
+    parser.add_argument("--repetitions", type=int, default=None, help="grid repetitions")
+    parser.add_argument("--seed", type=int, default=None, help="base seed (default 1)")
+    parser.add_argument("--w-max", type=int, default=None, help="OPTWIN w_max (default 25000)")
+    parser.add_argument(
+        "--segment-length", type=int, default=None, help="error-stream segment length"
+    )
+    parser.add_argument(
+        "--width", type=int, default=None, help="gradual transition width (value blocks)"
+    )
+    parser.add_argument(
+        "--instances", type=int, default=None, help="instances per classification stream"
+    )
+    parser.add_argument(
+        "--drift-every", type=int, default=None, help="drift spacing (classification blocks)"
+    )
+    parser.add_argument(
+        "--gradual-width", type=int, default=None, help="gradual width (table2 datasets)"
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=None, help="significance level (significance block)"
+    )
+    return parser
+
+
+def _driver_kwargs(driver: Callable, args: argparse.Namespace) -> dict:
+    """Forward only the options the driver accepts (and that were given)."""
+    candidates = {
+        "n_repetitions": args.repetitions,
+        "base_seed": args.seed,
+        "w_max": args.w_max,
+        "segment_length": args.segment_length,
+        "width": args.width,
+        "n_instances": args.instances,
+        "drift_every": args.drift_every,
+        "gradual_width": args.gradual_width,
+        "n_jobs": args.jobs,
+        "detector_batch_size": args.batch_size,
+        "out_path": args.out,
+    }
+    parameters = inspect.signature(driver).parameters
+    return {
+        name: value
+        for name, value in candidates.items()
+        if value is not None and name in parameters
+    }
+
+
+def _run_significance(args: argparse.Namespace) -> str:
+    scores = significance.collect_f1_scores(
+        **_driver_kwargs(significance.collect_f1_scores, args)
+    )
+    comparisons = significance.run_significance_analysis(
+        scores, **({"alpha": args.alpha} if args.alpha is not None else {})
+    )
+    rows = [
+        [
+            comparison.detector_a,
+            comparison.detector_b,
+            f"{comparison.result.p_value:.4f}",
+            "yes" if comparison.a_better else "no",
+        ]
+        for comparison in comparisons
+    ]
+    return format_table(
+        ["OPTWIN config", "Baseline", "p-value", "significantly better"],
+        rows,
+        title="Wilcoxon signed-rank on per-run F1",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.block == "significance":
+        print(_run_significance(args))
+        return 0
+
+    if args.block == "table2":
+        accuracies = table2.run_table2(**_driver_kwargs(table2.run_table2, args))
+        datasets = list(next(iter(accuracies.values()), {}))
+        order = [name for name in table2.DATASET_ORDER if name in datasets]
+        order += [name for name in datasets if name not in order]
+        print(
+            format_accuracy_table(
+                accuracies, dataset_order=order, title="Table 2 - prequential accuracy (%)"
+            )
+        )
+        return 0
+
+    driver = _TABLE1_BLOCKS[args.block]
+    summaries = driver(**_driver_kwargs(driver, args))
+    rows = table1.summaries_to_rows(summaries)
+    print(format_detection_rows(rows, title=f"Table 1 - {args.block}"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ factor).
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, Optional
 
 from repro.core.base import DriftDetector
@@ -29,8 +30,13 @@ OPTWIN_RHOS = (0.1, 0.5, 1.0)
 
 
 def optwin_factory(rho: float, w_max: int = 25_000) -> Callable[[], DriftDetector]:
-    """Factory for an OPTWIN detector with the paper's configuration."""
-    return lambda: Optwin(delta=0.99, rho=rho, w_max=w_max)
+    """Factory for an OPTWIN detector with the paper's configuration.
+
+    Returned as a :func:`functools.partial` of the importable class (rather
+    than a closure) so detector line-ups can be shipped to the orchestrator's
+    worker processes.
+    """
+    return functools.partial(Optwin, delta=0.99, rho=rho, w_max=w_max)
 
 
 def paper_detectors(

@@ -9,7 +9,7 @@ and runs the same comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.evaluation.experiment import DetectorSummary
 from repro.evaluation.significance import PairwiseComparison, compare_f1_scores
@@ -28,14 +28,27 @@ def collect_f1_scores(
     segment_length: int = 2_000,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, List[float]]:
-    """Per-detector F1-scores pooled across the four error-stream experiments."""
+    """Per-detector F1-scores pooled across the four error-stream experiments.
+
+    ``n_jobs``/``detector_batch_size``/``out_path`` are forwarded to the
+    orchestrated Table-1 blocks; the pooled scores are bit-identical across
+    those settings (value-stream detections are batch-invariant, and all four
+    blocks persist/resume into the same ``out_path`` under distinct
+    configuration hashes).
+    """
     blocks = [
         run_sudden_binary(
             n_repetitions=n_repetitions,
             segment_length=segment_length,
             base_seed=base_seed,
             w_max=w_max,
+            n_jobs=n_jobs,
+            detector_batch_size=detector_batch_size,
+            out_path=out_path,
         ),
         run_gradual_binary(
             n_repetitions=n_repetitions,
@@ -43,12 +56,18 @@ def collect_f1_scores(
             width=max(segment_length // 5, 2),
             base_seed=base_seed,
             w_max=w_max,
+            n_jobs=n_jobs,
+            detector_batch_size=detector_batch_size,
+            out_path=out_path,
         ),
         run_sudden_nonbinary(
             n_repetitions=n_repetitions,
             segment_length=segment_length,
             base_seed=base_seed,
             w_max=w_max,
+            n_jobs=n_jobs,
+            detector_batch_size=detector_batch_size,
+            out_path=out_path,
         ),
         run_gradual_nonbinary(
             n_repetitions=n_repetitions,
@@ -56,6 +75,9 @@ def collect_f1_scores(
             width=max(segment_length // 5, 2),
             base_seed=base_seed,
             w_max=w_max,
+            n_jobs=n_jobs,
+            detector_batch_size=detector_batch_size,
+            out_path=out_path,
         ),
     ]
     scores: Dict[str, List[float]] = {}

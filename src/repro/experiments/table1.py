@@ -11,18 +11,22 @@ streams directly to the detectors; the last three ("Classification
 interface") run a Naive Bayes classifier prequentially over STAGGER,
 RandomRBF, and AGRAWAL streams with drifts every ``drift_every`` instances
 and feed the classifier's 0/1 errors to the detectors.
+
+Every block runs on :mod:`repro.experiments.orchestrator`: ``n_jobs`` fans
+the repetitions out over a process pool, ``detector_batch_size`` selects the
+detectors' batched execution mode, and ``out_path`` persists per-cell results
+for resumable grids.  The stream factories below are picklable dataclasses so
+the grids can ship to worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.evaluation.experiment import DetectorSummary, ExperimentRunner
-from repro.evaluation.prequential import run_prequential
-from repro.evaluation.drift_metrics import evaluate_detections
-from repro.evaluation.experiment import DetectorRunResult
 from repro.experiments.config import paper_detectors
-from repro.learners.naive_bayes import NaiveBayes
+from repro.experiments.orchestrator import run_classification_grid
 from repro.streams.base import InstanceStream, ValueStream
 from repro.streams.drift import MultiConceptDriftStream
 from repro.streams.error_streams import (
@@ -59,27 +63,36 @@ def summaries_to_rows(summaries: Dict[str, DetectorSummary]) -> List[dict]:
 # --------------------------------------------------------------------------
 
 
-def _binary_stream_factory(
-    segment_length: int, error_rates: List[float], width: int
-) -> Callable[[int], ValueStream]:
-    def factory(seed: int) -> ValueStream:
-        segments = [BinarySegment(segment_length, rate) for rate in error_rates]
-        return binary_error_stream(segments, width=width, seed=seed)
+@dataclass(frozen=True)
+class _BinaryStreamFactory:
+    """Picklable seed-to-stream factory for the binary error-stream blocks."""
 
-    return factory
+    segment_length: int
+    error_rates: Tuple[float, ...]
+    width: int
 
-
-def _gaussian_stream_factory(
-    segment_length: int, means: List[float], stds: List[float], width: int
-) -> Callable[[int], ValueStream]:
-    def factory(seed: int) -> ValueStream:
+    def __call__(self, seed: int) -> ValueStream:
         segments = [
-            GaussianSegment(segment_length, mean, std)
-            for mean, std in zip(means, stds)
+            BinarySegment(self.segment_length, rate) for rate in self.error_rates
         ]
-        return gaussian_error_stream(segments, width=width, seed=seed)
+        return binary_error_stream(segments, width=self.width, seed=seed)
 
-    return factory
+
+@dataclass(frozen=True)
+class _GaussianStreamFactory:
+    """Picklable seed-to-stream factory for the non-binary error-stream blocks."""
+
+    segment_length: int
+    means: Tuple[float, ...]
+    stds: Tuple[float, ...]
+    width: int
+
+    def __call__(self, seed: int) -> ValueStream:
+        segments = [
+            GaussianSegment(self.segment_length, mean, std)
+            for mean, std in zip(self.means, self.stds)
+        ]
+        return gaussian_error_stream(segments, width=self.width, seed=seed)
 
 
 def run_sudden_binary(
@@ -88,13 +101,23 @@ def run_sudden_binary(
     error_rates: Optional[List[float]] = None,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, DetectorSummary]:
     """Table 1, "sudden binary drift" block."""
-    rates = error_rates or [0.2, 0.6]
-    runner = ExperimentRunner(n_repetitions=n_repetitions, base_seed=base_seed)
+    rates = tuple(error_rates or [0.2, 0.6])
+    runner = ExperimentRunner(
+        n_repetitions=n_repetitions,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+    )
     return runner.run_value_experiment(
         detector_factories=paper_detectors(binary=True, w_max=w_max),
-        stream_factory=_binary_stream_factory(segment_length, rates, width=1),
+        stream_factory=_BinaryStreamFactory(segment_length, rates, width=1),
+        out_path=out_path,
+        block="sudden-binary",
     )
 
 
@@ -105,13 +128,23 @@ def run_gradual_binary(
     width: int = 1_000,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, DetectorSummary]:
     """Table 1, "gradual binary drift" block."""
-    rates = error_rates or [0.2, 0.6]
-    runner = ExperimentRunner(n_repetitions=n_repetitions, base_seed=base_seed)
+    rates = tuple(error_rates or [0.2, 0.6])
+    runner = ExperimentRunner(
+        n_repetitions=n_repetitions,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+    )
     return runner.run_value_experiment(
         detector_factories=paper_detectors(binary=True, w_max=w_max),
-        stream_factory=_binary_stream_factory(segment_length, rates, width=width),
+        stream_factory=_BinaryStreamFactory(segment_length, rates, width=width),
+        out_path=out_path,
+        block="gradual-binary",
     )
 
 
@@ -122,6 +155,9 @@ def run_sudden_nonbinary(
     stds: Optional[List[float]] = None,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, DetectorSummary]:
     """Table 1, "sudden non-binary drift" block (real-valued errors).
 
@@ -130,12 +166,19 @@ def run_sudden_nonbinary(
     the paper's observation that the proportions-based detectors are
     essentially blind on non-binary streams while OPTWIN and ADWIN are not.
     """
-    means = means or [0.2, 0.4]
-    stds = stds or [0.05, 0.08]
-    runner = ExperimentRunner(n_repetitions=n_repetitions, base_seed=base_seed)
+    means = tuple(means or [0.2, 0.4])
+    stds = tuple(stds or [0.05, 0.08])
+    runner = ExperimentRunner(
+        n_repetitions=n_repetitions,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+    )
     return runner.run_value_experiment(
         detector_factories=paper_detectors(binary=False, w_max=w_max),
-        stream_factory=_gaussian_stream_factory(segment_length, means, stds, width=1),
+        stream_factory=_GaussianStreamFactory(segment_length, means, stds, width=1),
+        out_path=out_path,
+        block="sudden-nonbinary",
     )
 
 
@@ -147,16 +190,24 @@ def run_gradual_nonbinary(
     width: int = 1_000,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, DetectorSummary]:
     """Table 1, "gradual non-binary drift" block (real-valued errors)."""
-    means = means or [0.2, 0.4]
-    stds = stds or [0.05, 0.08]
-    runner = ExperimentRunner(n_repetitions=n_repetitions, base_seed=base_seed)
+    means = tuple(means or [0.2, 0.4])
+    stds = tuple(stds or [0.05, 0.08])
+    runner = ExperimentRunner(
+        n_repetitions=n_repetitions,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+    )
     return runner.run_value_experiment(
         detector_factories=paper_detectors(binary=False, w_max=w_max),
-        stream_factory=_gaussian_stream_factory(
-            segment_length, means, stds, width=width
-        ),
+        stream_factory=_GaussianStreamFactory(segment_length, means, stds, width=width),
+        out_path=out_path,
+        block="gradual-nonbinary",
     )
 
 
@@ -198,36 +249,66 @@ def _agrawal_stream(seed: int, drift_every: int, n_drifts: int, width: int) -> I
     return MultiConceptDriftStream(concepts, positions, width=width, seed=seed)
 
 
+#: Seed-to-stream builders of the classification blocks, by generator kind.
+_CLASSIFICATION_STREAMS = {
+    "stagger": _stagger_stream,
+    "random_rbf": _random_rbf_stream,
+    "agrawal": _agrawal_stream,
+}
+
+
+@dataclass(frozen=True)
+class ClassificationStreamBuilder:
+    """Picklable seed-to-stream builder for the classification blocks.
+
+    ``kind`` selects the generator family (``stagger``, ``random_rbf``,
+    ``agrawal``); the remaining fields mirror the block parameters.  Table 2
+    reuses these builders for its synthetic datasets.
+    """
+
+    kind: str
+    drift_every: int
+    n_drifts: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CLASSIFICATION_STREAMS:
+            raise ValueError(
+                f"kind must be one of {sorted(_CLASSIFICATION_STREAMS)}, got {self.kind!r}"
+            )
+
+    def __call__(self, seed: int) -> InstanceStream:
+        return _CLASSIFICATION_STREAMS[self.kind](
+            seed, self.drift_every, self.n_drifts, self.width
+        )
+
+
 def _run_classification_block(
-    stream_builder: Callable[[int], InstanceStream],
+    kind: str,
     n_instances: int,
-    drift_positions: List[int],
+    drift_every: int,
+    width: int,
     n_repetitions: int,
     base_seed: int,
     w_max: int,
+    n_jobs: int,
+    detector_batch_size: Optional[int],
+    out_path: Optional[str],
 ) -> Dict[str, DetectorSummary]:
-    factories = paper_detectors(binary=True, w_max=w_max)
-    summaries = {name: DetectorSummary(detector_name=name) for name in factories}
-    for repetition in range(n_repetitions):
-        seed = base_seed + repetition
-        for name, factory in factories.items():
-            stream = stream_builder(seed)
-            learner = NaiveBayes(schema=stream.schema, n_classes=stream.n_classes)
-            result = run_prequential(
-                stream=stream,
-                learner=learner,
-                detector=factory(),
-                n_instances=n_instances,
-            )
-            evaluation = evaluate_detections(
-                drift_positions=drift_positions,
-                detections=result.detections,
-                stream_length=n_instances,
-            )
-            summaries[name].runs.append(
-                DetectorRunResult(detections=result.detections, evaluation=evaluation)
-            )
-    return summaries
+    n_drifts = max(n_instances // drift_every - 1, 1)
+    drift_positions = [drift_every * (index + 1) for index in range(n_drifts)]
+    return run_classification_grid(
+        stream_builder=ClassificationStreamBuilder(kind, drift_every, n_drifts, width),
+        detector_factories=paper_detectors(binary=True, w_max=w_max),
+        n_instances=n_instances,
+        drift_positions=drift_positions,
+        n_repetitions=n_repetitions,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+        out_path=out_path,
+        block=kind,
+    )
 
 
 def run_stagger(
@@ -237,17 +318,22 @@ def run_stagger(
     width: int = 1,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, DetectorSummary]:
     """Table 1, "sudden STAGGER" block (NB classifier + detectors)."""
-    n_drifts = max(n_instances // drift_every - 1, 1)
-    positions = [drift_every * (index + 1) for index in range(n_drifts)]
     return _run_classification_block(
-        stream_builder=lambda seed: _stagger_stream(seed, drift_every, n_drifts, width),
+        "stagger",
         n_instances=n_instances,
-        drift_positions=positions,
+        drift_every=drift_every,
+        width=width,
         n_repetitions=n_repetitions,
         base_seed=base_seed,
         w_max=w_max,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+        out_path=out_path,
     )
 
 
@@ -258,17 +344,22 @@ def run_random_rbf(
     width: int = 1,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, DetectorSummary]:
     """Table 1, "sudden RANDOM RBF" block (NB classifier + detectors)."""
-    n_drifts = max(n_instances // drift_every - 1, 1)
-    positions = [drift_every * (index + 1) for index in range(n_drifts)]
     return _run_classification_block(
-        stream_builder=lambda seed: _random_rbf_stream(seed, drift_every, n_drifts, width),
+        "random_rbf",
         n_instances=n_instances,
-        drift_positions=positions,
+        drift_every=drift_every,
+        width=width,
         n_repetitions=n_repetitions,
         base_seed=base_seed,
         w_max=w_max,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+        out_path=out_path,
     )
 
 
@@ -279,15 +370,20 @@ def run_agrawal(
     width: int = 1,
     base_seed: int = 1,
     w_max: int = 25_000,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, DetectorSummary]:
     """Table 1, "sudden AGRAWAL" block (NB classifier + detectors)."""
-    n_drifts = max(n_instances // drift_every - 1, 1)
-    positions = [drift_every * (index + 1) for index in range(n_drifts)]
     return _run_classification_block(
-        stream_builder=lambda seed: _agrawal_stream(seed, drift_every, n_drifts, width),
+        "agrawal",
         n_instances=n_instances,
-        drift_positions=positions,
+        drift_every=drift_every,
+        width=width,
         n_repetitions=n_repetitions,
         base_seed=base_seed,
         w_max=w_max,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+        out_path=out_path,
     )

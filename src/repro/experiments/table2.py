@@ -5,17 +5,22 @@ Electricity and Covertype surrogates) and every detector (including the
 "no drift detector" row), the NB classifier is evaluated prequentially and
 reset whenever the detector flags a drift; the reported figure is the overall
 prequential accuracy.
+
+The matrix runs on :mod:`repro.experiments.orchestrator`: one stream
+materialization per (dataset, seed) is shared by every detector row, and the
+``n_jobs``/``detector_batch_size``/``out_path`` knobs fan the grid out,
+select the detectors' execution mode, and persist per-cell results for
+resumable runs.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.core.base import DriftDetector
-from repro.evaluation.prequential import run_prequential
 from repro.experiments.config import table2_detectors
-from repro.experiments.table1 import _agrawal_stream, _random_rbf_stream, _stagger_stream
-from repro.learners.naive_bayes import NaiveBayes
+from repro.experiments.orchestrator import run_accuracy_grid
+from repro.experiments.table1 import ClassificationStreamBuilder
 from repro.streams.base import InstanceStream
 from repro.streams.real_world import CovertypeSurrogate, ElectricitySurrogate
 
@@ -34,6 +39,25 @@ DATASET_ORDER = (
 )
 
 
+@dataclass(frozen=True)
+class _SurrogateBuilder:
+    """Picklable seed-to-stream builder for the real-world surrogate columns."""
+
+    kind: str  # "electricity" | "covertype"
+    n_instances: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("electricity", "covertype"):
+            raise ValueError(
+                f"kind must be 'electricity' or 'covertype', got {self.kind!r}"
+            )
+
+    def __call__(self, seed: int) -> InstanceStream:
+        if self.kind == "electricity":
+            return ElectricitySurrogate(n_instances=self.n_instances, seed=seed)
+        return CovertypeSurrogate(n_instances=self.n_instances, seed=seed)
+
+
 def dataset_builders(
     n_instances: int,
     drift_every: int,
@@ -42,32 +66,27 @@ def dataset_builders(
     """Stream builders for every Table-2 column, keyed by display name.
 
     ``n_instances``/``drift_every`` control the synthetic streams; the
-    real-world surrogates always produce their own natural length but are
-    consumed up to ``n_instances`` instances by the runner.
+    real-world surrogates declare their own bounded length (at least 1,000
+    instances) and the runner never consumes past it.
     """
     n_drifts = max(n_instances // drift_every - 1, 1)
-
-    def electricity(seed: int) -> InstanceStream:
-        return ElectricitySurrogate(n_instances=max(n_instances, 1_000), seed=seed)
-
-    def covertype(seed: int) -> InstanceStream:
-        return CovertypeSurrogate(n_instances=max(n_instances, 1_000), seed=seed)
+    surrogate_length = max(n_instances, 1_000)
 
     return {
-        "STAGGER (sudden)": lambda seed: _stagger_stream(seed, drift_every, n_drifts, 1),
-        "Random RBF (sudden)": lambda seed: _random_rbf_stream(seed, drift_every, n_drifts, 1),
-        "AGRAWAL (sudden)": lambda seed: _agrawal_stream(seed, drift_every, n_drifts, 1),
-        "STAGGER (gradual)": lambda seed: _stagger_stream(
-            seed, drift_every, n_drifts, gradual_width
+        "STAGGER (sudden)": ClassificationStreamBuilder("stagger", drift_every, n_drifts, 1),
+        "Random RBF (sudden)": ClassificationStreamBuilder("random_rbf", drift_every, n_drifts, 1),
+        "AGRAWAL (sudden)": ClassificationStreamBuilder("agrawal", drift_every, n_drifts, 1),
+        "STAGGER (gradual)": ClassificationStreamBuilder(
+            "stagger", drift_every, n_drifts, gradual_width
         ),
-        "Random RBF (gradual)": lambda seed: _random_rbf_stream(
-            seed, drift_every, n_drifts, gradual_width
+        "Random RBF (gradual)": ClassificationStreamBuilder(
+            "random_rbf", drift_every, n_drifts, gradual_width
         ),
-        "AGRAWAL (gradual)": lambda seed: _agrawal_stream(
-            seed, drift_every, n_drifts, gradual_width
+        "AGRAWAL (gradual)": ClassificationStreamBuilder(
+            "agrawal", drift_every, n_drifts, gradual_width
         ),
-        "Electricity": electricity,
-        "Covertype": covertype,
+        "Electricity": _SurrogateBuilder("electricity", surrogate_length),
+        "Covertype": _SurrogateBuilder("covertype", surrogate_length),
     }
 
 
@@ -79,29 +98,25 @@ def run_table2(
     base_seed: int = 1,
     w_max: int = 25_000,
     datasets: Optional[Dict[str, Callable[[int], InstanceStream]]] = None,
+    n_jobs: int = 1,
+    detector_batch_size: Optional[int] = None,
+    out_path: Optional[str] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Return ``{detector: {dataset: accuracy}}`` for the Table-2 grid.
 
-    Accuracies are averaged over ``n_repetitions`` prequential runs.
+    Accuracies are averaged over ``n_repetitions`` prequential runs.  When a
+    dataset declares its own bounded length (the real-world surrogates do)
+    the evaluation is clamped to that bound instead of consuming the stream
+    past its declared end.
     """
     builders = datasets or dataset_builders(n_instances, drift_every, gradual_width)
-    detectors = table2_detectors(w_max=w_max)
-    accuracies: Dict[str, Dict[str, float]] = {name: {} for name in detectors}
-
-    for dataset_name, builder in builders.items():
-        for detector_name, factory in detectors.items():
-            total_accuracy = 0.0
-            for repetition in range(n_repetitions):
-                seed = base_seed + repetition
-                stream = builder(seed)
-                learner = NaiveBayes(schema=stream.schema, n_classes=stream.n_classes)
-                detector: Optional[DriftDetector] = factory() if factory else None
-                result = run_prequential(
-                    stream=stream,
-                    learner=learner,
-                    detector=detector,
-                    n_instances=n_instances,
-                )
-                total_accuracy += result.accuracy
-            accuracies[detector_name][dataset_name] = total_accuracy / n_repetitions
-    return accuracies
+    return run_accuracy_grid(
+        dataset_builders=builders,
+        detector_factories=table2_detectors(w_max=w_max),
+        n_instances=n_instances,
+        n_repetitions=n_repetitions,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+        detector_batch_size=detector_batch_size,
+        out_path=out_path,
+    )

@@ -16,6 +16,7 @@ from repro.streams.base import (
     Attribute,
     Instance,
     InstanceStream,
+    MaterializedStream,
     ValueStream,
     nominal_attribute,
     numeric_attribute,
@@ -43,6 +44,7 @@ __all__ = [
     "Attribute",
     "Instance",
     "InstanceStream",
+    "MaterializedStream",
     "ValueStream",
     "numeric_attribute",
     "nominal_attribute",

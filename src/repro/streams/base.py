@@ -21,7 +21,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StreamExhaustedError
 
 __all__ = [
     "Attribute",
@@ -29,6 +29,7 @@ __all__ = [
     "nominal_attribute",
     "Instance",
     "InstanceStream",
+    "MaterializedStream",
     "ValueStream",
 ]
 
@@ -168,6 +169,66 @@ class InstanceStream(abc.ABC):
     def __iter__(self) -> Iterator[Instance]:
         while True:
             yield self.next_instance()
+
+
+class MaterializedStream(InstanceStream):
+    """Replay of a pre-generated list of instances.
+
+    Generating a synthetic stream costs far more than consuming it, and the
+    grid experiments feed *identical* instance sequences (same builder, same
+    seed) to every detector of a repetition.  Materializing the sequence once
+    and replaying it through this class shares a single generation pass across
+    all consumers while remaining bit-identical to re-generating the stream:
+    iteration order, schema, and class count are preserved exactly.
+
+    Parameters
+    ----------
+    instances:
+        The pre-generated instances, in stream order.
+    schema, n_classes, seed:
+        Metadata of the originating stream (``seed`` is informational; the
+        replay itself is deterministic by construction).
+    """
+
+    def __init__(
+        self,
+        instances: Sequence[Instance],
+        schema: Sequence[Attribute],
+        n_classes: int,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(schema=schema, n_classes=n_classes, seed=seed)
+        self._instances = list(instances)
+
+    @property
+    def n_instances(self) -> int:
+        """Length of the bounded replay."""
+        return len(self._instances)
+
+    @classmethod
+    def from_stream(cls, stream: InstanceStream, n_instances: int) -> "MaterializedStream":
+        """Materialize ``n_instances`` from a freshly built stream.
+
+        When the source declares its own length (an ``n_instances`` property,
+        as the real-world surrogates do) the materialization is clamped to
+        that bound instead of running the source past its end.
+        """
+        bound = getattr(stream, "n_instances", None)
+        count = n_instances if bound is None else min(n_instances, int(bound))
+        return cls(
+            stream.take(count),
+            schema=stream.schema,
+            n_classes=stream.n_classes,
+            seed=stream.seed,
+        )
+
+    def _generate_instance(self) -> Instance:
+        if self._n_emitted >= len(self._instances):
+            raise StreamExhaustedError(
+                f"materialized stream of {len(self._instances)} instances is "
+                f"exhausted; call restart() to replay it"
+            )
+        return self._instances[self._n_emitted]
 
 
 @dataclass

@@ -26,7 +26,7 @@ from typing import List
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StreamExhaustedError
 from repro.streams.base import Instance, InstanceStream, nominal_attribute, numeric_attribute
 
 __all__ = ["ElectricitySurrogate", "CovertypeSurrogate"]
@@ -122,6 +122,11 @@ class ElectricitySurrogate(InstanceStream):
 
     def _generate_instance(self) -> Instance:
         index = self._n_emitted
+        if index >= self._n_instances:
+            raise StreamExhaustedError(
+                f"ElectricitySurrogate declares n_instances={self._n_instances} "
+                f"and is exhausted; call restart() to re-read the same stream"
+            )
         period = index % self._PERIODS_PER_DAY
         seasonal = 0.25 * math.sin(2.0 * math.pi * period / self._PERIODS_PER_DAY)
 
@@ -250,6 +255,11 @@ class CovertypeSurrogate(InstanceStream):
 
     def _generate_instance(self) -> Instance:
         index = self._n_emitted
+        if index >= self._n_instances:
+            raise StreamExhaustedError(
+                f"CovertypeSurrogate declares n_instances={self._n_instances} "
+                f"and is exhausted; call restart() to re-read the same stream"
+            )
         # Slow wander of the class-conditional means (spatial-ordering drift).
         self._class_means += 0.0005 * self._mean_drift_direction
         # Abrupt hidden shifts.

@@ -1,0 +1,323 @@
+"""Determinism, resume, and parity suite for the experiment orchestrator.
+
+The contract under test: decomposing a grid into cells, fanning it out over
+worker processes, chunking the detector feed, and resuming from persisted
+partial results must all be *observationally invisible* — the summaries are
+bit-identical to the sequential scalar reference path.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.drift_metrics import evaluate_detections
+from repro.evaluation.prequential import run_prequential
+from repro.experiments import orchestrator, table1, table2
+from repro.experiments.config import paper_detectors, table2_detectors
+from repro.learners.naive_bayes import NaiveBayes
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _detections(summaries):
+    return {
+        name: [run.detections for run in summary.runs]
+        for name, summary in summaries.items()
+    }
+
+
+def _rows(summaries):
+    return {name: summary.as_row() for name, summary in summaries.items()}
+
+
+class TestCellDecomposition:
+    def test_cells_are_deterministically_seeded(self):
+        cells = orchestrator.decompose_grid("blk", ["A", "B"], n_repetitions=3, base_seed=7)
+        assert len(cells) == 6
+        assert cells[0] == orchestrator.ExperimentCell("blk", "A", 0, 7)
+        assert {cell.seed for cell in cells if cell.repetition == 2} == {9}
+
+    def test_config_hash_is_stable_and_discriminating(self):
+        payload = {"kind": "value", "block": "x", "detectors": [["A", "repr"]]}
+        assert orchestrator.grid_config_hash(payload) == orchestrator.grid_config_hash(
+            dict(payload)
+        )
+        other = dict(payload, block="y")
+        assert orchestrator.grid_config_hash(payload) != orchestrator.grid_config_hash(other)
+
+    def test_stable_tokens_carry_no_process_addresses(self):
+        """repr() of functions/partials embeds per-process memory addresses;
+        the configuration hash must use process-independent tokens or
+        resume-from-partial silently never matches across restarts."""
+        import functools
+
+        from repro.core.optwin import Optwin
+        from repro.experiments.table1 import ClassificationStreamBuilder
+
+        tokens = [
+            orchestrator.stable_token(orchestrator.default_learner_factory),
+            orchestrator.stable_token(functools.partial(Optwin, rho=0.5, w_max=5_000)),
+            orchestrator.stable_token(Optwin),
+            orchestrator.stable_token(ClassificationStreamBuilder("stagger", 500, 1, 1)),
+            orchestrator.stable_token(None),
+        ]
+        assert tokens[0] == "repro.experiments.orchestrator.default_learner_factory"
+        for token in tokens:
+            assert "0x" not in token, token
+
+    def test_persistence_rejects_process_local_factories(self, tmp_path):
+        from repro.core.optwin import Optwin
+        from repro.exceptions import ConfigurationError
+        from repro.experiments.table1 import _BinaryStreamFactory
+
+        factories = {"OPTWIN": lambda: Optwin(rho=0.5, w_max=5_000)}
+        stream_factory = _BinaryStreamFactory(500, (0.2, 0.6), 1)
+        # Inline, in-memory grids accept lambdas...
+        orchestrator.run_value_grid(stream_factory, factories, n_repetitions=1)
+        # ...but persistence needs tokens that survive a process restart.
+        with pytest.raises(ConfigurationError):
+            orchestrator.run_value_grid(
+                stream_factory,
+                factories,
+                n_repetitions=1,
+                out_path=str(tmp_path / "grid.jsonl"),
+            )
+
+
+class TestValueGridGolden:
+    """Acceptance criterion: an orchestrated Table-1 block with n_jobs >= 2
+    and detector_batch_size >= 64 is bit-identical to the sequential scalar
+    path (detector_batch_size=1 feeds the literal element-by-element loop)."""
+
+    @pytest.fixture(scope="class")
+    def scalar_reference(self):
+        return table1.run_sudden_binary(
+            n_repetitions=3, segment_length=1_000, w_max=5_000, detector_batch_size=1
+        )
+
+    def test_batched_sequential_matches_scalar(self, scalar_reference):
+        batched = table1.run_sudden_binary(
+            n_repetitions=3, segment_length=1_000, w_max=5_000, detector_batch_size=64
+        )
+        assert _detections(batched) == _detections(scalar_reference)
+        assert _rows(batched) == _rows(scalar_reference)
+
+    def test_parallel_batched_matches_scalar(self, scalar_reference):
+        parallel = table1.run_sudden_binary(
+            n_repetitions=3,
+            segment_length=1_000,
+            w_max=5_000,
+            n_jobs=4,
+            detector_batch_size=64,
+        )
+        assert _detections(parallel) == _detections(scalar_reference)
+        assert _rows(parallel) == _rows(scalar_reference)
+
+    def test_whole_stream_batch_matches_scalar(self, scalar_reference):
+        whole = table1.run_sudden_binary(
+            n_repetitions=3, segment_length=1_000, w_max=5_000, detector_batch_size=None
+        )
+        assert _detections(whole) == _detections(scalar_reference)
+
+
+class TestClassificationGridGolden:
+    def test_parallel_matches_sequential(self):
+        sequential = table1.run_stagger(
+            n_repetitions=2, n_instances=2_000, drift_every=1_000, w_max=5_000
+        )
+        parallel = table1.run_stagger(
+            n_repetitions=2,
+            n_instances=2_000,
+            drift_every=1_000,
+            w_max=5_000,
+            n_jobs=2,
+        )
+        assert _detections(parallel) == _detections(sequential)
+        assert _rows(parallel) == _rows(sequential)
+
+    def test_shared_materialization_matches_per_detector_regeneration(self):
+        """The orchestrator materializes each (stream, seed) once and replays
+        it to every detector; that must equal the historical driver, which
+        regenerated the stream for every (detector, repetition) cell."""
+        n_rep, n_inst, drift_every, w_max = 2, 2_000, 1_000, 5_000
+        n_drifts = max(n_inst // drift_every - 1, 1)
+        positions = [drift_every * (index + 1) for index in range(n_drifts)]
+        factories = paper_detectors(binary=True, w_max=w_max)
+
+        legacy = {}
+        for name, factory in factories.items():
+            legacy[name] = []
+            for repetition in range(n_rep):
+                stream = table1._stagger_stream(1 + repetition, drift_every, n_drifts, 1)
+                learner = NaiveBayes(schema=stream.schema, n_classes=stream.n_classes)
+                result = run_prequential(
+                    stream=stream, learner=learner, detector=factory(), n_instances=n_inst
+                )
+                evaluation = evaluate_detections(
+                    drift_positions=positions,
+                    detections=result.detections,
+                    stream_length=n_inst,
+                )
+                legacy[name].append((result.detections, evaluation.as_dict()))
+
+        orchestrated = table1.run_stagger(
+            n_repetitions=n_rep, n_instances=n_inst, drift_every=drift_every, w_max=w_max
+        )
+        for name, summary in orchestrated.items():
+            assert [
+                (run.detections, run.evaluation.as_dict()) for run in summary.runs
+            ] == legacy[name]
+
+
+class TestAccuracyGridGolden:
+    def test_table2_parallel_matches_sequential_exactly(self):
+        builders = table2.dataset_builders(n_instances=1_500, drift_every=750)
+        subset = {
+            name: builders[name] for name in ("STAGGER (sudden)", "Electricity")
+        }
+        sequential = table2.run_table2(
+            n_instances=1_500, drift_every=750, n_repetitions=2, w_max=5_000, datasets=subset
+        )
+        parallel = table2.run_table2(
+            n_instances=1_500,
+            drift_every=750,
+            n_repetitions=2,
+            w_max=5_000,
+            datasets=subset,
+            n_jobs=2,
+        )
+        assert sequential == parallel
+        assert set(sequential) == set(table2_detectors())
+
+
+class TestPersistenceAndResume:
+    def test_resume_from_partial_results_is_equivalent(self, tmp_path, monkeypatch):
+        out = tmp_path / "grid.jsonl"
+        kwargs = dict(n_repetitions=3, segment_length=800, w_max=5_000)
+        full = table1.run_sudden_binary(out_path=str(out), **kwargs)
+
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 3 * 8  # 3 repetitions x 8 detectors
+        # Keep repetition 0 plus a torn final line (simulated interruption).
+        kept = [line for line in lines if json.loads(line)["repetition"] == 0]
+        out.write_text("\n".join(kept) + "\n" + lines[-1][: len(lines[-1]) // 2])
+
+        executed = []
+        original = orchestrator._execute_task
+        monkeypatch.setattr(
+            orchestrator,
+            "_execute_task",
+            lambda task: executed.append(task["repetition"]) or original(task),
+        )
+        resumed = table1.run_sudden_binary(out_path=str(out), **kwargs)
+        assert sorted(executed) == [1, 2]  # repetition 0 was loaded, not recomputed
+        assert _detections(resumed) == _detections(full)
+        assert _rows(resumed) == _rows(full)
+
+        # The file now holds the full grid again: a third run computes nothing.
+        executed.clear()
+        rerun = table1.run_sudden_binary(out_path=str(out), **kwargs)
+        assert executed == []
+        assert _detections(rerun) == _detections(full)
+
+    def test_different_configurations_share_one_file(self, tmp_path):
+        out = tmp_path / "grid.jsonl"
+        first = table1.run_sudden_binary(
+            n_repetitions=1, segment_length=600, w_max=5_000, out_path=str(out)
+        )
+        # Different stream config -> different hash -> independent cells.
+        second = table1.run_sudden_binary(
+            n_repetitions=1, segment_length=700, w_max=5_000, out_path=str(out)
+        )
+        configs = {
+            json.loads(line)["config"] for line in out.read_text().strip().splitlines()
+        }
+        assert len(configs) == 2
+        # Re-running either configuration still resumes cleanly.
+        again = table1.run_sudden_binary(
+            n_repetitions=1, segment_length=600, w_max=5_000, out_path=str(out)
+        )
+        assert _detections(again) == _detections(first)
+        assert _detections(again) != _detections(second)
+
+    def test_prequential_resume_restores_full_results(self, tmp_path):
+        out = tmp_path / "grid.jsonl"
+        kwargs = dict(
+            n_repetitions=1, n_instances=1_500, drift_every=750, w_max=5_000
+        )
+        fresh = table1.run_stagger(out_path=str(out), **kwargs)
+        resumed = table1.run_stagger(out_path=str(out), **kwargs)
+        assert _detections(resumed) == _detections(fresh)
+        assert _rows(resumed) == _rows(fresh)
+
+
+class TestCli:
+    def test_cli_runs_a_block_and_persists(self, tmp_path):
+        out = tmp_path / "cli.jsonl"
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "sudden-binary",
+                "--repetitions",
+                "1",
+                "--segment-length",
+                "600",
+                "--w-max",
+                "2000",
+                "--jobs",
+                "1",
+                "--batch-size",
+                "64",
+                "--out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "OPTWIN" in completed.stdout
+        assert out.exists() and out.read_text().strip()
+
+    def test_cli_resume_works_across_processes(self, tmp_path):
+        """A classification grid persisted by one process must be resumed —
+        not recomputed under a fresh config hash — by the next process."""
+        out = tmp_path / "stagger.jsonl"
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "stagger",
+            "--repetitions",
+            "1",
+            "--instances",
+            "1000",
+            "--drift-every",
+            "500",
+            "--w-max",
+            "2000",
+            "--out",
+            str(out),
+        ]
+        env = {"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"}
+        first = subprocess.run(command, capture_output=True, text=True, env=env)
+        assert first.returncode == 0, first.stderr
+        persisted = out.read_text()
+        second = subprocess.run(command, capture_output=True, text=True, env=env)
+        assert second.returncode == 0, second.stderr
+        assert out.read_text() == persisted  # nothing recomputed or re-appended
+        assert first.stdout == second.stdout
+
+    def test_cli_rejects_unknown_block(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "no-such-block"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        )
+        assert completed.returncode != 0

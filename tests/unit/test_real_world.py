@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StreamExhaustedError
 from repro.streams.real_world import CovertypeSurrogate, ElectricitySurrogate
 
 
@@ -89,3 +89,39 @@ class TestCovertypeSurrogate:
     def test_invalid_parameters_raise(self):
         with pytest.raises(ConfigurationError):
             CovertypeSurrogate(n_instances=10)
+
+
+class TestDeclaredLengthBound:
+    """Both surrogates must honour their declared n_instances bound instead
+    of silently emitting past the seeded drift layout."""
+
+    def test_electricity_raises_past_declared_end(self):
+        stream = ElectricitySurrogate(n_instances=100, seed=1)
+        stream.take(100)
+        with pytest.raises(StreamExhaustedError):
+            stream.next_instance()
+
+    def test_covertype_raises_past_declared_end(self):
+        stream = CovertypeSurrogate(n_instances=100, seed=1)
+        stream.take(100)
+        with pytest.raises(StreamExhaustedError):
+            stream.next_instance()
+
+    def test_restart_allows_rereading(self):
+        stream = ElectricitySurrogate(n_instances=100, seed=2)
+        first = [(tuple(i.x), i.y) for i in stream.take(100)]
+        with pytest.raises(StreamExhaustedError):
+            stream.next_instance()
+        stream.restart()
+        second = [(tuple(i.x), i.y) for i in stream.take(100)]
+        assert first == second
+
+    def test_materialization_clamps_to_declared_bound(self):
+        from repro.streams.base import MaterializedStream
+
+        stream = CovertypeSurrogate(n_instances=150, seed=3)
+        replay = MaterializedStream.from_stream(stream, 10_000)
+        assert replay.n_instances == 150
+        replay.take(150)
+        with pytest.raises(StreamExhaustedError):
+            replay.next_instance()

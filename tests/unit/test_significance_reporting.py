@@ -82,3 +82,34 @@ class TestReporting:
         accuracies = {"OPTWIN": {"STAGGER": 0.9}}
         text = format_accuracy_table(accuracies, dataset_order=["STAGGER", "OTHER"])
         assert "nan" in text
+
+
+class TestRaggedTables:
+    """format_table must render ragged input deterministically (it used to
+    raise IndexError on over-long rows and silently drop the cells of
+    short rows)."""
+
+    def test_row_longer_than_headers_renders_every_cell(self):
+        text = format_table(["a", "b"], [["1", "2", "3", "4"]])
+        assert "3" in text and "4" in text
+        header_line, separator, row_line = text.splitlines()
+        assert len(header_line) == len(row_line)
+
+    def test_row_shorter_than_headers_pads_with_empty_cells(self):
+        text = format_table(["a", "b", "c"], [["1"]])
+        header_line, separator, row_line = text.splitlines()
+        assert "c" in header_line
+        assert len(row_line) == len(header_line)
+        assert row_line.startswith("1")
+
+    def test_mixed_ragged_rows_are_deterministic(self):
+        rows = [["1"], ["1", "2", "3"], ["1", "2"]]
+        first = format_table(["a", "b"], rows)
+        second = format_table(["a", "b"], rows)
+        assert first == second
+        widths = {len(line) for line in first.splitlines()}
+        assert len(widths) == 1  # every line padded to the same width
+
+    def test_empty_rows_and_headers(self):
+        text = format_table([], [])
+        assert text.splitlines()[0] == ""
