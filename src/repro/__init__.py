@@ -13,7 +13,12 @@ The package provides:
 * :mod:`repro.evaluation` — prequential evaluation, drift scoring, experiment
   runner, significance tests, reporting;
 * :mod:`repro.pipelines` — drift-aware online-learning pipelines;
-* :mod:`repro.experiments` — one driver per table/figure of the paper.
+* :mod:`repro.experiments` — one driver per table/figure of the paper;
+* :mod:`repro.serving` — a multi-tenant serving layer hosting thousands of
+  long-lived monitors with bit-exact checkpoint/restore
+  (``detector.state_dict()`` / ``load_state_dict()``), alert sinks, and a
+  JSON-lines TCP server (``python -m repro.serving``); see
+  ``docs/serving.md``.
 
 Quickstart
 ----------

@@ -10,7 +10,13 @@ Public surface:
   data-independent optimal-cut machinery.
 """
 
-from repro.core.base import BatchResult, DetectionResult, DriftDetector, DriftType
+from repro.core.base import (
+    SNAPSHOT_SCHEMA_VERSION,
+    BatchResult,
+    DetectionResult,
+    DriftDetector,
+    DriftType,
+)
 from repro.core.config import OptwinConfig
 from repro.core.optimal_cut import (
     SplitSpec,
@@ -31,6 +37,7 @@ from repro.core.ppf_tables import (
 __all__ = [
     "Optwin",
     "OptwinConfig",
+    "SNAPSHOT_SCHEMA_VERSION",
     "DriftDetector",
     "DetectionResult",
     "BatchResult",

@@ -21,9 +21,17 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
+
+from repro.exceptions import SnapshotError
+
+#: Version of the detector snapshot schema produced by
+#: :meth:`DriftDetector.state_dict`.  Bump whenever the layout of the
+#: serialized payload changes incompatibly; :meth:`DriftDetector.load_state_dict`
+#: refuses snapshots from a different version.
+SNAPSHOT_SCHEMA_VERSION = 1
 
 
 def as_value_array(values: Iterable[float]) -> "np.ndarray":
@@ -74,6 +82,7 @@ __all__ = [
     "DriftDetector",
     "as_value_array",
     "seeded_running_argmin",
+    "SNAPSHOT_SCHEMA_VERSION",
 ]
 
 
@@ -232,9 +241,113 @@ class DriftDetector(abc.ABC):
     def reset(self) -> None:
         """Return the detector to its initial (post-construction) state.
 
-        Implementations must clear their internal windows/estimators but may
-        keep configuration and any data-independent pre-computed tables.
+        Implementations must restore *exactly* the post-``__init__`` state:
+        clear their internal windows/estimators (and re-seed any internal
+        RNGs) while keeping configuration and data-independent pre-computed
+        tables.  The snapshot/restore machinery of :mod:`repro.serving`
+        depends on this invariant, and the registry-driven
+        reset-equals-fresh-instance test enforces it for every detector.
         """
+
+    # ---------------------------------------------------- snapshot / restore
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialize the full detector state as a versioned, JSON-safe dict.
+
+        The payload contains everything needed to resume the detector
+        *bit-exactly*: a restored detector produces the same detections, in
+        both scalar and batched mode, as one that never stopped.  Layout::
+
+            {
+                "schema_version": 1,
+                "detector": "<class name>",
+                "config": {...},       # constructor kwargs (see _config_dict)
+                "counters": {...},     # n_seen / n_drifts / n_warnings
+                "last_result": {...},  # drift/warning flags + drift type
+                "state": {...},        # detector-specific (see _state_dict)
+            }
+
+        All values are plain Python scalars, lists, and dicts.  Non-finite
+        floats (``inf`` sentinels of DDM-family minima) do appear; use
+        :func:`repro.serving.snapshot.sanitize` before writing strict JSON.
+        """
+        last = self._last_result
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "detector": type(self).__name__,
+            "config": self._config_dict(),
+            "counters": {
+                "n_seen": self._n_seen,
+                "n_drifts": self._n_drifts,
+                "n_warnings": self._n_warnings,
+            },
+            "last_result": {
+                "drift_detected": last.drift_detected,
+                "warning_detected": last.warning_detected,
+                "drift_type": last.drift_type.value if last.drift_type else None,
+            },
+            "state": self._state_dict(),
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The receiving instance must be of the same class and (for bit-exact
+        resumption) constructed with the same configuration; use
+        :func:`repro.serving.snapshot.restore_detector` to rebuild an
+        instance straight from a snapshot.
+        """
+        version = state.get("schema_version")
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise SnapshotError(
+                f"snapshot schema version {version!r} is not supported "
+                f"(expected {SNAPSHOT_SCHEMA_VERSION})"
+            )
+        detector = state.get("detector")
+        if detector != type(self).__name__:
+            raise SnapshotError(
+                f"snapshot of {detector!r} cannot be loaded into "
+                f"{type(self).__name__}"
+            )
+        try:
+            counters = state["counters"]
+            self._n_seen = int(counters["n_seen"])
+            self._n_drifts = int(counters["n_drifts"])
+            self._n_warnings = int(counters["n_warnings"])
+            last = state["last_result"]
+            drift_type = last.get("drift_type")
+            self._last_result = DetectionResult(
+                drift_detected=bool(last["drift_detected"]),
+                warning_detected=bool(last["warning_detected"]),
+                drift_type=DriftType(drift_type) if drift_type else None,
+            )
+            self._load_state(state["state"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"corrupt detector snapshot: {exc}") from exc
+
+    @classmethod
+    def from_config_dict(cls, config: Mapping[str, Any]) -> "DriftDetector":
+        """Build a fresh detector from a snapshot's ``config`` payload."""
+        return cls(**config)
+
+    def _config_dict(self) -> Dict[str, Any]:
+        """Constructor kwargs that rebuild an identically configured instance.
+
+        The default is an empty dict (a parameterless detector); detectors
+        with configuration override this.
+        """
+        return {}
+
+    def _state_dict(self) -> Dict[str, Any]:
+        """Detector-specific mutable state (everything :meth:`reset` clears).
+
+        The default is an empty dict (a stateless detector); every stateful
+        detector overrides this together with :meth:`_load_state`.
+        """
+        return {}
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore the payload produced by :meth:`_state_dict`."""
 
     # ----------------------------------------------------------- properties
 

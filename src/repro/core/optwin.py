@@ -529,6 +529,45 @@ class Optwin(DriftDetector):
         self._all_values_binary = True
         self._reset_counters()
 
+    # ---------------------------------------------------- snapshot / restore
+
+    def _config_dict(self) -> dict:
+        config = self._config
+        return {
+            "delta": config.delta,
+            "rho": config.rho,
+            "w_min": config.w_min,
+            "w_max": config.w_max,
+            "eta": config.eta,
+            "one_sided": config.one_sided,
+            "warning_delta": config.warning_delta,
+            "require_magnitude": config.require_magnitude,
+            "skip_variance_on_binary": config.skip_variance_on_binary,
+            "reset_mode": self._reset_mode,
+        }
+
+    @classmethod
+    def from_config_dict(cls, config) -> "Optwin":
+        # eta is an OptwinConfig field but not an Optwin keyword, so the
+        # snapshot config is rebuilt through an explicit OptwinConfig.
+        kwargs = dict(config)
+        reset_mode = kwargs.pop("reset_mode", "full")
+        return cls(config=OptwinConfig(**kwargs), reset_mode=reset_mode)
+
+    def _state_dict(self) -> dict:
+        # The cut table is data-independent (cached per configuration), so
+        # only the window storage and the binary-input flag are serialized.
+        # The window's prefix arrays must be captured verbatim — see
+        # PrefixStats.state_dict — for restored detections to stay bit-exact.
+        return {
+            "window": self._window.state_dict(),
+            "all_values_binary": self._all_values_binary,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self._window.load_state_dict(state["window"])
+        self._all_values_binary = bool(state["all_values_binary"])
+
     # ------------------------------------------------------------ analysis
 
     def detectable_shift(self) -> Optional[float]:

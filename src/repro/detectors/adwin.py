@@ -237,6 +237,48 @@ class Adwin(DriftDetector):
         self._init_state()
         self._reset_counters()
 
+    # ---------------------------------------------------- snapshot / restore
+
+    def _config_dict(self) -> dict:
+        return {
+            "delta": self._delta,
+            "clock": self._clock,
+            "max_buckets": self._max_buckets,
+            "min_window_length": self._min_window_length,
+            "min_n_for_check": self._min_n_for_check,
+        }
+
+    def _state_dict(self) -> dict:
+        # The exponential histogram, level by level (newest bucket first
+        # within a level, mirroring the in-memory order).
+        return {
+            "rows": [
+                [[bucket.total, bucket.variance] for bucket in row.buckets]
+                for row in self._rows
+            ],
+            "width": self._width,
+            "total": self._total,
+            "variance": self._variance,
+            "ticks": self._ticks,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        rows: List[_BucketRow] = []
+        for row_payload in state["rows"]:
+            row = _BucketRow()
+            row.buckets = [
+                _Bucket(total=float(total), variance=float(variance))
+                for total, variance in row_payload
+            ]
+            rows.append(row)
+        if not rows:
+            rows = [_BucketRow()]
+        self._rows = rows
+        self._width = int(state["width"])
+        self._total = float(state["total"])
+        self._variance = float(state["variance"])
+        self._ticks = int(state["ticks"])
+
     # ----------------------------------------------------------- internals
 
     def _insert_element(self, value: float) -> None:

@@ -188,3 +188,30 @@ class Ecdd(DriftDetector):
         """Forget all statistics."""
         self._estimator.reset()
         self._reset_counters()
+
+    # ---------------------------------------------------- snapshot / restore
+
+    def _config_dict(self) -> dict:
+        return {
+            "arl0": self._arl0,
+            "lambda_": self._lambda,
+            "warning_fraction": self._warning_fraction,
+            "min_num_instances": self._min_num_instances,
+        }
+
+    def _state_dict(self) -> dict:
+        count, p_estimate, z, variance_factor = self._estimator.state()
+        return {
+            "count": count,
+            "p_estimate": p_estimate,
+            "z": z,
+            "variance_factor": variance_factor,
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self._estimator.set_state(
+            int(state["count"]),
+            float(state["p_estimate"]),
+            float(state["z"]),
+            float(state["variance_factor"]),
+        )

@@ -195,3 +195,39 @@ class Kswin(DriftDetector):
         self._window = deque(maxlen=self._window_size)
         self._rng = random.Random(self._seed)
         self._reset_counters()
+
+    # ---------------------------------------------------- snapshot / restore
+
+    def _config_dict(self) -> dict:
+        return {
+            "alpha": self._alpha,
+            "window_size": self._window_size,
+            "stat_size": self._stat_size,
+            "seed": self._seed,
+        }
+
+    def _state_dict(self) -> dict:
+        # random.Random.getstate() is (version, 625-int internal state,
+        # gauss_next); the tuple layers are flattened to lists for JSON.
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "window": list(self._window),
+            "rng": {
+                "version": version,
+                "internal": list(internal),
+                "gauss_next": gauss_next,
+            },
+        }
+
+    def _load_state(self, state: dict) -> None:
+        self._window = deque(
+            (float(value) for value in state["window"]), maxlen=self._window_size
+        )
+        rng_state = state["rng"]
+        self._rng.setstate(
+            (
+                int(rng_state["version"]),
+                tuple(int(word) for word in rng_state["internal"]),
+                rng_state["gauss_next"],
+            )
+        )

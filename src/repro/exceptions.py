@@ -26,3 +26,11 @@ class StreamExhaustedError(ReproError, StopIteration):
 
 class NotFittedError(ReproError, RuntimeError):
     """Raised when a learner is asked to predict before seeing any data."""
+
+
+class SnapshotError(ReproError, RuntimeError):
+    """Raised when a detector or hub snapshot cannot be taken or restored.
+
+    Covers schema-version mismatches, class mismatches between a snapshot and
+    the detector it is loaded into, and corrupted checkpoint payloads.
+    """

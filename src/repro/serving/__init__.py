@@ -1,0 +1,65 @@
+"""Multi-tenant drift-monitoring serving layer.
+
+This subsystem turns the repository's offline detectors into long-lived,
+resumable monitors — the "live ML monitoring loop" deployment shape the paper
+positions drift detectors for:
+
+* :mod:`repro.serving.snapshot` — JSON-safe, bit-exact detector
+  serialization (``snapshot_detector`` / ``restore_detector``) on top of
+  :meth:`repro.core.base.DriftDetector.state_dict`;
+* :mod:`repro.serving.hub` — :class:`MonitorHub`, a registry of
+  ``(tenant, monitor_id) → detector`` entries with batched ingestion through
+  the vectorised ``update_batch`` fast paths and atomic whole-hub
+  checkpointing;
+* :mod:`repro.serving.sinks` — pluggable alert sinks (callback, in-memory
+  queue, JSON-lines audit log) fired on warning/drift transitions;
+* :mod:`repro.serving.server` — an asyncio JSON-lines TCP server
+  (``python -m repro.serving``) so external processes can stream error
+  values at high throughput.
+
+See ``docs/serving.md`` for the hub lifecycle, the checkpoint format, and
+the wire protocol, and ``examples/live_monitoring.py`` for the daemon-style
+usage pattern.
+"""
+
+from repro.serving.hub import (
+    CHECKPOINT_FILENAME,
+    HUB_SCHEMA_VERSION,
+    MonitorHub,
+    ObserveResult,
+)
+from repro.serving.server import ServingServer
+from repro.serving.sinks import (
+    AlertSink,
+    CallbackSink,
+    DriftAlert,
+    JsonlAuditSink,
+    QueueSink,
+)
+from repro.serving.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    build_detector,
+    detector_registry,
+    restore_detector,
+    snapshot_detector,
+    snapshot_json,
+)
+
+__all__ = [
+    "MonitorHub",
+    "ObserveResult",
+    "ServingServer",
+    "AlertSink",
+    "CallbackSink",
+    "QueueSink",
+    "JsonlAuditSink",
+    "DriftAlert",
+    "snapshot_detector",
+    "restore_detector",
+    "snapshot_json",
+    "build_detector",
+    "detector_registry",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "HUB_SCHEMA_VERSION",
+    "CHECKPOINT_FILENAME",
+]

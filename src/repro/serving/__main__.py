@@ -1,0 +1,108 @@
+"""``python -m repro.serving`` — run the drift-monitoring TCP server.
+
+Example
+-------
+Start a server that checkpoints every 10 000 observed values and audits
+alerts to a JSON-lines file::
+
+    python -m repro.serving --port 7737 \
+        --checkpoint-dir ./checkpoints --checkpoint-every 10000 \
+        --audit-log ./alerts.jsonl
+
+On startup the server resumes every monitor from the checkpoint directory if
+a checkpoint exists, prints a ``READY host=... port=...`` line to stdout (use
+``--port 0`` for an ephemeral port and parse the line), and on SIGINT/SIGTERM
+writes a final checkpoint before exiting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.serving.hub import MonitorHub
+from repro.serving.server import ServingServer
+from repro.serving.sinks import JsonlAuditSink
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Serve drift monitors over a JSON-lines TCP protocol.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7737, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for hub checkpoints (resumed from on startup)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint automatically after every N observed values",
+    )
+    parser.add_argument(
+        "--audit-log",
+        default=None,
+        metavar="PATH",
+        help="append drift/warning alerts to this JSON-lines file",
+    )
+    return parser
+
+
+async def run(args: argparse.Namespace) -> int:
+    sinks = []
+    if args.audit_log:
+        sinks.append(JsonlAuditSink(args.audit_log))
+    hub = MonitorHub(
+        checkpoint_dir=args.checkpoint_dir,
+        sinks=sinks,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = ServingServer(hub, host=args.host, port=args.port)
+    await server.start()
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+
+    print(
+        f"READY host={args.host} port={server.port} "
+        f"monitors={len(hub)} events={hub.n_events}",
+        flush=True,
+    )
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    try:
+        await stop.wait()
+    finally:
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+        await server.stop()
+        if args.checkpoint_dir:
+            path = hub.checkpoint()
+            print(f"CHECKPOINT {path}", flush=True)
+        hub.close()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(run(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,526 @@
+"""MonitorHub — a multi-tenant registry of long-lived drift monitors.
+
+The hub hosts many named ``(tenant, monitor_id) → detector`` entries
+concurrently, feeds them through the detectors' vectorised ``update_batch``
+fast paths, fires :class:`~repro.serving.sinks.DriftAlert` events on
+warning/drift transitions, and checkpoints the whole registry to disk so a
+restarted process resumes every monitor bit-exactly where it stopped.
+
+Design points:
+
+* **Batched ingestion** — :meth:`MonitorHub.ingest` accepts an arbitrary
+  interleaving of per-monitor events, buffers them per monitor, and flushes
+  each monitor's buffer with a single ``update_batch`` call (grouped so that
+  same-configured monitors flush consecutively and share per-configuration
+  caches such as OPTWIN's cut tables).  This is what turns one-Python-call-
+  per-event serving into vectorised serving; ``benchmarks/
+  bench_serving_throughput.py`` measures the gap.
+* **Checkpoint/restore** — :meth:`MonitorHub.checkpoint` writes one JSON
+  document (schema-versioned, atomic tmp-file + ``os.replace``) containing a
+  bit-exact snapshot of every detector plus a config hash of the hub
+  composition, following the orchestrator's resume-from-partial idiom.  A hub
+  constructed with the same ``checkpoint_dir`` resumes from it automatically.
+* **Alert transitions** — sinks fire on *transitions*: one ``"warning"``
+  alert per entry into the warning zone (not per warning element) and one
+  ``"drift"`` alert per flagged drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.base import BatchResult, DriftDetector, as_value_array
+from repro.exceptions import ConfigurationError, SnapshotError
+from repro.serving.sinks import AlertSink, DriftAlert
+from repro.serving.snapshot import (
+    build_detector,
+    restore_detector,
+    sanitize,
+    snapshot_detector,
+)
+
+__all__ = ["MonitorHub", "ObserveResult", "HUB_SCHEMA_VERSION", "CHECKPOINT_FILENAME"]
+
+#: Version of the hub checkpoint document schema.
+HUB_SCHEMA_VERSION = 1
+
+#: File name of the hub checkpoint inside ``checkpoint_dir``.
+CHECKPOINT_FILENAME = "hub-checkpoint.json"
+
+_MonitorKey = Tuple[str, str]
+#: One ingestion event: ``(tenant, monitor_id, value-or-chunk)``.
+Event = Tuple[str, str, Union[float, Sequence[float]]]
+
+
+@dataclass(frozen=True)
+class ObserveResult:
+    """Outcome of feeding one monitor a chunk of values.
+
+    ``offset`` is the monitor's lifetime element count before the chunk, so
+    ``drift_positions`` / ``warning_positions`` are global stream positions.
+    """
+
+    tenant: str
+    monitor_id: str
+    offset: int
+    batch: BatchResult
+
+    @property
+    def n_processed(self) -> int:
+        """Number of elements consumed from the chunk."""
+        return self.batch.n_processed
+
+    @property
+    def drift_positions(self) -> List[int]:
+        """Lifetime stream positions where drifts were flagged."""
+        return [self.offset + index for index in self.batch.drift_indices]
+
+    @property
+    def warning_positions(self) -> List[int]:
+        """Lifetime stream positions where the warning zone was active."""
+        return [self.offset + index for index in self.batch.warning_indices]
+
+
+class _MonitorEntry:
+    """One hosted monitor: identity, detector, and alert-transition state."""
+
+    __slots__ = ("tenant", "monitor_id", "detector", "group_key", "in_warning")
+
+    def __init__(
+        self,
+        tenant: str,
+        monitor_id: str,
+        detector: DriftDetector,
+        in_warning: bool = False,
+    ) -> None:
+        self.tenant = tenant
+        self.monitor_id = monitor_id
+        self.detector = detector
+        self.group_key = _group_key(detector)
+        self.in_warning = in_warning
+
+
+def _coalesce(parts: List[Any]) -> "np.ndarray":
+    """Concatenate buffered ingest payloads (scalars and chunks) in order."""
+    if len(parts) == 1:
+        part = parts[0]
+        if isinstance(part, (int, float)):
+            return np.asarray([float(part)], dtype=np.float64)
+        return as_value_array(part)
+    arrays: List["np.ndarray"] = []
+    scalars: List[float] = []
+    for part in parts:
+        if isinstance(part, (int, float)):
+            scalars.append(float(part))
+            continue
+        if scalars:
+            arrays.append(np.asarray(scalars, dtype=np.float64))
+            scalars = []
+        arrays.append(as_value_array(part))
+    if scalars:
+        arrays.append(np.asarray(scalars, dtype=np.float64))
+    return np.concatenate(arrays)
+
+
+def _group_key(detector: DriftDetector) -> str:
+    """Configuration identity used to group same-configured monitors."""
+    return json.dumps(
+        {"detector": type(detector).__name__, "config": sanitize(detector._config_dict())},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class MonitorHub:
+    """Registry and execution engine for many concurrent drift monitors.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Directory for hub checkpoints.  When it already holds a checkpoint,
+        the hub resumes from it (pass ``resume=False`` to start fresh).
+    sinks:
+        Alert sinks notified of warning/drift transitions.
+    checkpoint_every:
+        Automatically checkpoint after this many observed values (across all
+        monitors); ``None`` disables automatic checkpointing.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        sinks: Iterable[AlertSink] = (),
+        checkpoint_every: Optional[int] = None,
+        resume: bool = True,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir — without one the "
+                "periodic checkpoints would silently never be written"
+            )
+        self._checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self._sinks: List[AlertSink] = list(sinks)
+        self._checkpoint_every = checkpoint_every
+        self._entries: Dict[_MonitorKey, _MonitorEntry] = {}
+        #: group key → monitor keys, in registration order; flush order of
+        #: :meth:`ingest` so same-configured monitors run consecutively.
+        self._groups: Dict[str, List[_MonitorKey]] = {}
+        self._n_events = 0
+        self._events_since_checkpoint = 0
+        if resume and self._checkpoint_dir is not None:
+            path = self._checkpoint_dir / CHECKPOINT_FILENAME
+            if path.is_file():
+                self._restore_from(path)
+
+    # ---------------------------------------------------------- registration
+
+    def register(
+        self,
+        tenant: str,
+        monitor_id: str,
+        detector: Union[str, DriftDetector] = "OPTWIN",
+        params: Optional[Mapping[str, Any]] = None,
+        exist_ok: bool = False,
+    ) -> DriftDetector:
+        """Register a monitor and return its detector.
+
+        ``detector`` is a registry name (e.g. ``"OPTWIN"``, ``"Adwin"``)
+        built with ``params`` as constructor kwargs, or a ready-made
+        :class:`DriftDetector` instance.  Registering an existing key raises
+        unless ``exist_ok`` is set, in which case the existing detector is
+        returned when the requested configuration matches (the idempotent
+        re-register of a client reconnecting after a hub restart).
+        """
+        key = (str(tenant), str(monitor_id))
+        if isinstance(detector, DriftDetector):
+            if params is not None:
+                raise ConfigurationError(
+                    "params are only valid with a detector name, not an instance"
+                )
+            candidate = detector
+        else:
+            candidate = build_detector(detector, params)
+        existing = self._entries.get(key)
+        if existing is not None:
+            if not exist_ok:
+                raise ConfigurationError(
+                    f"monitor {key[0]}/{key[1]} is already registered"
+                )
+            if existing.group_key != _group_key(candidate):
+                raise ConfigurationError(
+                    f"monitor {key[0]}/{key[1]} exists with a different "
+                    "detector configuration"
+                )
+            return existing.detector
+        entry = _MonitorEntry(key[0], key[1], candidate)
+        self._entries[key] = entry
+        self._groups.setdefault(entry.group_key, []).append(key)
+        return candidate
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: _MonitorKey) -> bool:
+        return tuple(key) in self._entries
+
+    def monitors(self) -> Iterator[Tuple[str, str, DriftDetector]]:
+        """Iterate ``(tenant, monitor_id, detector)`` in registration order."""
+        for (tenant, monitor_id), entry in self._entries.items():
+            yield tenant, monitor_id, entry.detector
+
+    def detector(self, tenant: str, monitor_id: str) -> DriftDetector:
+        """The detector behind one monitor (raises for unknown keys)."""
+        return self._entry(tenant, monitor_id).detector
+
+    def _entry(self, tenant: str, monitor_id: str) -> _MonitorEntry:
+        entry = self._entries.get((str(tenant), str(monitor_id)))
+        if entry is None:
+            raise ConfigurationError(
+                f"unknown monitor {tenant}/{monitor_id}; register it first"
+            )
+        return entry
+
+    def add_sink(self, sink: AlertSink) -> None:
+        """Attach an additional alert sink."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------- ingestion
+
+    def observe(
+        self,
+        tenant: str,
+        monitor_id: str,
+        values: Union[float, Sequence[float]],
+    ) -> ObserveResult:
+        """Feed one monitor a value or chunk of values (oldest first)."""
+        entry = self._entry(tenant, monitor_id)
+        result = self._feed(entry, values)
+        self._maybe_checkpoint()
+        return result
+
+    def ingest(self, events: Iterable[Event]) -> List[ObserveResult]:
+        """Feed an interleaved batch of events through the vectorised paths.
+
+        Events for the same monitor keep their relative order; each monitor's
+        buffered values are flushed with a single ``update_batch`` call, and
+        monitors flush group by group so same-configured detectors run
+        consecutively.  Returns one :class:`ObserveResult` per monitor that
+        received data, in flush order.
+        """
+        # Buffer whole payloads (scalars or chunks) per monitor and coalesce
+        # once at flush time — per-element Python conversion here would cost
+        # more than the vectorised detector work it feeds.
+        buffers: Dict[_MonitorKey, List[Any]] = {}
+        for tenant, monitor_id, payload in events:
+            key = (str(tenant), str(monitor_id))
+            if key not in self._entries:
+                raise ConfigurationError(
+                    f"unknown monitor {key[0]}/{key[1]}; register it first"
+                )
+            buffers.setdefault(key, []).append(payload)
+        results: List[ObserveResult] = []
+        for keys in self._groups.values():
+            for key in keys:
+                parts = buffers.get(key)
+                if parts:
+                    results.append(
+                        self._feed(self._entries[key], _coalesce(parts))
+                    )
+        self._maybe_checkpoint()
+        return results
+
+    def _feed(
+        self, entry: _MonitorEntry, values: Union[float, Sequence[float]]
+    ) -> ObserveResult:
+        if isinstance(values, (int, float)):
+            values = (float(values),)
+        chunk = as_value_array(values)
+        detector = entry.detector
+        offset = detector.n_seen
+        batch = detector.update_batch(chunk)
+        self._n_events += batch.n_processed
+        self._events_since_checkpoint += batch.n_processed
+        self._fire_alerts(entry, batch, offset)
+        return ObserveResult(entry.tenant, entry.monitor_id, offset, batch)
+
+    def _fire_alerts(
+        self, entry: _MonitorEntry, batch: BatchResult, offset: int
+    ) -> None:
+        n = batch.n_processed
+        if not batch.warning_indices:
+            if n > 0:
+                entry.in_warning = False
+            return
+        detector = entry.detector
+        drift_set = set(batch.drift_indices)
+        n_drifts_before = detector.n_drifts - len(batch.drift_indices)
+        drift_number = 0
+        # Index of the previous warning element; -1 "continues" a zone that
+        # was active at the end of the previous chunk, -2 never matches.
+        prev_warn = -1 if entry.in_warning else -2
+        for index in batch.warning_indices:
+            if index in drift_set:
+                drift_number += 1
+                self._emit(
+                    DriftAlert(
+                        tenant=entry.tenant,
+                        monitor_id=entry.monitor_id,
+                        kind="drift",
+                        position=offset + index,
+                        detector=type(detector).__name__,
+                        n_drifts=n_drifts_before + drift_number,
+                    )
+                )
+                # The drift resets the detector, ending any warning zone.
+                prev_warn = -2
+            else:
+                if index != prev_warn + 1:
+                    self._emit(
+                        DriftAlert(
+                            tenant=entry.tenant,
+                            monitor_id=entry.monitor_id,
+                            kind="warning",
+                            position=offset + index,
+                            detector=type(detector).__name__,
+                            n_drifts=n_drifts_before + drift_number,
+                        )
+                    )
+                prev_warn = index
+        entry.in_warning = prev_warn == n - 1
+
+    def _emit(self, alert: DriftAlert) -> None:
+        for sink in self._sinks:
+            sink.emit(alert)
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def n_events(self) -> int:
+        """Total number of values observed across all monitors (lifetime)."""
+        return self._n_events
+
+    def stats(
+        self, tenant: Optional[str] = None, monitor_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Aggregate counters, optionally narrowed to a tenant or monitor."""
+        if monitor_id is not None and tenant is None:
+            raise ConfigurationError(
+                "per-monitor stats need the tenant as well as the monitor id"
+            )
+        if tenant is not None and monitor_id is not None:
+            entry = self._entry(tenant, monitor_id)
+            detector = entry.detector
+            return {
+                "tenant": entry.tenant,
+                "monitor_id": entry.monitor_id,
+                "detector": type(detector).__name__,
+                "n_seen": detector.n_seen,
+                "n_drifts": detector.n_drifts,
+                "n_warnings": detector.n_warnings,
+                "in_warning": entry.in_warning,
+            }
+        entries = [
+            entry
+            for entry in self._entries.values()
+            if tenant is None or entry.tenant == str(tenant)
+        ]
+        return {
+            "n_monitors": len(entries),
+            "n_tenants": len({entry.tenant for entry in entries}),
+            "n_events": self._n_events,
+            "n_drifts": sum(entry.detector.n_drifts for entry in entries),
+            "n_warnings": sum(entry.detector.n_warnings for entry in entries),
+        }
+
+    # ------------------------------------------------------- checkpointing
+
+    def composition_hash(self) -> str:
+        """Config hash of the hub's monitor composition.
+
+        Reuses the orchestrator's config-hash idiom: a short SHA-256 over the
+        canonical JSON of process-independent tokens (tenant, monitor id,
+        detector class, configuration) so that two hubs hosting the same
+        monitors hash identically regardless of registration order.
+        """
+        from repro.experiments.orchestrator import grid_config_hash
+
+        tokens = sorted(
+            (entry.tenant, entry.monitor_id, entry.group_key)
+            for entry in self._entries.values()
+        )
+        return grid_config_hash({"monitors": [list(token) for token in tokens]})
+
+    def checkpoint(self, directory: Optional[Union[str, Path]] = None) -> Path:
+        """Atomically write the full hub state; return the checkpoint path.
+
+        The document is strict JSON with a ``schema_version`` field, one
+        bit-exact detector snapshot per monitor, and the composition hash.
+        The write goes to a temp file in the target directory followed by
+        ``os.replace``, so a crash mid-write never corrupts the previous
+        checkpoint.
+        """
+        target_dir = Path(directory) if directory else self._checkpoint_dir
+        if target_dir is None:
+            raise ConfigurationError(
+                "no checkpoint directory configured; pass one to checkpoint()"
+            )
+        target_dir.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema_version": HUB_SCHEMA_VERSION,
+            "config_hash": self.composition_hash(),
+            "n_events": self._n_events,
+            "monitors": [
+                {
+                    "tenant": entry.tenant,
+                    "monitor_id": entry.monitor_id,
+                    "in_warning": entry.in_warning,
+                    "snapshot": snapshot_detector(entry.detector),
+                }
+                for entry in self._entries.values()
+            ],
+        }
+        path = target_dir / CHECKPOINT_FILENAME
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=str(target_dir),
+            prefix=CHECKPOINT_FILENAME + ".",
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle:
+                json.dump(document, handle, sort_keys=True, allow_nan=False)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._events_since_checkpoint = 0
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self._checkpoint_every is not None
+            and self._checkpoint_dir is not None
+            and self._events_since_checkpoint >= self._checkpoint_every
+        ):
+            self.checkpoint()
+
+    def _restore_from(self, path: Path) -> None:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SnapshotError(f"cannot read hub checkpoint {path}: {exc}") from exc
+        version = document.get("schema_version")
+        if version != HUB_SCHEMA_VERSION:
+            raise SnapshotError(
+                f"hub checkpoint schema version {version!r} is not supported "
+                f"(expected {HUB_SCHEMA_VERSION})"
+            )
+        try:
+            self._n_events = int(document["n_events"])
+            for record in document["monitors"]:
+                detector = restore_detector(record["snapshot"])
+                entry = _MonitorEntry(
+                    str(record["tenant"]),
+                    str(record["monitor_id"]),
+                    detector,
+                    in_warning=bool(record["in_warning"]),
+                )
+                key = (entry.tenant, entry.monitor_id)
+                self._entries[key] = entry
+                self._groups.setdefault(entry.group_key, []).append(key)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"corrupt hub checkpoint {path}: {exc}") from exc
+
+    def close(self) -> None:
+        """Close all attached sinks (the hub itself holds no other resources)."""
+        for sink in self._sinks:
+            sink.close()

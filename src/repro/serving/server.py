@@ -1,0 +1,242 @@
+"""Asyncio JSON-lines TCP server exposing a :class:`MonitorHub`.
+
+External processes stream error values to hosted monitors over a plain TCP
+connection, one JSON object per line (newline-delimited JSON, UTF-8).  Every
+request carries an ``"op"`` field; every response carries ``"ok"`` plus
+op-specific payload, and errors come back as ``{"ok": false, "error": ...}``
+without killing the connection.
+
+Supported operations::
+
+    {"op": "ping"}
+    {"op": "register", "tenant": "t", "monitor": "m",
+     "detector": "OPTWIN", "params": {"rho": 0.5}, "exist_ok": true}
+    {"op": "observe", "tenant": "t", "monitor": "m", "values": [0, 1, 0]}
+    {"op": "stats"}                      # hub-wide
+    {"op": "stats", "tenant": "t"}       # per tenant
+    {"op": "stats", "tenant": "t", "monitor": "m"}
+    {"op": "alerts"}                     # drain buffered alerts
+    {"op": "snapshot"}                   # checkpoint the hub now
+
+``observe`` responds with lifetime stream positions (``drifts`` /
+``warnings``) and the monitor's counters, so a client can react to a drift
+from the response alone; the ``alerts`` op additionally drains the server's
+internal queue sink for clients that poll transitions out of band.
+
+The server is single-event-loop: hub operations run inline on the loop, which
+serialises all detector mutations without locks.  Throughput comes from
+batching (send chunks, not single values) — see
+``benchmarks/bench_serving_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ReproError
+from repro.serving.hub import MonitorHub
+from repro.serving.sinks import QueueSink
+
+__all__ = ["ServingServer", "MAX_LINE_BYTES"]
+
+logger = logging.getLogger(__name__)
+
+#: Upper bound of one request line (protects the loop from unbounded reads);
+#: 16 MiB fits chunks of ~1M values.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Capacity of the server's internal alert buffer (the ``alerts`` op drains
+#: it).  Bounded so a deployment whose clients never poll ``alerts`` keeps
+#: only the most recent transitions instead of accumulating forever.
+ALERT_BUFFER_LIMIT = 10_000
+
+
+class ServingServer:
+    """JSON-lines TCP front-end over a :class:`MonitorHub`.
+
+    Parameters
+    ----------
+    hub:
+        The hub to serve.  A :class:`QueueSink` is attached to it so the
+        ``alerts`` op can hand out buffered transitions.
+    host, port:
+        Listen address.  Port ``0`` binds an ephemeral port; read the actual
+        one from :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self, hub: MonitorHub, host: str = "127.0.0.1", port: int = 7737
+    ) -> None:
+        self._hub = hub
+        self._host = host
+        self._requested_port = port
+        self._alert_queue = QueueSink(maxlen=ALERT_BUFFER_LIMIT)
+        hub.add_sink(self._alert_queue)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def hub(self) -> MonitorHub:
+        """The hub this server fronts."""
+        return self._hub
+
+    @property
+    def port(self) -> int:
+        """The bound port (the requested one until :meth:`start` runs)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self._requested_port
+
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            host=self._host,
+            port=self._requested_port,
+            limit=MAX_LINE_BYTES,
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (call :meth:`start` first)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------ connection
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        logger.debug("client connected: %s", peer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode({"ok": False, "error": "request too large"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                response = self._dispatch_line(stripped)
+                writer.write(_encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled the handler mid-read; close the
+            # connection quietly instead of surfacing the cancellation to
+            # asyncio's connection-lost callback.
+            pass
+        finally:
+            # close() without awaiting wait_closed(): the transport finishes
+            # closing on the loop, and the handler task never parks inside a
+            # close wait where event-loop teardown would cancel it noisily.
+            writer.close()
+            logger.debug("client disconnected: %s", peer)
+
+    def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"invalid JSON: {exc.msg}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        try:
+            return self._dispatch(request)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("unexpected error serving request")
+            return {"ok": False, "error": f"internal error: {exc}"}
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "register":
+            return self._op_register(request)
+        if op == "observe":
+            return self._op_observe(request)
+        if op == "stats":
+            return {
+                "ok": True,
+                "stats": self._hub.stats(
+                    request.get("tenant"), request.get("monitor")
+                ),
+            }
+        if op == "alerts":
+            return {
+                "ok": True,
+                "alerts": [alert.to_dict() for alert in self._alert_queue.drain()],
+            }
+        if op == "snapshot":
+            path = self._hub.checkpoint()
+            return {"ok": True, "checkpoint": str(path)}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _op_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant, monitor = _identity(request)
+        detector = self._hub.register(
+            tenant,
+            monitor,
+            detector=request.get("detector", "OPTWIN"),
+            params=request.get("params"),
+            exist_ok=bool(request.get("exist_ok", False)),
+        )
+        return {
+            "ok": True,
+            "tenant": tenant,
+            "monitor": monitor,
+            "detector": type(detector).__name__,
+            "n_seen": detector.n_seen,
+        }
+
+    def _op_observe(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant, monitor = _identity(request)
+        values = request.get("values")
+        if not isinstance(values, list) or not values:
+            return {"ok": False, "error": "observe needs a non-empty values list"}
+        outcome = self._hub.observe(tenant, monitor, values)
+        detector = self._hub.detector(tenant, monitor)
+        return {
+            "ok": True,
+            "tenant": tenant,
+            "monitor": monitor,
+            "n": outcome.n_processed,
+            "drifts": outcome.drift_positions,
+            "warnings": outcome.warning_positions,
+            "counters": {
+                "n_seen": detector.n_seen,
+                "n_drifts": detector.n_drifts,
+                "n_warnings": detector.n_warnings,
+            },
+        }
+
+
+def _identity(request: Dict[str, Any]) -> tuple:
+    tenant = request.get("tenant")
+    monitor = request.get("monitor")
+    if not tenant or not monitor:
+        raise ReproError("request needs both 'tenant' and 'monitor' fields")
+    return str(tenant), str(monitor)
+
+
+def _encode(response: Dict[str, Any]) -> bytes:
+    return (json.dumps(response, separators=(",", ":")) + "\n").encode("utf-8")

@@ -1,0 +1,133 @@
+"""Pluggable alert sinks for the drift-monitoring hub.
+
+A sink receives :class:`DriftAlert` events whenever a hosted monitor enters
+its warning zone or flags a drift.  Three implementations cover the common
+shapes of a production monitoring loop (the ProfitForge-style daemon pattern:
+detector fires → notification goes out):
+
+* :class:`CallbackSink` — invoke a user callable per alert;
+* :class:`QueueSink` — buffer alerts in memory for polling consumers (the
+  TCP server drains one of these for its ``alerts`` op);
+* :class:`JsonlAuditSink` — append one JSON object per alert to an audit log.
+
+Sinks must never raise out of :meth:`AlertSink.emit`; the hub treats a
+failing sink as a reporting problem, not a monitoring problem, and keeps the
+detector state authoritative.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+__all__ = [
+    "DriftAlert",
+    "AlertSink",
+    "CallbackSink",
+    "QueueSink",
+    "JsonlAuditSink",
+]
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """One warning/drift transition of a hosted monitor.
+
+    Attributes
+    ----------
+    tenant:
+        Tenant namespace of the monitor that fired.
+    monitor_id:
+        Monitor identifier within the tenant.
+    kind:
+        ``"drift"`` for a flagged drift, ``"warning"`` for entering the
+        warning zone.
+    position:
+        Global 0-based index of the triggering element within the monitor's
+        lifetime stream (i.e. ``n_seen - 1`` of the element that fired).
+    detector:
+        Class name of the underlying detector.
+    n_drifts:
+        Lifetime drift count of the monitor *including* this event (for
+        drift alerts).
+    """
+
+    tenant: str
+    monitor_id: str
+    kind: str
+    position: int
+    detector: str
+    n_drifts: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the audit log and the wire protocol."""
+        return asdict(self)
+
+
+class AlertSink(abc.ABC):
+    """Receiver of :class:`DriftAlert` events."""
+
+    @abc.abstractmethod
+    def emit(self, alert: DriftAlert) -> None:
+        """Deliver one alert."""
+
+    def close(self) -> None:
+        """Release any resources held by the sink (default: nothing)."""
+
+
+class CallbackSink(AlertSink):
+    """Invoke ``callback(alert)`` for every alert."""
+
+    def __init__(self, callback: Callable[[DriftAlert], None]) -> None:
+        self._callback = callback
+
+    def emit(self, alert: DriftAlert) -> None:
+        self._callback(alert)
+
+
+class QueueSink(AlertSink):
+    """Buffer alerts in memory, oldest first, for polling consumers."""
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        self._alerts: Deque[DriftAlert] = deque(maxlen=maxlen)
+
+    def emit(self, alert: DriftAlert) -> None:
+        self._alerts.append(alert)
+
+    def __len__(self) -> int:
+        return len(self._alerts)
+
+    def drain(self) -> List[DriftAlert]:
+        """Return and clear all buffered alerts."""
+        drained = list(self._alerts)
+        self._alerts.clear()
+        return drained
+
+
+class JsonlAuditSink(AlertSink):
+    """Append one JSON object per alert to a JSON-lines audit log.
+
+    Each line is self-contained (``json.loads`` per line reconstructs the
+    alert), and the file handle is flushed per alert so a crashed process
+    loses at most the alert being written.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle = open(path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> str:
+        """Path of the audit log file."""
+        return self._path
+
+    def emit(self, alert: DriftAlert) -> None:
+        self._handle.write(json.dumps(alert.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()

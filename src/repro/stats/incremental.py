@@ -26,7 +26,7 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from repro.exceptions import NotEnoughDataError
+from repro.exceptions import NotEnoughDataError, SnapshotError
 
 __all__ = [
     "RunningStats",
@@ -368,6 +368,49 @@ class PrefixStats:
         )
         self._offset = 0
         self._end = size
+
+    def state_dict(self) -> dict:
+        """Serialize the storage state for bit-exact resumption.
+
+        The prefix arrays are *not* recomputable from the values: after a
+        slice-and-rebase compaction each stored prefix is ``cumsum - base``,
+        which differs from a fresh ``cumsum`` of the live values by rounding
+        ulps.  The snapshot therefore captures the live physical region of all
+        three arrays verbatim, plus the dead-prefix offset (which determines
+        the next compaction point), so a restored window walks through exactly
+        the same storage states as one that never stopped.
+        """
+        offset, end = self._offset, self._end
+        return {
+            "offset": offset,
+            "values": self._values[offset:end].tolist(),
+            "prefix": self._prefix[offset : end + 1].tolist(),
+            "prefix_sq": self._prefix_sq[offset : end + 1].tolist(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        offset = int(state["offset"])
+        live = np.asarray(state["values"], dtype=np.float64)
+        prefix_live = np.asarray(state["prefix"], dtype=np.float64)
+        prefix_sq_live = np.asarray(state["prefix_sq"], dtype=np.float64)
+        size = live.shape[0]
+        if offset < 0 or prefix_live.shape[0] != size + 1 or (
+            prefix_sq_live.shape[0] != size + 1
+        ):
+            raise SnapshotError("corrupt PrefixStats snapshot")
+        end = offset + size
+        capacity = max(end, self._INITIAL_CAPACITY)
+        # The dead region [0, offset) is never read (compaction copies from
+        # the offset onward), so zeros are as good as the original contents.
+        self._values = np.zeros(capacity, dtype=np.float64)
+        self._prefix = np.zeros(capacity + 1, dtype=np.float64)
+        self._prefix_sq = np.zeros(capacity + 1, dtype=np.float64)
+        self._values[offset:end] = live
+        self._prefix[offset : end + 1] = prefix_live
+        self._prefix_sq[offset : end + 1] = prefix_sq_live
+        self._offset = offset
+        self._end = end
 
     def raw_arrays(self) -> Tuple["np.ndarray", "np.ndarray", int, int]:
         """Return ``(prefix, prefix_sq, offset, end)`` for batched math.

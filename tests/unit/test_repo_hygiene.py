@@ -1,0 +1,64 @@
+"""Repository hygiene guards.
+
+PR 3 accidentally committed 69 ``__pycache__/*.pyc`` files; this suite makes
+sure that class of mistake fails CI immediately instead of riding along in a
+later commit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Path fragments that must never appear in the tracked file list.
+_FORBIDDEN_FRAGMENTS = ("__pycache__", ".pytest_cache", ".egg-info")
+#: File suffixes that must never be tracked.
+_FORBIDDEN_SUFFIXES = (".pyc", ".pyo")
+
+
+def _tracked_files():
+    git = shutil.which("git")
+    if git is None:
+        pytest.skip("git executable not available")
+    probe = subprocess.run(
+        [git, "rev-parse", "--is-inside-work-tree"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if probe.returncode != 0 or probe.stdout.strip() != "true":
+        pytest.skip("not running from a git checkout")
+    listing = subprocess.run(
+        [git, "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return listing.stdout.splitlines()
+
+
+def test_no_bytecode_artifacts_tracked():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if path.endswith(_FORBIDDEN_SUFFIXES)
+        or any(fragment in path for fragment in _FORBIDDEN_FRAGMENTS)
+    ]
+    assert offenders == [], (
+        "bytecode/cache artifacts are tracked in git; "
+        f"run `git rm -r --cached` on: {offenders[:10]}"
+    )
+
+
+def test_gitignore_covers_bytecode():
+    gitignore = REPO_ROOT / ".gitignore"
+    assert gitignore.is_file(), ".gitignore is missing from the repository root"
+    content = gitignore.read_text()
+    for required in ("__pycache__/", "*.py[cod]", "*.egg-info/", ".pytest_cache/"):
+        assert required in content, f".gitignore lost the `{required}` rule"
