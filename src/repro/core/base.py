@@ -19,9 +19,10 @@ callers that prefer the River-style property API.
 from __future__ import annotations
 
 import abc
+import numbers
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Type
 
 import numpy as np
 
@@ -35,7 +36,16 @@ SNAPSHOT_SCHEMA_VERSION = 1
 
 
 def as_value_array(values: Iterable[float]) -> "np.ndarray":
-    """Coerce a chunk of monitored values into a contiguous float64 vector."""
+    """Coerce a chunk of monitored values into a contiguous float64 vector.
+
+    Accepts 1-d array-likes, 0-d arrays, and bare real scalars — including
+    numpy scalars such as ``np.int64``/``np.float32``, which are
+    :class:`numbers.Real` but *not* ``int``/``float`` and therefore must not
+    fall through to the generic ``np.fromiter`` path (a 0-d value is not
+    iterable).  ``np.bool_`` (the type of ``y_pred != y_true`` on numpy
+    scalars) registers in *no* ``numbers`` ABC, so it needs its own clause.
+    Scalars yield a one-element vector.
+    """
     if isinstance(values, np.ndarray):
         array = np.ascontiguousarray(values, dtype=np.float64)
         if array.ndim != 1:
@@ -43,7 +53,21 @@ def as_value_array(values: Iterable[float]) -> "np.ndarray":
         return array
     if isinstance(values, (list, tuple)):
         return np.asarray(values, dtype=np.float64)
+    if isinstance(values, (numbers.Real, np.bool_)):
+        return np.asarray([float(values)], dtype=np.float64)
     return np.fromiter(values, dtype=np.float64)
+
+
+def _rebuild_detector(
+    cls: Type["DriftDetector"],
+    config: Dict[str, Any],
+    state: Dict[str, Any],
+) -> "DriftDetector":
+    """Unpickling hook of :meth:`DriftDetector.__reduce__` (top-level so it
+    pickles by reference)."""
+    detector = cls.from_config_dict(config)
+    detector.load_state_dict(state)
+    return detector
 
 def seeded_running_argmin(
     values: "np.ndarray", seed: float, strict: bool = False
@@ -329,6 +353,20 @@ class DriftDetector(abc.ABC):
     def from_config_dict(cls, config: Mapping[str, Any]) -> "DriftDetector":
         """Build a fresh detector from a snapshot's ``config`` payload."""
         return cls(**config)
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        """Pickle through the bit-exact snapshot machinery.
+
+        Detectors cross process boundaries in the sharded serving layer
+        (registration messages, ``ProcessPoolExecutor`` fan-outs), and default
+        attribute pickling would duplicate shared per-configuration caches
+        (OPTWIN's cut tables) and silently miss any state a future detector
+        keeps in non-picklable form.  Routing the pickle through
+        ``from_config_dict`` + ``load_state_dict`` reuses the contract the
+        snapshot round-trip suite already pins for every detector: the
+        unpickled instance continues bit-exactly.
+        """
+        return (_rebuild_detector, (type(self), self._config_dict(), self.state_dict()))
 
     def _config_dict(self) -> Dict[str, Any]:
         """Constructor kwargs that rebuild an identically configured instance.

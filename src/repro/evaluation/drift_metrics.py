@@ -153,23 +153,24 @@ def evaluate_detections(
             end = min(end, position + max_delay)
         windows.append((position, end))
 
+    # Single-pass two-pointer match: windows are ascending and disjoint
+    # (each ends no later than the next drift starts), so a detection that
+    # falls before the current window can never match a later one — advance
+    # past it and never look back.  Equivalent to rescanning the full
+    # detection list per window (the randomized cross-check test pins this),
+    # but O(drifts + detections) instead of O(drifts x detections).
     matches: List[DriftMatch] = []
-    used_detections = set()
+    cursor = 0
+    n_flagged = len(flagged)
     for position, end in windows:
-        matched: Optional[int] = None
-        for detection in flagged:
-            if detection in used_detections:
-                continue
-            if position <= detection < end:
-                matched = detection
-                used_detections.add(detection)
-                break
-            if detection >= end:
-                break
-        if matched is None:
-            matches.append(DriftMatch(position, None, None))
-        else:
+        while cursor < n_flagged and flagged[cursor] < position:
+            cursor += 1
+        if cursor < n_flagged and flagged[cursor] < end:
+            matched = flagged[cursor]
             matches.append(DriftMatch(position, matched, matched - position))
+            cursor += 1
+        else:
+            matches.append(DriftMatch(position, None, None))
 
     true_positives = sum(1 for match in matches if match.detected)
     false_negatives = len(matches) - true_positives

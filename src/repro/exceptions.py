@@ -34,3 +34,12 @@ class SnapshotError(ReproError, RuntimeError):
     Covers schema-version mismatches, class mismatches between a snapshot and
     the detector it is loaded into, and corrupted checkpoint payloads.
     """
+
+
+class ShardError(ReproError, RuntimeError):
+    """Raised when a sharded-hub worker process has died or stopped responding.
+
+    The shard's monitors are unavailable until the worker is respawned (see
+    :meth:`repro.serving.sharded.ShardedHub.respawn_shard`), which resumes it
+    from the shard's own checkpoint.
+    """

@@ -15,11 +15,16 @@ positions drift detectors for:
   queue, JSON-lines audit log) fired on warning/drift transitions;
 * :mod:`repro.serving.server` — an asyncio JSON-lines TCP server
   (``python -m repro.serving``) so external processes can stream error
-  values at high throughput.
+  values at high throughput;
+* :mod:`repro.serving.sharded` — :class:`ShardedHub`, the same registry
+  partitioned across N shared-nothing worker processes (deterministic
+  BLAKE2b routing, per-shard checkpoints plus a cluster manifest,
+  kill-and-respawn recovery) for multi-core scale-out
+  (``python -m repro.serving --shards N``).
 
-See ``docs/serving.md`` for the hub lifecycle, the checkpoint format, and
-the wire protocol, and ``examples/live_monitoring.py`` for the daemon-style
-usage pattern.
+See ``docs/serving.md`` for the hub lifecycle, the checkpoint format, the
+sharding model, and the wire protocol, and ``examples/live_monitoring.py``
+for the daemon-style usage pattern.
 """
 
 from repro.serving.hub import (
@@ -29,6 +34,12 @@ from repro.serving.hub import (
     ObserveResult,
 )
 from repro.serving.server import ServingServer
+from repro.serving.sharded import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA_VERSION,
+    ShardedHub,
+    route_shard,
+)
 from repro.serving.sinks import (
     AlertSink,
     CallbackSink,
@@ -49,6 +60,10 @@ __all__ = [
     "MonitorHub",
     "ObserveResult",
     "ServingServer",
+    "ShardedHub",
+    "route_shard",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
     "AlertSink",
     "CallbackSink",
     "QueueSink",

@@ -9,6 +9,12 @@ alerts to a JSON-lines file::
         --checkpoint-dir ./checkpoints --checkpoint-every 10000 \
         --audit-log ./alerts.jsonl
 
+With ``--shards N`` the ``(tenant, monitor_id)`` keyspace is partitioned
+across N worker processes (a :class:`~repro.serving.sharded.ShardedHub`):
+each shard checkpoints into its own ``shard-NN/`` directory under
+``--checkpoint-dir``, alerts audit to ``<audit-log>.shard-NN`` (one file per
+shard), and ``--checkpoint-every`` counts values per shard.
+
 On startup the server resumes every monitor from the checkpoint directory if
 a checkpoint exists, prints a ``READY host=... port=...`` line to stdout (use
 ``--port 0`` for an ephemeral port and parse the line), and on SIGINT/SIGTERM
@@ -22,9 +28,11 @@ import asyncio
 import contextlib
 import signal
 import sys
+from typing import Union
 
 from repro.serving.hub import MonitorHub
 from repro.serving.server import ServingServer
+from repro.serving.sharded import ShardedHub
 from repro.serving.sinks import JsonlAuditSink
 
 
@@ -38,35 +46,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=7737, help="bind port (0 = ephemeral)"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="partition monitors across N worker processes "
+        "(0 = single-process hub)",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
-        help="directory for hub checkpoints (resumed from on startup)",
+        help="directory for hub checkpoints (resumed from on startup); with "
+        "--shards, each shard owns a shard-NN/ subdirectory",
     )
     parser.add_argument(
         "--checkpoint-every",
         type=int,
         default=None,
         metavar="N",
-        help="checkpoint automatically after every N observed values",
+        help="checkpoint automatically after every N observed values "
+        "(per shard when sharded)",
     )
     parser.add_argument(
         "--audit-log",
         default=None,
         metavar="PATH",
-        help="append drift/warning alerts to this JSON-lines file",
+        help="append drift/warning alerts to this JSON-lines file "
+        "(with --shards: one file per shard, suffixed .shard-NN)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --shards: kill a worker that takes longer than this to "
+        "reply (a hung worker counts as dead and can be respawned); the "
+        "server defaults to 60s so one wedged worker cannot freeze every "
+        "connection forever; 0 waits forever",
     )
     return parser
 
 
-async def run(args: argparse.Namespace) -> int:
+def build_hub(args: argparse.Namespace) -> Union[MonitorHub, ShardedHub]:
+    """Construct the hub the server fronts (sharded when ``--shards`` > 0).
+
+    Called *before* the event loop starts so shard workers never fork from a
+    process that already owns a running loop.
+    """
+    if args.shards > 0:
+        # The server dispatches hub ops inline on its event loop, so an
+        # unbounded wait on one hung worker would freeze every connection;
+        # default to a generous timeout (0 opts back into waiting forever).
+        timeout = args.request_timeout
+        if timeout is None:
+            timeout = 60.0
+        elif timeout <= 0:
+            timeout = None
+        return ShardedHub(
+            args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            audit_log=args.audit_log,
+            request_timeout=timeout,
+        )
     sinks = []
     if args.audit_log:
         sinks.append(JsonlAuditSink(args.audit_log))
-    hub = MonitorHub(
+    return MonitorHub(
         checkpoint_dir=args.checkpoint_dir,
         sinks=sinks,
         checkpoint_every=args.checkpoint_every,
     )
+
+
+async def run(args: argparse.Namespace, hub: Union[MonitorHub, ShardedHub]) -> int:
     server = ServingServer(hub, host=args.host, port=args.port)
     await server.start()
 
@@ -78,6 +131,7 @@ async def run(args: argparse.Namespace) -> int:
 
     print(
         f"READY host={args.host} port={server.port} "
+        f"shards={max(args.shards, 0)} "
         f"monitors={len(hub)} events={hub.n_events}",
         flush=True,
     )
@@ -90,16 +144,24 @@ async def run(args: argparse.Namespace) -> int:
             await serve_task
         await server.stop()
         if args.checkpoint_dir:
-            path = hub.checkpoint()
-            print(f"CHECKPOINT {path}", flush=True)
+            try:
+                path = hub.checkpoint()
+                print(f"CHECKPOINT {path}", flush=True)
+            except Exception as exc:
+                # A dead worker, a full disk, a corrupt directory — whatever
+                # the cause, crashing out of shutdown would also skip
+                # closing the healthy shards and the audit sinks.  The last
+                # successful checkpoint is still on disk.
+                print(f"CHECKPOINT-FAILED {exc}", file=sys.stderr, flush=True)
         hub.close()
     return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    hub = build_hub(args)
     try:
-        return asyncio.run(run(args))
+        return asyncio.run(run(args, hub))
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
         return 130
 

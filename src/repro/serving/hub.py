@@ -28,8 +28,8 @@ Design points:
 from __future__ import annotations
 
 import json
-import os
-import tempfile
+import logging
+import numbers
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -51,6 +51,7 @@ from repro.core.base import BatchResult, DriftDetector, as_value_array
 from repro.exceptions import ConfigurationError, SnapshotError
 from repro.serving.sinks import AlertSink, DriftAlert
 from repro.serving.snapshot import (
+    atomic_write_json,
     build_detector,
     restore_detector,
     sanitize,
@@ -58,6 +59,8 @@ from repro.serving.snapshot import (
 )
 
 __all__ = ["MonitorHub", "ObserveResult", "HUB_SCHEMA_VERSION", "CHECKPOINT_FILENAME"]
+
+logger = logging.getLogger(__name__)
 
 #: Version of the hub checkpoint document schema.
 HUB_SCHEMA_VERSION = 1
@@ -119,16 +122,22 @@ class _MonitorEntry:
 
 
 def _coalesce(parts: List[Any]) -> "np.ndarray":
-    """Concatenate buffered ingest payloads (scalars and chunks) in order."""
+    """Concatenate buffered ingest payloads (scalars and chunks) in order.
+
+    Scalars are anything :class:`numbers.Real` plus ``np.bool_`` (which
+    registers in no ``numbers`` ABC) — numpy scalars such as ``np.int64``
+    are *not* ``int`` and used to fall through to the chunk branch, where
+    ``np.fromiter`` blows up on a 0-d value.
+    """
     if len(parts) == 1:
         part = parts[0]
-        if isinstance(part, (int, float)):
+        if isinstance(part, (numbers.Real, np.bool_)):
             return np.asarray([float(part)], dtype=np.float64)
         return as_value_array(part)
     arrays: List["np.ndarray"] = []
     scalars: List[float] = []
     for part in parts:
-        if isinstance(part, (int, float)):
+        if isinstance(part, (numbers.Real, np.bool_)):
             scalars.append(float(part))
             continue
         if scalars:
@@ -189,6 +198,8 @@ class MonitorHub:
         self._groups: Dict[str, List[_MonitorKey]] = {}
         self._n_events = 0
         self._events_since_checkpoint = 0
+        self._n_sink_failures = 0
+        self._sink_failures_by_tenant: Dict[str, int] = {}
         if resume and self._checkpoint_dir is not None:
             path = self._checkpoint_dir / CHECKPOINT_FILENAME
             if path.is_file():
@@ -280,6 +291,21 @@ class MonitorHub:
         self._maybe_checkpoint()
         return result
 
+    def observe_with_stats(
+        self,
+        tenant: str,
+        monitor_id: str,
+        values: Union[float, Sequence[float]],
+    ) -> Tuple[ObserveResult, Dict[str, Any]]:
+        """Feed one monitor and return ``(outcome, per-monitor stats)``.
+
+        One call for front-ends that report post-update counters with every
+        response; on a sharded hub the pair costs a single worker round-trip
+        instead of two.
+        """
+        outcome = self.observe(tenant, monitor_id, values)
+        return outcome, self.stats(tenant, monitor_id)
+
     def ingest(self, events: Iterable[Event]) -> List[ObserveResult]:
         """Feed an interleaved batch of events through the vectorised paths.
 
@@ -314,8 +340,8 @@ class MonitorHub:
     def _feed(
         self, entry: _MonitorEntry, values: Union[float, Sequence[float]]
     ) -> ObserveResult:
-        if isinstance(values, (int, float)):
-            values = (float(values),)
+        # as_value_array accepts bare real scalars (incl. numpy scalars) and
+        # 0-d arrays directly, yielding a one-element chunk.
         chunk = as_value_array(values)
         detector = entry.detector
         offset = detector.n_seen
@@ -371,8 +397,31 @@ class MonitorHub:
         entry.in_warning = prev_warn == n - 1
 
     def _emit(self, alert: DriftAlert) -> None:
+        """Deliver one alert to every sink, tolerating per-sink failures.
+
+        A raising sink is a *reporting* problem, never a monitoring problem:
+        the detectors already consumed the values by the time alerts fire, so
+        letting a sink exception escape ``observe``/``ingest`` would abort the
+        flush half-way and leave the caller believing state it cannot see —
+        exactly the divergence a checkpointed serving system cannot afford.
+        Failures are counted (``stats()["n_sink_failures"]``), logged, and the
+        remaining sinks still receive the alert.
+        """
         for sink in self._sinks:
-            sink.emit(alert)
+            try:
+                sink.emit(alert)
+            except Exception:
+                self._n_sink_failures += 1
+                self._sink_failures_by_tenant[alert.tenant] = (
+                    self._sink_failures_by_tenant.get(alert.tenant, 0) + 1
+                )
+                logger.exception(
+                    "alert sink %r failed for %s/%s; detector state is "
+                    "unaffected",
+                    sink,
+                    alert.tenant,
+                    alert.monitor_id,
+                )
 
     # ---------------------------------------------------------------- stats
 
@@ -381,10 +430,23 @@ class MonitorHub:
         """Total number of values observed across all monitors (lifetime)."""
         return self._n_events
 
+    @property
+    def n_sink_failures(self) -> int:
+        """Number of alert deliveries swallowed because a sink raised."""
+        return self._n_sink_failures
+
     def stats(
         self, tenant: Optional[str] = None, monitor_id: Optional[str] = None
     ) -> Dict[str, Any]:
-        """Aggregate counters, optionally narrowed to a tenant or monitor."""
+        """Aggregate counters, optionally narrowed to a tenant or monitor.
+
+        Every field of a tenant-narrowed aggregate is scoped to that tenant:
+        ``n_events`` is the sum of the tenant's monitors' lifetime ``n_seen``
+        and ``n_sink_failures`` counts failed deliveries of that tenant's
+        alerts.  The hub-wide aggregate reports the hub's own lifetime event
+        count (which excludes elements a pre-positioned detector instance saw
+        before registration).
+        """
         if monitor_id is not None and tenant is None:
             raise ConfigurationError(
                 "per-monitor stats need the tenant as well as the monitor id"
@@ -406,12 +468,19 @@ class MonitorHub:
             for entry in self._entries.values()
             if tenant is None or entry.tenant == str(tenant)
         ]
+        if tenant is None:
+            n_events = self._n_events
+            n_sink_failures = self._n_sink_failures
+        else:
+            n_events = sum(entry.detector.n_seen for entry in entries)
+            n_sink_failures = self._sink_failures_by_tenant.get(str(tenant), 0)
         return {
             "n_monitors": len(entries),
             "n_tenants": len({entry.tenant for entry in entries}),
-            "n_events": self._n_events,
+            "n_events": n_events,
             "n_drifts": sum(entry.detector.n_drifts for entry in entries),
             "n_warnings": sum(entry.detector.n_warnings for entry in entries),
+            "n_sink_failures": n_sink_failures,
         }
 
     # ------------------------------------------------------- checkpointing
@@ -461,27 +530,7 @@ class MonitorHub:
                 for entry in self._entries.values()
             ],
         }
-        path = target_dir / CHECKPOINT_FILENAME
-        handle = tempfile.NamedTemporaryFile(
-            "w",
-            dir=str(target_dir),
-            prefix=CHECKPOINT_FILENAME + ".",
-            suffix=".tmp",
-            delete=False,
-            encoding="utf-8",
-        )
-        try:
-            with handle:
-                json.dump(document, handle, sort_keys=True, allow_nan=False)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        path = atomic_write_json(target_dir / CHECKPOINT_FILENAME, document)
         self._events_since_checkpoint = 0
         return path
 

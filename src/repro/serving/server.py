@@ -1,4 +1,5 @@
-"""Asyncio JSON-lines TCP server exposing a :class:`MonitorHub`.
+"""Asyncio JSON-lines TCP server exposing a :class:`MonitorHub` (or a
+multi-process :class:`~repro.serving.sharded.ShardedHub`).
 
 External processes stream error values to hosted monitors over a plain TCP
 connection, one JSON object per line (newline-delimited JSON, UTF-8).  Every
@@ -12,6 +13,7 @@ Supported operations::
     {"op": "register", "tenant": "t", "monitor": "m",
      "detector": "OPTWIN", "params": {"rho": 0.5}, "exist_ok": true}
     {"op": "observe", "tenant": "t", "monitor": "m", "values": [0, 1, 0]}
+    {"op": "ingest", "events": [["t", "m", [0, 1]], ["t", "m2", 1.0]]}
     {"op": "stats"}                      # hub-wide
     {"op": "stats", "tenant": "t"}       # per tenant
     {"op": "stats", "tenant": "t", "monitor": "m"}
@@ -36,6 +38,7 @@ import json
 import logging
 from typing import Any, Dict, Optional
 
+from repro.core.base import DriftDetector
 from repro.exceptions import ReproError
 from repro.serving.hub import MonitorHub
 from repro.serving.sinks import QueueSink
@@ -60,8 +63,11 @@ class ServingServer:
     Parameters
     ----------
     hub:
-        The hub to serve.  A :class:`QueueSink` is attached to it so the
-        ``alerts`` op can hand out buffered transitions.
+        The hub to serve — a single-process :class:`MonitorHub` (a
+        :class:`QueueSink` is attached so the ``alerts`` op can hand out
+        buffered transitions) or a multi-process ``ShardedHub`` (which buffers
+        alerts in its workers; the server drains them via
+        ``hub.drain_alerts()``).
     host, port:
         Listen address.  Port ``0`` binds an ephemeral port; read the actual
         one from :attr:`port` after :meth:`start`.
@@ -73,8 +79,12 @@ class ServingServer:
         self._hub = hub
         self._host = host
         self._requested_port = port
-        self._alert_queue = QueueSink(maxlen=ALERT_BUFFER_LIMIT)
-        hub.add_sink(self._alert_queue)
+        if hasattr(hub, "drain_alerts"):
+            # Sharded hub: alerts buffer inside the shard workers.
+            self._alert_queue: Optional[QueueSink] = None
+        else:
+            self._alert_queue = QueueSink(maxlen=ALERT_BUFFER_LIMIT)
+            hub.add_sink(self._alert_queue)
         self._server: Optional[asyncio.AbstractServer] = None
 
     @property
@@ -174,6 +184,8 @@ class ServingServer:
             return self._op_register(request)
         if op == "observe":
             return self._op_observe(request)
+        if op == "ingest":
+            return self._op_ingest(request)
         if op == "stats":
             return {
                 "ok": True,
@@ -182,9 +194,15 @@ class ServingServer:
                 ),
             }
         if op == "alerts":
+            if self._alert_queue is not None:
+                alerts = self._alert_queue.drain()
+                n_dropped = self._alert_queue.n_dropped
+            else:
+                alerts, n_dropped = self._hub.drain_alerts()
             return {
                 "ok": True,
-                "alerts": [alert.to_dict() for alert in self._alert_queue.drain()],
+                "alerts": [alert.to_dict() for alert in alerts],
+                "n_dropped": n_dropped,
             }
         if op == "snapshot":
             path = self._hub.checkpoint()
@@ -193,19 +211,49 @@ class ServingServer:
 
     def _op_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
         tenant, monitor = _identity(request)
-        detector = self._hub.register(
+        registered = self._hub.register(
             tenant,
             monitor,
             detector=request.get("detector", "OPTWIN"),
             params=request.get("params"),
             exist_ok=bool(request.get("exist_ok", False)),
         )
+        # MonitorHub returns the live detector; a sharded hub keeps its
+        # detectors inside the workers and returns an info dict instead.
+        if isinstance(registered, DriftDetector):
+            detector_name, n_seen = type(registered).__name__, registered.n_seen
+        else:
+            detector_name, n_seen = registered["detector"], registered["n_seen"]
         return {
             "ok": True,
             "tenant": tenant,
             "monitor": monitor,
-            "detector": type(detector).__name__,
-            "n_seen": detector.n_seen,
+            "detector": detector_name,
+            "n_seen": n_seen,
+        }
+
+    def _op_ingest(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Interleaved multi-monitor batch — one request, one hub flush.
+
+        On a sharded hub this is the op that actually buys multi-core
+        parallelism over the wire: the hub fans the batch out as one message
+        per shard and the workers flush concurrently, where per-monitor
+        ``observe`` requests serialize on the event loop.
+        """
+        events = _op_ingest_events(request.get("events"))
+        results = self._hub.ingest(events)
+        return {
+            "ok": True,
+            "results": [
+                {
+                    "tenant": outcome.tenant,
+                    "monitor": outcome.monitor_id,
+                    "n": outcome.n_processed,
+                    "drifts": outcome.drift_positions,
+                    "warnings": outcome.warning_positions,
+                }
+                for outcome in results
+            ],
         }
 
     def _op_observe(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -213,8 +261,7 @@ class ServingServer:
         values = request.get("values")
         if not isinstance(values, list) or not values:
             return {"ok": False, "error": "observe needs a non-empty values list"}
-        outcome = self._hub.observe(tenant, monitor, values)
-        detector = self._hub.detector(tenant, monitor)
+        outcome, stats = self._hub.observe_with_stats(tenant, monitor, values)
         return {
             "ok": True,
             "tenant": tenant,
@@ -223,11 +270,24 @@ class ServingServer:
             "drifts": outcome.drift_positions,
             "warnings": outcome.warning_positions,
             "counters": {
-                "n_seen": detector.n_seen,
-                "n_drifts": detector.n_drifts,
-                "n_warnings": detector.n_warnings,
+                "n_seen": stats["n_seen"],
+                "n_drifts": stats["n_drifts"],
+                "n_warnings": stats["n_warnings"],
             },
         }
+
+
+def _op_ingest_events(raw: Any) -> list:
+    if not isinstance(raw, list) or not raw:
+        raise ReproError("ingest needs a non-empty events list")
+    events = []
+    for item in raw:
+        if not isinstance(item, list) or len(item) != 3:
+            raise ReproError(
+                "each ingest event must be a [tenant, monitor, values] triple"
+            )
+        events.append((str(item[0]), str(item[1]), item[2]))
+    return events
 
 
 def _identity(request: Dict[str, Any]) -> tuple:

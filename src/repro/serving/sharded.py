@@ -1,0 +1,832 @@
+"""ShardedHub — scale the monitor hub out across worker processes.
+
+A single :class:`~repro.serving.hub.MonitorHub` serves ~1000 monitors at
+batch speed, but all tenant ingest funnels through one GIL-bound Python
+process.  :class:`ShardedHub` removes that ceiling by partitioning the
+``(tenant, monitor_id)`` keyspace across N shared-nothing worker processes:
+
+* **Deterministic routing** — :func:`route_shard` hashes the key with
+  BLAKE2b (process-independent, unlike the salted builtin ``hash``) so the
+  same monitor lands on the same shard in every run, every process, and
+  every restart.  No routing table needs to be persisted or synchronised.
+* **Fan-out ingestion** — :meth:`ShardedHub.ingest` partitions an
+  interleaved event batch into one message per shard (preserving each
+  monitor's event order), sends them all, and only then collects replies —
+  the shards run their vectorised flushes concurrently on separate cores.
+* **Per-shard checkpoints + cluster manifest** — every worker owns a
+  ``shard-NN/hub-checkpoint.json`` written with the hub's atomic snapshot
+  machinery, and :meth:`ShardedHub.checkpoint` records a
+  ``cluster-manifest.json`` with the shard count and per-shard composition
+  hashes.  ``kill -9`` of any worker loses nothing past that shard's last
+  checkpoint (:meth:`respawn_shard` resumes it bit-exactly), and opening a
+  checkpoint directory with a different ``n_shards`` raises
+  :class:`~repro.exceptions.SnapshotError` instead of silently mis-routing.
+* **Aggregation** — ``ObserveResult``s, ``stats()`` counters, and alert
+  drains come back over the worker pipes; alerts buffer in one
+  :class:`~repro.serving.sinks.QueueSink` per shard and
+  :meth:`drain_alerts` merges them (with the total dropped-alert count).
+
+Detectors cross the process boundary via their ``__reduce__`` hook, which
+pickles through the bit-exact ``state_dict`` snapshot contract, so
+registering a pre-positioned detector instance on a shard is loss-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import multiprocessing
+import signal
+from multiprocessing.connection import Connection
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.base import DriftDetector
+from repro.exceptions import ConfigurationError, ShardError, SnapshotError
+from repro.serving.hub import Event, MonitorHub, ObserveResult
+from repro.serving.sinks import DriftAlert, JsonlAuditSink, QueueSink
+from repro.serving.snapshot import atomic_write_json
+
+__all__ = [
+    "ShardedHub",
+    "route_shard",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Version of the cluster manifest document schema.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: File name of the cluster manifest inside ``checkpoint_dir``.
+MANIFEST_FILENAME = "cluster-manifest.json"
+
+_MonitorKey = Tuple[str, str]
+
+
+def route_shard(tenant: str, monitor_id: str, n_shards: int) -> int:
+    """Deterministic stable shard of a ``(tenant, monitor_id)`` key.
+
+    BLAKE2b over the NUL-joined key (tenant and monitor ids are free-form
+    strings; NUL keeps ``("a", "b/c")`` and ``("a/b", "c")`` distinct), taken
+    modulo the shard count.  Stable across processes, interpreter restarts,
+    and platforms — the property the per-shard checkpoints rely on.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.blake2b(
+        f"{tenant}\x00{monitor_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+def _shard_dirname(index: int) -> str:
+    return f"shard-{index:02d}"
+
+
+# --------------------------------------------------------------- worker side
+
+
+def _safe_send(conn: Connection, reply: Tuple[str, Any]) -> None:
+    """Send a reply, downgrading unpicklable payloads to a ShardError."""
+    try:
+        conn.send(reply)
+    except Exception as exc:  # pragma: no cover - defensive
+        conn.send(("error", ShardError(f"worker reply failed to serialize: {exc!r}")))
+
+
+def _shard_worker_main(
+    index: int,
+    conn: Connection,
+    checkpoint_dir: Optional[str],
+    checkpoint_every: Optional[int],
+    resume: bool,
+    alert_buffer: Optional[int],
+    audit_log: Optional[str],
+) -> None:
+    """Request/reply loop of one shard worker (one ``MonitorHub`` per shard).
+
+    Every request is a ``(op, payload)`` tuple and gets exactly one
+    ``("ok", value)`` or ``("error", exception)`` reply, so the parent and
+    worker can never desynchronise.  Library errors (``ReproError`` family)
+    travel back as values and are re-raised in the parent; the worker itself
+    stays alive.  EOF on the pipe (parent gone) ends the worker.
+    """
+    # The parent owns shutdown: terminal Ctrl-C must not kill workers before
+    # the parent has written its final checkpoint.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        hub = MonitorHub(
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+        alerts = QueueSink(maxlen=alert_buffer)
+        hub.add_sink(alerts)
+        if audit_log is not None:
+            hub.add_sink(JsonlAuditSink(audit_log))
+    except BaseException as exc:
+        _safe_send(conn, ("error", exc))
+        return
+
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if op == "ingest":
+                result: Any = hub.ingest(payload[0])
+            elif op == "observe":
+                result = hub.observe(*payload)
+            elif op == "observe_stats":
+                result = hub.observe_with_stats(*payload)
+            elif op == "register":
+                tenant, monitor_id, spec, params, exist_ok = payload
+                detector = hub.register(
+                    tenant, monitor_id, spec, params=params, exist_ok=exist_ok
+                )
+                result = {
+                    "detector": type(detector).__name__,
+                    "n_seen": detector.n_seen,
+                }
+            elif op == "stats":
+                result = hub.stats(*payload)
+            elif op == "alerts":
+                result = (alerts.drain(), alerts.n_dropped)
+            elif op == "list_monitors":
+                result = [
+                    (tenant, monitor_id, type(detector).__name__)
+                    for tenant, monitor_id, detector in hub.monitors()
+                ]
+            elif op == "checkpoint":
+                path = hub.checkpoint()
+                result = {
+                    "path": str(path),
+                    "config_hash": hub.composition_hash(),
+                    "n_events": hub.n_events,
+                    "n_monitors": len(hub),
+                }
+            elif op == "describe":
+                result = {
+                    "config_hash": hub.composition_hash(),
+                    "n_events": hub.n_events,
+                    "n_monitors": len(hub),
+                }
+            elif op == "composition_hash":
+                result = hub.composition_hash()
+            elif op == "stop":
+                _safe_send(conn, ("ok", None))
+                break
+            else:
+                raise ShardError(f"unknown worker op {op!r}")
+        except Exception as exc:
+            _safe_send(conn, ("error", exc))
+        else:
+            _safe_send(conn, ("ok", result))
+    hub.close()
+    conn.close()
+
+
+# --------------------------------------------------------------- parent side
+
+
+class ShardedHub:
+    """Partition the monitor keyspace across N shared-nothing worker processes.
+
+    The public surface mirrors :class:`MonitorHub` (``register`` /
+    ``observe`` / ``ingest`` / ``stats`` / ``checkpoint`` / ``close``) so the
+    TCP server fronts either interchangeably, with two deliberate
+    differences: detectors live only inside the workers (``register`` returns
+    an info dict, not the instance), and alerts are polled with
+    :meth:`drain_alerts` instead of parent-side sinks.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of worker processes.  Fixed for the lifetime of a checkpoint
+        directory — resuming with a different count raises
+        :class:`SnapshotError` (re-shard explicitly instead of mis-routing).
+    checkpoint_dir:
+        Cluster checkpoint root; each shard owns ``shard-NN/`` inside it and
+        the manifest records the composition.
+    checkpoint_every:
+        Per-shard auto-checkpoint period, counted in values observed by that
+        shard (forwarded to each worker's ``MonitorHub``).
+    resume:
+        Resume every shard from its checkpoint when present.
+    alert_buffer:
+        ``maxlen`` of each shard's in-worker :class:`QueueSink` (``None`` =
+        unbounded); dropped-alert counts aggregate in :meth:`drain_alerts`.
+    audit_log:
+        When set, each worker appends alerts to ``<audit_log>.shard-NN``
+        (one file per shard — concurrent writers never interleave a line).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+    request_timeout:
+        Seconds to wait for a worker's reply before declaring it hung
+        (``None`` = wait forever).  A worker that is alive but wedged (a
+        deadlock, a ``SIGSTOP``) would otherwise block the caller
+        indefinitely while ``dead_shards()`` reports a healthy cluster; on
+        timeout the worker is killed — turning "hung" into "dead", which the
+        respawn machinery knows how to recover — and :class:`ShardError` is
+        raised.  Size it well above the slowest expected flush: a false
+        positive costs a checkpoint rollback.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        resume: bool = True,
+        alert_buffer: Optional[int] = 10_000,
+        audit_log: Optional[str] = None,
+        start_method: Optional[str] = None,
+        request_timeout: Optional[float] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir — without one the "
+                "periodic checkpoints would silently never be written"
+            )
+        self._n_shards = n_shards
+        self._checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self._checkpoint_every = checkpoint_every
+        self._resume = resume
+        if request_timeout is not None and request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive, got {request_timeout}"
+            )
+        self._alert_buffer = alert_buffer
+        self._audit_log = audit_log
+        self._request_timeout = request_timeout
+        self._context = multiprocessing.get_context(start_method)
+        self._closed = False
+        self._registry: Dict[_MonitorKey, int] = {}
+        self._processes: List[Optional[multiprocessing.process.BaseProcess]] = [
+            None
+        ] * n_shards
+        self._conns: List[Optional[Connection]] = [None] * n_shards
+
+        if resume:
+            self._validate_manifest()
+        try:
+            for index in range(n_shards):
+                self._spawn(index, resume=resume)
+            for index in range(n_shards):
+                self._adopt_shard_monitors(index)
+            if self._checkpoint_dir is not None:
+                # Write the manifest up front, not only in checkpoint():
+                # per-shard auto-checkpoints (checkpoint_every) never touch
+                # it, and without a manifest the shard-count guard cannot
+                # fire — a divisor reshard (4 → 2) would then pass the
+                # routing check (digest % 4 ∈ {0, 1} implies the same
+                # digest % 2) and silently drop the other shards' monitors.
+                self._write_manifest(self._broadcast("describe"))
+        except BaseException:
+            # A failed resume (corrupt shard checkpoint, mis-assembled
+            # directories) must not leak live worker processes and pipes.
+            self.close()
+            raise
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _validate_manifest(self) -> None:
+        if self._checkpoint_dir is None:
+            return
+        path = self._checkpoint_dir / MANIFEST_FILENAME
+        if not path.is_file():
+            return
+        import json
+
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(f"cannot read cluster manifest {path}: {exc}") from exc
+        version = manifest.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise SnapshotError(
+                f"cluster manifest schema version {version!r} is not supported "
+                f"(expected {MANIFEST_SCHEMA_VERSION})"
+            )
+        recorded = manifest.get("n_shards")
+        if recorded != self._n_shards:
+            raise SnapshotError(
+                f"checkpoint directory {self._checkpoint_dir} was written by a "
+                f"{recorded}-shard cluster but this hub has {self._n_shards} "
+                "shards; the routing hash would silently send monitors to the "
+                "wrong shard — re-shard the checkpoint or start fresh"
+            )
+
+    def _shard_checkpoint_dir(self, index: int) -> Optional[str]:
+        if self._checkpoint_dir is None:
+            return None
+        return str(self._checkpoint_dir / _shard_dirname(index))
+
+    def _spawn(self, index: int, resume: bool) -> None:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        audit = (
+            f"{self._audit_log}.{_shard_dirname(index)}"
+            if self._audit_log is not None
+            else None
+        )
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(
+                index,
+                child_conn,
+                self._shard_checkpoint_dir(index),
+                self._checkpoint_every,
+                resume,
+                self._alert_buffer,
+                audit,
+            ),
+            name=f"repro-shard-{index:02d}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._processes[index] = process
+        self._conns[index] = parent_conn
+
+    def _adopt_shard_monitors(self, index: int) -> None:
+        """Mirror a (re)spawned shard's resumed monitors into the registry.
+
+        Doubles as the startup handshake — a worker whose hub failed to
+        construct (corrupt shard checkpoint, bad directory) surfaces the real
+        exception here instead of an opaque dead pipe later.  Every resumed
+        key must route to the shard that holds it; a violation means the
+        checkpoint directory was assembled from a different cluster layout
+        (e.g. shard directories swapped by hand), which is a correctness
+        error, not a warning.
+        """
+        self._registry = {
+            key: shard for key, shard in self._registry.items() if shard != index
+        }
+        for tenant, monitor_id, _ in self._call(index, "list_monitors"):
+            expected = route_shard(tenant, monitor_id, self._n_shards)
+            if expected != index:
+                raise SnapshotError(
+                    f"monitor {tenant}/{monitor_id} resumed on shard {index} "
+                    f"but routes to shard {expected}; the shard checkpoints "
+                    "do not belong to this cluster layout"
+                )
+            self._registry[(tenant, monitor_id)] = index
+
+    #: Seconds :meth:`close` waits for a worker's ``stop`` reply before
+    #: falling back to ``terminate()``.  Bounded regardless of
+    #: ``request_timeout`` — an unbounded wait on a wedged-but-alive worker
+    #: would hang shutdown and make the terminate fallback unreachable.
+    _STOP_REPLY_TIMEOUT = 5.0
+
+    def close(self) -> None:
+        """Stop every worker (graceful ``stop`` op, then terminate stragglers)."""
+        if self._closed:
+            return
+        stopping: List[int] = []
+        for index, process in enumerate(self._processes):
+            if process is None or not process.is_alive():
+                continue
+            try:
+                self._conns[index].send(("stop", ()))
+            except Exception:
+                continue
+            stopping.append(index)
+        for index in stopping:
+            # Bounded wait for the reply; a wedged worker is terminated below.
+            try:
+                if self._conns[index].poll(self._STOP_REPLY_TIMEOUT):
+                    self._conns[index].recv()
+            except Exception:
+                pass
+        self._closed = True
+        for index, process in enumerate(self._processes):
+            if process is None:
+                continue
+            process.join(timeout=self._STOP_REPLY_TIMEOUT)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=self._STOP_REPLY_TIMEOUT)
+            if process.is_alive():
+                # SIGTERM stays *pending* on a SIGSTOPped worker; SIGKILL
+                # is the only signal guaranteed to reap a wedged process.
+                process.kill()
+                process.join(timeout=self._STOP_REPLY_TIMEOUT)
+            conn = self._conns[index]
+            if conn is not None:
+                conn.close()
+
+    def __enter__(self) -> "ShardedHub":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- transport
+
+    def _recv(self, index: int) -> Tuple[str, Any]:
+        """Receive one reply, enforcing ``request_timeout`` when configured.
+
+        A timeout kills the worker (a hung worker's late reply would
+        desynchronise the pipe, and ``process.is_alive()`` cannot see a
+        deadlock) so the shard becomes *dead* — the state ``dead_shards()``
+        reports and ``respawn_shard`` recovers from its checkpoint.
+        """
+        conn = self._conns[index]
+        if self._request_timeout is not None and not conn.poll(
+            self._request_timeout
+        ):
+            process = self._processes[index]
+            if process is not None and process.is_alive():
+                logger.error(
+                    "shard %d worker did not reply within %.1fs; killing it",
+                    index,
+                    self._request_timeout,
+                )
+                process.kill()
+                process.join(timeout=5)
+            raise ShardError(
+                f"shard {index} worker did not reply within "
+                f"{self._request_timeout}s and was killed; "
+                f"respawn_shard({index}) resumes it from its checkpoint"
+            )
+        return conn.recv()
+
+    def _call(self, index: int, op: str, *payload: Any) -> Any:
+        conn = self._conns[index]
+        if self._closed or conn is None:
+            raise ShardError(f"sharded hub is closed (shard {index})")
+        try:
+            conn.send((op, payload))
+            kind, value = self._recv(index)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise ShardError(
+                f"shard {index} worker is not responding ({exc!r}); "
+                f"respawn_shard({index}) resumes it from its checkpoint"
+            ) from exc
+        if kind == "error":
+            raise value
+        return value
+
+    def _broadcast(
+        self, op: str, *payload: Any, tolerate_dead: bool = False
+    ) -> List[Any]:
+        """Send one request to every shard, then collect every reply.
+
+        All sends complete before the first receive so the workers overlap
+        their compute; replies are collected from *every* shard before any
+        error is re-raised, keeping each pipe strictly request/reply aligned.
+        With ``tolerate_dead`` the replies of the live shards are returned
+        even when some workers are gone (degraded-cluster reads).
+        """
+        return self._fan_out(
+            range(self._n_shards),
+            [(op, payload)] * self._n_shards,
+            tolerate_dead=tolerate_dead,
+        )
+
+    def _fan_out(
+        self,
+        indices: Iterable[int],
+        messages: List[Tuple[str, Tuple[Any, ...]]],
+        tolerate_dead: bool = False,
+    ) -> List[Any]:
+        """Fan requests out to ``indices``; return the replies in that order.
+
+        A dead shard never aborts the exchange half-way: the replies of the
+        shards that did get the request are always collected (or their pipes
+        would desynchronise into returning stale replies to the *next*
+        request).  With ``tolerate_dead=False`` a dead shard then raises
+        :class:`ShardError`; with ``tolerate_dead=True`` its reply is simply
+        absent — for read paths that must keep working on a degraded cluster
+        (``stats``/``drain_alerts``).  Errors raised *by* live workers
+        (``ReproError`` family) propagate in both modes.
+        """
+        indices = list(indices)
+        if self._closed:
+            raise ShardError("sharded hub is closed")
+        # Phase 1: send to every reachable shard.
+        sent: List[int] = []
+        dead_error: Optional[BaseException] = None
+        worker_error: Optional[BaseException] = None
+        caller_error: Optional[BaseException] = None
+        for index, (op, payload) in zip(indices, messages):
+            try:
+                self._conns[index].send((op, payload))
+            except (BrokenPipeError, OSError) as exc:
+                error = ShardError(
+                    f"shard {index} worker is not responding ({exc!r}); "
+                    f"respawn_shard({index}) resumes it from its checkpoint"
+                )
+                error.__cause__ = exc
+                dead_error = dead_error or error
+            except Exception as exc:
+                # The *payload* failed to serialize (e.g. a generator event
+                # chunk the pickler rejects before anything hits the pipe) —
+                # a caller error, not a dead shard.  Stop sending, but still
+                # drain the shards already sent to, or their pipes would
+                # hand the pending replies to the next unrelated request.
+                caller_error = exc
+                break
+            else:
+                sent.append(index)
+        # Phase 2: collect one reply per delivered request.
+        replies: List[Any] = []
+        for index in sent:
+            try:
+                kind, value = self._recv(index)
+            except (EOFError, OSError) as exc:
+                error = ShardError(
+                    f"shard {index} worker died mid-request ({exc!r}); "
+                    f"respawn_shard({index}) resumes it from its checkpoint"
+                )
+                error.__cause__ = exc
+                dead_error = dead_error or error
+                continue
+            except ShardError as exc:  # _recv timeout killed a hung worker
+                dead_error = dead_error or exc
+                continue
+            if kind == "error":
+                worker_error = worker_error or value
+            else:
+                replies.append(value)
+        if caller_error is not None:
+            raise caller_error
+        if worker_error is not None:
+            raise worker_error
+        if dead_error is not None and not tolerate_dead:
+            raise dead_error
+        return replies
+
+    # ---------------------------------------------------------- registration
+
+    def register(
+        self,
+        tenant: str,
+        monitor_id: str,
+        detector: Union[str, DriftDetector] = "OPTWIN",
+        params: Optional[Mapping[str, Any]] = None,
+        exist_ok: bool = False,
+    ) -> Dict[str, Any]:
+        """Register a monitor on its shard; return ``{"detector", "n_seen"}``.
+
+        Accepts a registry name plus params, or a ready-made detector
+        instance (shipped to the worker via the bit-exact snapshot pickle).
+        Unlike :meth:`MonitorHub.register` the live detector object stays
+        inside the worker — shared-nothing means the parent never holds one.
+        """
+        key = (str(tenant), str(monitor_id))
+        shard = route_shard(key[0], key[1], self._n_shards)
+        info = self._call(
+            shard, "register", key[0], key[1], detector, dict(params) if params else None, exist_ok
+        )
+        self._registry[key] = shard
+        return info
+
+    def shard_of(self, tenant: str, monitor_id: str) -> int:
+        """The shard index a key routes to (registered or not)."""
+        return route_shard(str(tenant), str(monitor_id), self._n_shards)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __contains__(self, key: _MonitorKey) -> bool:
+        return tuple(key) in self._registry
+
+    @property
+    def n_shards(self) -> int:
+        """Number of worker processes the keyspace is partitioned across."""
+        return self._n_shards
+
+    def monitor_keys(self) -> Iterator[Tuple[str, str, int]]:
+        """Iterate ``(tenant, monitor_id, shard_index)`` over the registry."""
+        for (tenant, monitor_id), shard in self._registry.items():
+            yield tenant, monitor_id, shard
+
+    def _shard_for(self, tenant: str, monitor_id: str) -> Tuple[_MonitorKey, int]:
+        key = (str(tenant), str(monitor_id))
+        shard = self._registry.get(key)
+        if shard is None:
+            raise ConfigurationError(
+                f"unknown monitor {key[0]}/{key[1]}; register it first"
+            )
+        return key, shard
+
+    # ------------------------------------------------------------- ingestion
+
+    def observe(
+        self, tenant: str, monitor_id: str, values: Any
+    ) -> ObserveResult:
+        """Feed one monitor a value or chunk of values (oldest first)."""
+        key, shard = self._shard_for(tenant, monitor_id)
+        return self._call(shard, "observe", key[0], key[1], values)
+
+    def observe_with_stats(
+        self, tenant: str, monitor_id: str, values: Any
+    ) -> Tuple[ObserveResult, Dict[str, Any]]:
+        """Feed one monitor and return ``(outcome, per-monitor stats)`` in a
+        single worker round-trip (the server's ``observe`` op)."""
+        key, shard = self._shard_for(tenant, monitor_id)
+        return self._call(shard, "observe_stats", key[0], key[1], values)
+
+    def ingest(self, events: Iterable[Event]) -> List[ObserveResult]:
+        """Fan an interleaved event batch out as one message per shard.
+
+        Events for the same monitor keep their relative order inside their
+        shard's message, so each worker's ``MonitorHub.ingest`` sees exactly
+        the per-monitor sequences a single hub would have seen — detections
+        are bit-identical to the unsharded run.  Results aggregate in shard
+        order (within a shard, the worker hub's flush order).
+        """
+        per_shard: Dict[int, List[Event]] = {}
+        for tenant, monitor_id, payload in events:
+            key, shard = self._shard_for(tenant, monitor_id)
+            per_shard.setdefault(shard, []).append((key[0], key[1], payload))
+        if not per_shard:
+            return []
+        indices = sorted(per_shard)
+        replies = self._fan_out(
+            indices, [("ingest", (per_shard[index],)) for index in indices]
+        )
+        results: List[ObserveResult] = []
+        for reply in replies:
+            results.extend(reply)
+        return results
+
+    # ----------------------------------------------------------------- stats
+
+    def stats(
+        self, tenant: Optional[str] = None, monitor_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Aggregate counters across shards (or forward a per-monitor query).
+
+        The hub-wide aggregate keeps working on a degraded cluster: dead
+        shards are simply absent from the counter sums, and
+        ``n_alive_shards < n_shards`` reports the degradation (this is how an
+        operator *sees* a dead worker).  Per-monitor queries route to the
+        owning shard and raise :class:`ShardError` when it is down.
+        """
+        if monitor_id is not None and tenant is None:
+            raise ConfigurationError(
+                "per-monitor stats need the tenant as well as the monitor id"
+            )
+        if tenant is not None and monitor_id is not None:
+            key, shard = self._shard_for(tenant, monitor_id)
+            return self._call(shard, "stats", key[0], key[1])
+        shard_stats = self._broadcast("stats", tenant, None, tolerate_dead=True)
+        keys = [
+            key
+            for key in self._registry
+            if tenant is None or key[0] == str(tenant)
+        ]
+        return {
+            "n_monitors": len(keys),
+            "n_tenants": len({key[0] for key in keys}),
+            "n_events": sum(stats["n_events"] for stats in shard_stats),
+            "n_drifts": sum(stats["n_drifts"] for stats in shard_stats),
+            "n_warnings": sum(stats["n_warnings"] for stats in shard_stats),
+            "n_sink_failures": sum(
+                stats["n_sink_failures"] for stats in shard_stats
+            ),
+            "n_shards": self._n_shards,
+            "n_alive_shards": self._n_shards - len(self.dead_shards()),
+        }
+
+    @property
+    def n_events(self) -> int:
+        """Total values observed across all live shards (lifetime)."""
+        return sum(
+            stats["n_events"]
+            for stats in self._broadcast("stats", None, None, tolerate_dead=True)
+        )
+
+    def drain_alerts(self) -> Tuple[List[DriftAlert], int]:
+        """Drain every live shard's alert queue; return ``(alerts, n_dropped)``.
+
+        Alerts merge in shard order (emission order within a shard);
+        ``n_dropped`` is the lifetime count of alerts evicted from full
+        shard queues.  Draining is destructive, so a dead shard must never
+        abort the call — the surviving shards' alerts are returned (a strict
+        mode would throw them away *after* the workers had already drained
+        their queues).  A dead shard's undelivered alerts are gone with its
+        worker; its detections re-fire during the post-respawn replay.
+        """
+        alerts: List[DriftAlert] = []
+        n_dropped = 0
+        for shard_alerts, shard_dropped in self._broadcast(
+            "alerts", tolerate_dead=True
+        ):
+            alerts.extend(shard_alerts)
+            n_dropped += shard_dropped
+        return alerts, n_dropped
+
+    # ------------------------------------------------------- checkpointing
+
+    def checkpoint(self) -> Path:
+        """Checkpoint every shard, then write the cluster manifest.
+
+        Shards checkpoint concurrently (their own atomic
+        ``hub-checkpoint.json``); the manifest records the shard count, each
+        shard's composition hash and event count, and a cluster hash over
+        the ordered shard hashes.  The manifest is advisory metadata written
+        *after* the shard files — the shard checkpoints alone are sufficient
+        to resume, and a crash between the two leaves a stale-but-harmless
+        manifest (shard count is what resume validates).
+        """
+        if self._checkpoint_dir is None:
+            raise ConfigurationError(
+                "no checkpoint directory configured; pass one to ShardedHub()"
+            )
+        return self._write_manifest(self._broadcast("checkpoint"))
+
+    def _write_manifest(self, reports: List[Dict[str, Any]]) -> Path:
+        """Atomically record the cluster composition (also at construction,
+        so shard-count validation works for clusters that only ever
+        auto-checkpoint)."""
+        from repro.experiments.orchestrator import grid_config_hash
+
+        manifest = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "n_shards": self._n_shards,
+            "cluster_hash": grid_config_hash(
+                {"shards": [report["config_hash"] for report in reports]}
+            ),
+            "n_events": sum(report["n_events"] for report in reports),
+            "shards": [
+                {
+                    "index": index,
+                    "dir": _shard_dirname(index),
+                    "config_hash": report["config_hash"],
+                    "n_events": report["n_events"],
+                    "n_monitors": report["n_monitors"],
+                }
+                for index, report in enumerate(reports)
+            ],
+        }
+        self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        return atomic_write_json(self._checkpoint_dir / MANIFEST_FILENAME, manifest)
+
+    # ------------------------------------------------------ failure handling
+
+    def dead_shards(self) -> List[int]:
+        """Indices of shards whose worker process is no longer alive."""
+        return [
+            index
+            for index, process in enumerate(self._processes)
+            if process is not None and not process.is_alive()
+        ]
+
+    def respawn_shard(self, index: int) -> None:
+        """Restart a dead shard worker, resuming from its own checkpoint.
+
+        Everything that shard observed after its last checkpoint is gone —
+        per-monitor ``n_seen`` (via :meth:`stats`) tells producers where to
+        resume replay.  Monitors registered after the last checkpoint must be
+        re-registered (``exist_ok=True`` is idempotent for the survivors).
+        """
+        if self._closed:
+            # Spawning after close() would orphan a live worker nothing
+            # will ever stop (close() early-returns on re-entry).
+            raise ShardError("sharded hub is closed")
+        if not 0 <= index < self._n_shards:
+            raise ConfigurationError(f"no shard {index} in a {self._n_shards}-shard hub")
+        process = self._processes[index]
+        if process is not None and process.is_alive():
+            raise ConfigurationError(
+                f"shard {index} worker is still alive; it can only be "
+                "respawned after it died"
+            )
+        if process is not None:
+            process.join(timeout=5)
+        conn = self._conns[index]
+        if conn is not None:
+            conn.close()
+        logger.warning("respawning shard %d from its checkpoint", index)
+        self._spawn(index, resume=True)
+        self._adopt_shard_monitors(index)
+
+    def respawn_dead_shards(self) -> List[int]:
+        """Respawn every dead shard; return the indices that were restarted."""
+        dead = self.dead_shards()
+        for index in dead:
+            self.respawn_shard(index)
+        return dead
+
+    def worker_pid(self, index: int) -> Optional[int]:
+        """PID of a shard's worker process (``None`` before spawn)."""
+        process = self._processes[index]
+        return process.pid if process is not None else None

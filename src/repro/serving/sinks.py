@@ -10,9 +10,12 @@ detector fires → notification goes out):
   TCP server drains one of these for its ``alerts`` op);
 * :class:`JsonlAuditSink` — append one JSON object per alert to an audit log.
 
-Sinks must never raise out of :meth:`AlertSink.emit`; the hub treats a
-failing sink as a reporting problem, not a monitoring problem, and keeps the
-detector state authoritative.
+Sinks should never raise out of :meth:`AlertSink.emit` — and the hub
+*enforces* the contract: a raising sink is caught per delivery, counted in
+``MonitorHub.stats()["n_sink_failures"]``, and never aborts an ``observe``/
+``ingest`` flush, because the hub treats a failing sink as a reporting
+problem, not a monitoring problem, and keeps the detector state
+authoritative.
 """
 
 from __future__ import annotations
@@ -89,19 +92,36 @@ class CallbackSink(AlertSink):
 
 
 class QueueSink(AlertSink):
-    """Buffer alerts in memory, oldest first, for polling consumers."""
+    """Buffer alerts in memory, oldest first, for polling consumers.
+
+    With a ``maxlen``, a full queue evicts the *oldest* alert on every new
+    ``emit``.  Eviction is never silent: each dropped alert increments
+    :attr:`n_dropped`, so a consumer that polls too slowly can tell alerts
+    were lost (the TCP server reports the counter in its ``alerts`` response).
+    """
 
     def __init__(self, maxlen: Optional[int] = None) -> None:
         self._alerts: Deque[DriftAlert] = deque(maxlen=maxlen)
+        self._n_dropped = 0
 
     def emit(self, alert: DriftAlert) -> None:
+        if (
+            self._alerts.maxlen is not None
+            and len(self._alerts) == self._alerts.maxlen
+        ):
+            self._n_dropped += 1
         self._alerts.append(alert)
 
     def __len__(self) -> int:
         return len(self._alerts)
 
+    @property
+    def n_dropped(self) -> int:
+        """Lifetime count of alerts evicted because the queue was full."""
+        return self._n_dropped
+
     def drain(self) -> List[DriftAlert]:
-        """Return and clear all buffered alerts."""
+        """Return and clear all buffered alerts (:attr:`n_dropped` is kept)."""
         drained = list(self._alerts)
         self._alerts.clear()
         return drained

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Mapping, Type
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Type, Union
 
 from repro.core.base import SNAPSHOT_SCHEMA_VERSION, DriftDetector
 from repro.detectors import exported_detector_classes
@@ -38,6 +41,7 @@ __all__ = [
     "resolve_detector_class",
     "build_detector",
     "snapshot_json",
+    "atomic_write_json",
 ]
 
 #: Sentinel key marking an encoded non-finite float.
@@ -154,6 +158,38 @@ def restore_detector(snapshot: Mapping[str, Any]) -> DriftDetector:
         raise SnapshotError(f"snapshot config cannot rebuild {name}: {exc}") from exc
     detector.load_state_dict(payload)
     return detector
+
+
+def atomic_write_json(path: Union[str, Path], document: Any) -> Path:
+    """Write ``document`` as strict JSON to ``path`` atomically.
+
+    The write goes to a temp file in the target directory, is flushed and
+    ``fsync``-ed, then moved into place with ``os.replace`` — a crash mid-write
+    never corrupts a previous file at ``path``.  Shared by the hub checkpoint
+    and the sharded cluster manifest.
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=str(path.parent),
+        prefix=path.name + ".",
+        suffix=".tmp",
+        delete=False,
+        encoding="utf-8",
+    )
+    try:
+        with handle:
+            json.dump(document, handle, sort_keys=True, allow_nan=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def snapshot_json(detector: DriftDetector) -> str:

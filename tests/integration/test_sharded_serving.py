@@ -1,0 +1,360 @@
+"""Integration tests of the sharded serving layer.
+
+Three scenarios:
+
+* a 2-shard :class:`ShardedHub` fed an interleaved multi-tenant SEA error
+  stream produces detections bit-identical to one :class:`MonitorHub` fed
+  the same events;
+* SIGKILL of one shard worker mid-stream, respawn from the shard's own
+  checkpoint, per-monitor replay from ``n_seen`` — stitched drift positions
+  identical to an uninterrupted run (the ``kill -9`` guarantee);
+* the CLI server with ``--shards 2``: register/observe, SIGTERM (final
+  cluster checkpoint), restart, observe the rest — stitched detections
+  identical to uninterrupted in-process detectors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.exceptions import ShardError
+from repro.serving import MonitorHub, ShardedHub, build_detector
+from tests.integration.test_serving_server import (
+    _Client,
+    _DRIFT_POSITION,
+    _stop_server,
+    sea_error_stream,
+)
+
+#: Multi-tenant fleet over the SEA error stream; ids picked so two shards
+#: both host monitors (asserted in each test).
+MONITORS = [
+    ("acme", "checkout", "OPTWIN"),
+    ("acme", "search", "DDM"),
+    ("globex", "fraud", "ECDD"),
+    ("globex", "payments", "DDM"),
+]
+
+
+def _register_fleet(hub):
+    for tenant, monitor_id, detector in MONITORS:
+        hub.register(
+            tenant,
+            monitor_id,
+            detector,
+            {"w_max": 2000} if detector == "OPTWIN" else None,
+        )
+
+
+def _interleaved_events(errors, start, stop, chunk=125):
+    events = []
+    for offset in range(start, stop, chunk):
+        for tenant, monitor_id, _ in MONITORS:
+            events.append((tenant, monitor_id, errors[offset : offset + chunk]))
+    return events
+
+
+def _uninterrupted_drifts(errors):
+    expected = {}
+    for tenant, monitor_id, detector in MONITORS:
+        reference = build_detector(
+            detector, {"w_max": 2000} if detector == "OPTWIN" else None
+        )
+        expected[(tenant, monitor_id)] = reference.update_batch(
+            list(errors)
+        ).drift_indices
+    return expected
+
+
+def test_sharded_sea_stream_bit_identical_to_single_hub():
+    errors = sea_error_stream()
+    single = MonitorHub()
+    _register_fleet(single)
+    collected_single = {}
+    for outcome in single.ingest(_interleaved_events(errors, 0, len(errors))):
+        collected_single.setdefault(
+            (outcome.tenant, outcome.monitor_id), []
+        ).extend(outcome.drift_positions)
+
+    with ShardedHub(2) as sharded:
+        _register_fleet(sharded)
+        assert {sharded.shard_of(t, m) for t, m, _ in MONITORS} == {0, 1}
+        collected = {}
+        for outcome in sharded.ingest(_interleaved_events(errors, 0, len(errors))):
+            collected.setdefault(
+                (outcome.tenant, outcome.monitor_id), []
+            ).extend(outcome.drift_positions)
+
+    assert collected == collected_single
+    # The injected drift was caught by the OPTWIN monitor.
+    assert any(
+        _DRIFT_POSITION <= position <= _DRIFT_POSITION + 800
+        for position in collected[("acme", "checkout")]
+    )
+
+
+def test_sigkill_one_shard_then_respawn_resumes_bit_exactly(tmp_path):
+    """The kill -9 guarantee, end to end.
+
+    Phase A is checkpointed; phase B happens after the checkpoint; then one
+    shard worker is SIGKILLed.  The dead shard rolls back to the checkpoint
+    (phase B lost), the surviving shard keeps its phase-B state.  Producers
+    replay each monitor from its reported ``n_seen``, and the stitched drift
+    positions must equal an uninterrupted run for *every* monitor.
+    """
+    errors = sea_error_stream()
+    # Checkpoint after A; kill after B.  Both splits are multiples of the
+    # 125-element ingest chunk so phase boundaries align with event bounds.
+    split_a, split_b = 1000, 1500
+    expected = _uninterrupted_drifts(errors)
+
+    hub = ShardedHub(2, checkpoint_dir=tmp_path)
+    try:
+        _register_fleet(hub)
+        shards = {(t, m): hub.shard_of(t, m) for t, m, _ in MONITORS}
+        assert set(shards.values()) == {0, 1}
+
+        detections = {key: [] for key in shards}
+        for outcome in hub.ingest(_interleaved_events(errors, 0, split_a)):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        hub.checkpoint()
+
+        # Phase B: events the killed shard will lose.
+        phase_b = {key: [] for key in shards}
+        for outcome in hub.ingest(_interleaved_events(errors, split_a, split_b)):
+            phase_b[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+
+        killed = shards[("acme", "checkout")]
+        os.kill(hub.worker_pid(killed), signal.SIGKILL)
+        deadline = time.time() + 10
+        while hub.dead_shards() != [killed] and time.time() < deadline:
+            time.sleep(0.05)
+        assert hub.dead_shards() == [killed]
+
+        # Touching the dead shard raises; the survivor keeps serving.
+        with pytest.raises(ShardError):
+            hub.observe("acme", "checkout", errors[split_b : split_b + 1])
+        survivor_key = next(key for key, shard in shards.items() if shard != killed)
+        assert hub.stats(*survivor_key)["n_seen"] == split_b
+        # Degraded-cluster reads keep working: the hub-wide aggregate reports
+        # the dead shard instead of raising, and draining alerts returns the
+        # survivors' queues instead of throwing them away.
+        degraded = hub.stats()
+        assert degraded["n_alive_shards"] == 1
+        assert degraded["n_shards"] == 2
+        # (The surviving shard's monitors may not have alerted yet — the
+        # guarantee is that the call succeeds and only returns their alerts.)
+        survivor_alerts, _ = hub.drain_alerts()
+        assert {(a.tenant, a.monitor_id) for a in survivor_alerts} <= {
+            key for key, shard in shards.items() if shard != killed
+        }
+
+        # Phase-B detections of surviving monitors are real; the killed
+        # shard's phase-B state rolled back to the checkpoint.
+        for key, shard in shards.items():
+            if shard != killed:
+                detections[key].extend(phase_b[key])
+
+        assert hub.respawn_dead_shards() == [killed]
+        assert hub.dead_shards() == []
+        assert len(hub) == len(MONITORS)
+
+        # Replay every monitor from its own n_seen (checkpoint offset for the
+        # killed shard, split_b for survivors), then finish the stream.
+        for tenant, monitor_id, _ in MONITORS:
+            key = (tenant, monitor_id)
+            n_seen = hub.stats(tenant, monitor_id)["n_seen"]
+            assert n_seen == (split_a if shards[key] == killed else split_b)
+            outcome = hub.observe(tenant, monitor_id, errors[n_seen:])
+            detections[key].extend(outcome.drift_positions)
+
+        assert detections == expected
+    finally:
+        hub.close()
+
+
+def test_server_ingest_op_spans_shards():
+    """One ``ingest`` request fans an interleaved batch across both shards
+    and reports per-monitor results identical to a single hub."""
+    import asyncio
+
+    from repro.serving import ServingServer
+
+    errors = sea_error_stream()
+    single = MonitorHub()
+    _register_fleet(single)
+    expected = {}
+    for outcome in single.ingest(_interleaved_events(errors, 0, len(errors))):
+        expected.setdefault((outcome.tenant, outcome.monitor_id), []).extend(
+            outcome.drift_positions
+        )
+
+    async def scenario():
+        hub = ShardedHub(2)
+        server = ServingServer(hub, port=0)
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+
+            async def rpc(request):
+                writer.write((json.dumps(request) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            for tenant, monitor_id, detector in MONITORS:
+                response = await rpc(
+                    {
+                        "op": "register",
+                        "tenant": tenant,
+                        "monitor": monitor_id,
+                        "detector": detector,
+                        "params": {"w_max": 2000} if detector == "OPTWIN" else None,
+                    }
+                )
+                assert response["ok"], response
+
+            collected = {}
+            for start in range(0, len(errors), 500):
+                events = [
+                    [tenant, monitor_id, errors[start : start + 500]]
+                    for tenant, monitor_id, _ in MONITORS
+                ]
+                response = await rpc({"op": "ingest", "events": events})
+                assert response["ok"], response
+                for result in response["results"]:
+                    collected.setdefault(
+                        (result["tenant"], result["monitor"]), []
+                    ).extend(result["drifts"])
+
+            # Malformed batches are rejected without killing the connection.
+            assert not (await rpc({"op": "ingest", "events": []}))["ok"]
+            assert not (await rpc({"op": "ingest", "events": [["t", "m"]]}))["ok"]
+            assert (await rpc({"op": "ping"}))["ok"]
+
+            writer.close()
+            await server.stop()
+            return collected
+        finally:
+            hub.close()
+
+    assert asyncio.run(scenario()) == expected
+
+
+def _start_sharded_server(checkpoint_dir, n_shards=2):
+    import subprocess
+    import sys
+    from tests.integration.test_serving_server import REPO_ROOT
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serving",
+            "--port",
+            "0",
+            "--shards",
+            str(n_shards),
+            "--checkpoint-dir",
+            str(checkpoint_dir),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    ready = process.stdout.readline()
+    assert ready.startswith("READY "), f"unexpected startup line: {ready!r}"
+    fields = dict(part.split("=") for part in ready.split()[1:])
+    assert fields["shards"] == str(n_shards)
+    return process, int(fields["port"]), fields
+
+
+def test_cli_sharded_server_restart_from_cluster_checkpoint(tmp_path):
+    errors = sea_error_stream()
+    split = 1200  # stop the first server before the injected drift
+    expected = _uninterrupted_drifts(errors)
+
+    process, port, _ = _start_sharded_server(tmp_path)
+    try:
+        client = _Client(port)
+        first_half = {}
+        for tenant, monitor_id, detector in MONITORS:
+            response = client.rpc(
+                {
+                    "op": "register",
+                    "tenant": tenant,
+                    "monitor": monitor_id,
+                    "detector": detector,
+                    "params": {"w_max": 2000} if detector == "OPTWIN" else None,
+                }
+            )
+            assert response["ok"], response
+        for tenant, monitor_id, _ in MONITORS:
+            response = client.rpc(
+                {
+                    "op": "observe",
+                    "tenant": tenant,
+                    "monitor": monitor_id,
+                    "values": errors[:split],
+                }
+            )
+            assert response["ok"], response
+            first_half[(tenant, monitor_id)] = response
+        stats = client.rpc({"op": "stats"})["stats"]
+        assert stats["n_shards"] == 2 and stats["n_alive_shards"] == 2
+        client.close()
+    finally:
+        _stop_server(process)
+
+    # SIGTERM wrote the cluster checkpoint: manifest + one dir per shard.
+    manifest = json.loads((tmp_path / "cluster-manifest.json").read_text())
+    assert manifest["n_shards"] == 2
+    assert (tmp_path / "shard-00" / "hub-checkpoint.json").is_file()
+    assert (tmp_path / "shard-01" / "hub-checkpoint.json").is_file()
+
+    process, port, fields = _start_sharded_server(tmp_path)
+    try:
+        assert fields["monitors"] == str(len(MONITORS))
+        client = _Client(port)
+        # Idempotent re-register of a resumed monitor.
+        response = client.rpc(
+            {
+                "op": "register",
+                "tenant": "acme",
+                "monitor": "search",
+                "detector": "DDM",
+                "exist_ok": True,
+            }
+        )
+        assert response["ok"] and response["n_seen"] == split
+
+        for tenant, monitor_id, _ in MONITORS:
+            response = client.rpc(
+                {
+                    "op": "observe",
+                    "tenant": tenant,
+                    "monitor": monitor_id,
+                    "values": errors[split:],
+                }
+            )
+            assert response["ok"], response
+            stitched = first_half[(tenant, monitor_id)]["drifts"] + response["drifts"]
+            assert stitched == expected[(tenant, monitor_id)], (tenant, monitor_id)
+        alerts = client.rpc({"op": "alerts"})
+        assert any(alert["kind"] == "drift" for alert in alerts["alerts"])
+        assert alerts["n_dropped"] == 0
+        client.close()
+    finally:
+        _stop_server(process)

@@ -1,0 +1,68 @@
+"""Registry-driven pickle round-trip suite.
+
+Detectors cross process boundaries in the sharded serving layer (registry
+messages to shard workers, ``ProcessPoolExecutor`` fan-outs), so
+``DriftDetector.__reduce__`` routes pickling through the bit-exact
+``state_dict`` snapshot contract.  For every exported detector class the
+tests pickle mid-stream — including inside warning zones — and assert the
+unpickled instance continues *bit-identically* in both scalar and batch
+mode.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.detectors import Optwin, exported_detector_classes
+from repro.streams.error_streams import BinarySegment, binary_error_stream
+
+DETECTOR_CLASSES = exported_detector_classes()
+
+_SEGMENTS = [
+    BinarySegment(400, 0.05),
+    BinarySegment(300, 0.55),
+    BinarySegment(300, 0.15),
+    BinarySegment(400, 0.65),
+]
+
+#: Pickle offsets: early (window filling), mid-stream, just past the first
+#: drift boundary.
+_OFFSETS = (37, 450, 750)
+
+
+def _stream_values():
+    return binary_error_stream(_SEGMENTS, seed=11).values
+
+
+@pytest.mark.parametrize("cls", DETECTOR_CLASSES, ids=lambda c: c.__name__)
+@pytest.mark.parametrize("offset", _OFFSETS)
+def test_pickle_roundtrip_continues_bit_exactly(cls, offset):
+    values = _stream_values()
+    uninterrupted = cls()
+    full = uninterrupted.update_batch(values)
+
+    original = cls()
+    original.update_batch(values[:offset])
+    clone = pickle.loads(pickle.dumps(original))
+
+    assert type(clone) is cls
+    assert clone.n_seen == original.n_seen
+    assert clone.n_drifts == original.n_drifts
+    assert clone.n_warnings == original.n_warnings
+
+    tail = clone.update_batch(values[offset:])
+    stitched_drifts = original.update_batch(values[offset:]).drift_indices
+    assert tail.drift_indices == stitched_drifts
+    # Stitched head + tail equals the uninterrupted run.
+    head_drifts = [index for index in full.drift_indices if index < offset]
+    assert head_drifts + [offset + index for index in tail.drift_indices] == (
+        full.drift_indices
+    )
+
+
+def test_pickle_preserves_configuration():
+    detector = Optwin(w_max=2000, rho=0.6)
+    clone = pickle.loads(pickle.dumps(detector))
+    assert clone._config_dict() == detector._config_dict()

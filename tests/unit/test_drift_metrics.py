@@ -1,9 +1,13 @@
 """Unit tests for drift-detection scoring."""
 
+import random
+from typing import List, Optional, Tuple
+
 import pytest
 
 from repro.evaluation.drift_metrics import (
     DriftEvaluation,
+    DriftMatch,
     evaluate_detections,
     micro_average,
 )
@@ -123,3 +127,82 @@ def test_empty_evaluation_defaults():
     assert evaluation.precision == 1.0
     assert evaluation.recall == 1.0
     assert evaluation.mean_delay == 0.0
+
+
+# ------------------------------------------------- two-pointer equivalence
+
+
+def _reference_match(
+    drifts: List[int],
+    flagged: List[int],
+    stream_length: int,
+    max_delay: Optional[int],
+) -> List[DriftMatch]:
+    """The pre-optimization matching loop, kept verbatim as the oracle.
+
+    Rescans the full detection list for every acceptance window with a
+    ``used_detections`` set — O(drifts x detections) — which is what the
+    single-pass two-pointer in ``evaluate_detections`` replaced.
+    """
+    windows: List[Tuple[int, int]] = []
+    for index, position in enumerate(drifts):
+        end = drifts[index + 1] if index + 1 < len(drifts) else stream_length
+        if max_delay is not None:
+            end = min(end, position + max_delay)
+        windows.append((position, end))
+
+    matches: List[DriftMatch] = []
+    used_detections = set()
+    for position, end in windows:
+        matched: Optional[int] = None
+        for detection in flagged:
+            if detection in used_detections:
+                continue
+            if position <= detection < end:
+                matched = detection
+                used_detections.add(detection)
+                break
+            if detection >= end:
+                break
+        if matched is None:
+            matches.append(DriftMatch(position, None, None))
+        else:
+            matches.append(DriftMatch(position, matched, matched - position))
+    return matches
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_two_pointer_matches_reference_randomized(seed):
+    """Randomized cross-check: new matcher == old quadratic matcher.
+
+    Random drift layouts and detection lists (duplicates, bursts before /
+    inside / after windows, empty lists, random ``max_delay`` caps) must
+    produce identical per-drift matches and identical TP/FP/FN/delay counts.
+    """
+    rng = random.Random(seed)
+    for _ in range(40):
+        stream_length = rng.randrange(1, 400)
+        n_drifts = rng.randrange(0, 8)
+        drifts = sorted(rng.randrange(0, stream_length + 1) for _ in range(n_drifts))
+        n_detections = rng.randrange(0, 15)
+        detections = [
+            rng.randrange(0, stream_length + 1) for _ in range(n_detections)
+        ]
+        if detections and rng.random() < 0.5:  # force duplicates sometimes
+            detections.append(rng.choice(detections))
+        max_delay = rng.choice([None, rng.randrange(1, 80)])
+
+        evaluation = evaluate_detections(
+            drifts, detections, stream_length, max_delay=max_delay
+        )
+        expected = _reference_match(
+            sorted(drifts), sorted(detections), stream_length, max_delay
+        )
+        assert evaluation.matches == expected
+        expected_tp = sum(1 for match in expected if match.detected)
+        assert evaluation.true_positives == expected_tp
+        assert evaluation.false_negatives == len(expected) - expected_tp
+        assert evaluation.false_positives == len(detections) - expected_tp
+        assert evaluation.delays == [
+            match.delay for match in expected if match.delay is not None
+        ]

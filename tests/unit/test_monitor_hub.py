@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.detectors import Ddm
@@ -164,6 +165,115 @@ def test_warning_zone_continues_across_chunks():
     second_alerts = queue.drain()
     # The continuation of the same zone must not re-alert at position split.
     assert all(a.position != split or a.kind == "drift" for a in second_alerts)
+
+
+def test_raising_sink_never_aborts_ingest():
+    """The documented sink contract: a raising sink is a reporting problem.
+
+    Detector state must stay authoritative — identical to a hub without any
+    sink — the flush must complete, sinks after the raising one must still be
+    delivered to, and the failures must be counted in ``stats()``.
+    """
+
+    def explode(alert):
+        raise RuntimeError("notification backend is down")
+
+    queue = QueueSink()
+    hub = MonitorHub(sinks=[CallbackSink(explode), queue])
+    hub.register("t", "m", "DDM")
+    reference = MonitorHub()
+    reference.register("t", "m", "DDM")
+
+    # Neither observe nor ingest may raise.
+    outcome = hub.observe("t", "m", VALUES[:600])
+    hub.ingest([("t", "m", VALUES[600:])])
+    expected_head = reference.observe("t", "m", VALUES[:600])
+    expected_tail = reference.ingest([("t", "m", VALUES[600:])])[0]
+
+    # Detector state is bit-identical to the sink-less hub.
+    assert outcome.batch.drift_indices == expected_head.batch.drift_indices
+    assert (
+        hub.detector("t", "m").n_seen == reference.detector("t", "m").n_seen == len(VALUES)
+    )
+    assert hub.detector("t", "m").n_drifts == reference.detector("t", "m").n_drifts
+
+    # Sinks after the raising one still received every alert.
+    good_alerts = queue.drain()
+    assert [a.position for a in good_alerts if a.kind == "drift"] == (
+        expected_head.drift_positions + expected_tail.drift_positions
+    )
+
+    # Every failed delivery was counted.
+    assert hub.n_sink_failures == len(good_alerts)
+    assert hub.stats()["n_sink_failures"] == len(good_alerts)
+    assert hub.stats()["n_sink_failures"] > 0
+
+
+@pytest.mark.parametrize(
+    "scalar",
+    [
+        np.int64(1),
+        np.int32(0),
+        np.float32(1.0),
+        np.float64(0.0),
+        np.array(1.0),
+        # np.bool_ registers in no numbers ABC — yet it is exactly what
+        # the idiomatic producer `y_pred != y_true` emits on numpy scalars.
+        np.bool_(True),
+    ],
+    ids=["int64", "int32", "float32", "float64", "0d-array", "bool_"],
+)
+def test_observe_and_ingest_accept_numpy_scalars(scalar):
+    """numpy scalars are ``numbers.Real`` but not ``int``/``float`` — they
+    used to bypass the scalar branches and crash ``np.fromiter`` on a 0-d
+    value."""
+    hub = MonitorHub()
+    hub.register("t", "m", "DDM")
+    outcome = hub.observe("t", "m", scalar)
+    assert outcome.n_processed == 1
+    results = hub.ingest(
+        [("t", "m", scalar), ("t", "m", [0.0, 1.0]), ("t", "m", scalar)]
+    )
+    assert results[0].n_processed == 4
+    assert hub.detector("t", "m").n_seen == 5
+
+
+def test_numpy_scalar_stream_matches_python_floats():
+    """A numpy-typed event stream produces bit-identical detections."""
+    hub_np = MonitorHub()
+    hub_np.register("t", "m", "DDM")
+    hub_py = MonitorHub()
+    hub_py.register("t", "m", "DDM")
+
+    np_events = [("t", "m", np.float64(v) if i % 2 else np.int64(int(v)))
+                 for i, v in enumerate(VALUES[:400])]
+    py_events = [("t", "m", float(v)) for v in VALUES[:400]]
+    got = hub_np.ingest(np_events)[0]
+    expected = hub_py.ingest(py_events)[0]
+    assert got.batch.drift_indices == expected.batch.drift_indices
+    assert got.batch.warning_indices == expected.batch.warning_indices
+
+
+def test_queue_sink_counts_dropped_alerts():
+    """A bounded QueueSink evicts oldest-first but never silently: every
+    eviction increments ``n_dropped``, and the counter survives ``drain()``."""
+    unbounded = QueueSink()
+    bounded = QueueSink(maxlen=5)
+    hub = MonitorHub(sinks=[unbounded, bounded])
+    hub.register("t", "m", "DDM")
+    hub.observe("t", "m", VALUES)
+
+    all_alerts = unbounded.drain()
+    assert len(all_alerts) > 5  # the stream produces more transitions than maxlen
+    assert unbounded.n_dropped == 0
+
+    assert len(bounded) == 5
+    assert bounded.n_dropped == len(all_alerts) - 5
+    # The newest five alerts survive, the oldest were evicted.
+    kept = bounded.drain()
+    assert [a.to_dict() for a in kept] == [a.to_dict() for a in all_alerts[-5:]]
+    # n_dropped is a lifetime counter: drain() does not reset it.
+    assert bounded.n_dropped == len(all_alerts) - 5
 
 
 def test_jsonl_audit_sink(tmp_path):

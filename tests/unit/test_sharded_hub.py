@@ -1,0 +1,470 @@
+"""Unit tests for :class:`repro.serving.sharded.ShardedHub`.
+
+The suite runs real worker processes (2 shards, small streams) — routing
+determinism, bit-identical detections versus a single-process
+:class:`MonitorHub`, manifest/resume semantics, and failure paths.  The
+SIGKILL/respawn integration lives in
+``tests/integration/test_sharded_serving.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.detectors import Ddm
+from repro.exceptions import ConfigurationError, ShardError, SnapshotError
+from repro.serving import (
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA_VERSION,
+    MonitorHub,
+    ShardedHub,
+    route_shard,
+)
+from repro.streams.error_streams import BinarySegment, binary_error_stream
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+VALUES = binary_error_stream(
+    [BinarySegment(500, 0.1), BinarySegment(500, 0.65)], seed=7
+).values
+
+#: Multi-tenant fleet: mixed detectors, ids chosen so 2 shards both get keys.
+MONITORS = [
+    ("acme", "checkout", "DDM", None),
+    ("acme", "search", "OPTWIN", {"w_max": 2000}),
+    ("globex", "fraud", "ECDD", None),
+    ("globex", "payments", "DDM", None),
+    ("initech", "latency", "DDM", None),
+]
+
+
+def _interleaved_events(values, chunk=3):
+    events = []
+    for start in range(0, 600, chunk):
+        for tenant, monitor_id, _, _ in MONITORS:
+            events.append((tenant, monitor_id, values[start : start + chunk]))
+    return events
+
+
+@pytest.fixture
+def sharded(tmp_path):
+    hub = ShardedHub(2, checkpoint_dir=tmp_path)
+    try:
+        yield hub
+    finally:
+        hub.close()
+
+
+def _register_fleet(hub):
+    for tenant, monitor_id, detector, params in MONITORS:
+        hub.register(tenant, monitor_id, detector, params)
+
+
+# ----------------------------------------------------------------- routing
+
+
+def test_route_shard_is_deterministic_and_covers_shards():
+    first = [route_shard(f"tenant-{i}", f"monitor-{i}", 4) for i in range(200)]
+    second = [route_shard(f"tenant-{i}", f"monitor-{i}", 4) for i in range(200)]
+    assert first == second
+    assert set(first) == {0, 1, 2, 3}
+    assert all(0 <= shard < 4 for shard in first)
+    # The key components are delimited: ("a", "b/c") != ("a/b", "c").
+    assert isinstance(route_shard("a", "b/c", 2), int)
+
+
+def test_route_shard_stable_across_processes():
+    """The routing hash must not depend on interpreter hash randomization."""
+    keys = [("acme", "checkout"), ("globex", "fraud"), ("t", "m")]
+    local = [route_shard(tenant, monitor, 8) for tenant, monitor in keys]
+    script = (
+        "from repro.serving.sharded import route_shard;"
+        f"print([route_shard(t, m, 8) for t, m in {keys!r}])"
+    )
+    import os
+
+    for seed in ("0", "1", "random"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        env["PYTHONHASHSEED"] = seed
+        output = subprocess.check_output(
+            [sys.executable, "-c", script], env=env, text=True
+        )
+        assert json.loads(output) == local
+
+
+def test_route_shard_rejects_bad_shard_count():
+    with pytest.raises(ConfigurationError):
+        route_shard("t", "m", 0)
+
+
+def test_monitors_distribute_across_both_shards(sharded):
+    _register_fleet(sharded)
+    shards = {sharded.shard_of(t, m) for t, m, _, _ in MONITORS}
+    assert shards == {0, 1}
+    assert len(sharded) == len(MONITORS)
+    assert ("acme", "checkout") in sharded
+    listed = {(t, m): s for t, m, s in sharded.monitor_keys()}
+    assert listed[("acme", "checkout")] == sharded.shard_of("acme", "checkout")
+
+
+# ------------------------------------------------- single-hub equivalence
+
+
+def test_sharded_ingest_bit_identical_to_single_hub(sharded):
+    _register_fleet(sharded)
+    single = MonitorHub()
+    _register_fleet(single)
+
+    events = _interleaved_events(VALUES)
+    sharded_results = sharded.ingest(events)
+    single_results = single.ingest(events)
+
+    by_key = lambda results: {
+        (r.tenant, r.monitor_id): (
+            r.offset,
+            r.batch.drift_indices,
+            r.batch.warning_indices,
+        )
+        for r in results
+    }
+    assert by_key(sharded_results) == by_key(single_results)
+
+    # observe() routes through the same worker state.
+    tail_sharded = sharded.observe("acme", "checkout", VALUES[600:])
+    tail_single = single.observe("acme", "checkout", VALUES[600:])
+    assert tail_sharded.offset == tail_single.offset == 600
+    assert tail_sharded.drift_positions == tail_single.drift_positions
+
+
+def test_sharded_alerts_match_single_hub(sharded):
+    from repro.serving import QueueSink
+
+    _register_fleet(sharded)
+    queue = QueueSink()
+    single = MonitorHub(sinks=[queue])
+    _register_fleet(single)
+
+    events = _interleaved_events(VALUES)
+    sharded.ingest(events)
+    single.ingest(events)
+
+    sharded_alerts, n_dropped = sharded.drain_alerts()
+    assert n_dropped == 0
+    key = lambda alerts: sorted(
+        (a.tenant, a.monitor_id, a.kind, a.position, a.n_drifts) for a in alerts
+    )
+    assert key(sharded_alerts) == key(queue.drain())
+
+
+def test_sharded_stats_aggregate(sharded):
+    _register_fleet(sharded)
+    single = MonitorHub()
+    _register_fleet(single)
+    events = _interleaved_events(VALUES)
+    sharded.ingest(events)
+    single.ingest(events)
+
+    expected = single.stats()
+    got = sharded.stats()
+    for field in ("n_monitors", "n_tenants", "n_events", "n_drifts", "n_warnings"):
+        assert got[field] == expected[field], field
+    assert got["n_shards"] == 2
+    assert got["n_alive_shards"] == 2
+    assert sharded.n_events == single.n_events
+
+    per_tenant = sharded.stats("acme")
+    assert per_tenant["n_monitors"] == 2
+    assert per_tenant["n_tenants"] == 1
+
+    per_monitor = sharded.stats("acme", "checkout")
+    single_monitor = single.stats("acme", "checkout")
+    assert per_monitor == single_monitor
+
+
+# ------------------------------------------------------------ registration
+
+
+def test_register_semantics_through_pipes(sharded):
+    info = sharded.register("t", "m", "DDM")
+    assert info == {"detector": "Ddm", "n_seen": 0}
+    with pytest.raises(ConfigurationError):
+        sharded.register("t", "m", "DDM")
+    assert sharded.register("t", "m", "DDM", exist_ok=True)["detector"] == "Ddm"
+    with pytest.raises(ConfigurationError):
+        sharded.register("t", "m", "ADWIN", exist_ok=True)
+    with pytest.raises(ConfigurationError):
+        sharded.register("t", "m2", "NOT_A_DETECTOR")
+    with pytest.raises(ConfigurationError):
+        sharded.observe("t", "ghost", [1.0])
+    with pytest.raises(ConfigurationError):
+        sharded.ingest([("t", "ghost", 1.0)])
+    # Failed registrations must not pollute the parent registry.
+    assert ("t", "m2") not in sharded
+    assert len(sharded) == 1
+
+
+def test_register_ships_detector_instance_bit_exactly(sharded):
+    """A pre-positioned detector instance crosses the pipe via the snapshot
+    pickle and continues exactly where it stopped."""
+    reference = Ddm()
+    reference.update_batch(VALUES[:300])
+    shipped = Ddm()
+    shipped.update_batch(VALUES[:300])
+
+    info = sharded.register("t", "warm", shipped)
+    assert info == {"detector": "Ddm", "n_seen": 300}
+    outcome = sharded.observe("t", "warm", VALUES[300:])
+    expected = reference.update_batch(VALUES[300:])
+    assert outcome.offset == 300
+    assert outcome.batch.drift_indices == expected.drift_indices
+
+
+# ----------------------------------------------------------- checkpointing
+
+
+def test_checkpoint_writes_manifest_and_shard_files(sharded, tmp_path):
+    _register_fleet(sharded)
+    sharded.ingest(_interleaved_events(VALUES))
+    manifest_path = sharded.checkpoint()
+
+    assert manifest_path == tmp_path / MANIFEST_FILENAME
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+    assert manifest["n_shards"] == 2
+    assert len(manifest["shards"]) == 2
+    assert manifest["n_events"] == 600 * len(MONITORS)
+    for shard in manifest["shards"]:
+        shard_checkpoint = tmp_path / shard["dir"] / "hub-checkpoint.json"
+        assert shard_checkpoint.is_file()
+        document = json.loads(shard_checkpoint.read_text())
+        assert document["config_hash"] == shard["config_hash"]
+    assert manifest["cluster_hash"]
+
+
+def test_resume_is_bit_exact(tmp_path):
+    with ShardedHub(2, checkpoint_dir=tmp_path) as hub:
+        _register_fleet(hub)
+        hub.ingest(_interleaved_events(VALUES))
+        hub.checkpoint()
+        expected = {
+            (t, m): hub.observe(t, m, VALUES[600:]).drift_positions
+            for t, m, _, _ in MONITORS
+        }
+
+    with ShardedHub(2, checkpoint_dir=tmp_path) as resumed:
+        assert len(resumed) == len(MONITORS)
+        assert resumed.n_events == 600 * len(MONITORS)
+        for t, m, _, _ in MONITORS:
+            assert resumed.stats(t, m)["n_seen"] == 600
+            assert resumed.observe(t, m, VALUES[600:]).drift_positions == (
+                expected[(t, m)]
+            )
+
+
+def test_shard_count_change_is_rejected(tmp_path):
+    with ShardedHub(2, checkpoint_dir=tmp_path) as hub:
+        _register_fleet(hub)
+        hub.checkpoint()
+    with pytest.raises(SnapshotError, match="2-shard"):
+        ShardedHub(3, checkpoint_dir=tmp_path)
+    # resume=False starts fresh regardless.
+    with ShardedHub(3, checkpoint_dir=tmp_path, resume=False) as fresh:
+        assert len(fresh) == 0
+
+
+def test_manifest_written_at_construction_guards_auto_checkpoint_clusters(
+    tmp_path,
+):
+    """A cluster that only ever auto-checkpoints still gets a manifest.
+
+    Per-shard ``checkpoint_every`` checkpoints never write the manifest, and
+    without one a *divisor* reshard (4 → 2) would pass the routing check
+    (``digest % 4 in {0, 1}`` implies the same ``digest % 2``) and silently
+    drop the other shards' monitors.  The constructor-written manifest makes
+    the shard-count guard fire instead.
+    """
+    manifest_path = tmp_path / MANIFEST_FILENAME
+    with ShardedHub(4, checkpoint_dir=tmp_path, checkpoint_every=50) as hub:
+        # Manifest exists before any explicit checkpoint() call.
+        assert manifest_path.is_file()
+        assert json.loads(manifest_path.read_text())["n_shards"] == 4
+        _register_fleet(hub)
+        hub.ingest(_interleaved_events(VALUES))  # crosses checkpoint_every
+        n_registered = len(hub)
+    # Auto-checkpoints produced shard files; no explicit checkpoint() ran.
+    assert any(
+        (tmp_path / f"shard-{i:02d}" / "hub-checkpoint.json").is_file()
+        for i in range(4)
+    )
+    with pytest.raises(SnapshotError, match="4-shard"):
+        ShardedHub(2, checkpoint_dir=tmp_path)
+    # The matching shard count still resumes every monitor.
+    with ShardedHub(4, checkpoint_dir=tmp_path) as resumed:
+        assert len(resumed) == n_registered
+
+
+def test_misassembled_shard_directories_are_rejected(tmp_path):
+    """Shard checkpoints that do not route to their directory's index mean
+    the directory tree was put together from a different cluster layout."""
+    import multiprocessing
+
+    with ShardedHub(2, checkpoint_dir=tmp_path) as hub:
+        _register_fleet(hub)
+        hub.checkpoint()
+    shard0 = tmp_path / "shard-00" / "hub-checkpoint.json"
+    shard1 = tmp_path / "shard-01" / "hub-checkpoint.json"
+    text0, text1 = shard0.read_text(), shard1.read_text()
+    shard0.write_text(text1)
+    shard1.write_text(text0)
+    with pytest.raises(SnapshotError, match="routes to shard"):
+        ShardedHub(2, checkpoint_dir=tmp_path)
+    # The failed constructor cleaned up after itself: no orphaned workers.
+    leaked = [
+        child
+        for child in multiprocessing.active_children()
+        if child.name.startswith("repro-shard-")
+    ]
+    assert leaked == []
+
+
+def test_checkpoint_requires_directory():
+    with ShardedHub(2) as hub:
+        hub.register("t", "m", "DDM")
+        with pytest.raises(ConfigurationError):
+            hub.checkpoint()
+
+
+def test_checkpoint_every_requires_directory():
+    with pytest.raises(ConfigurationError):
+        ShardedHub(2, checkpoint_every=100)
+
+
+def test_invalid_shard_count():
+    with pytest.raises(ConfigurationError):
+        ShardedHub(0)
+
+
+def test_unpicklable_payload_does_not_desync_pipes(sharded):
+    """A payload the pickler rejects is a caller error, not a dead shard.
+
+    The fan-out must still drain the shards that already received their
+    message — otherwise their pending replies would be handed to the next
+    unrelated request and every later op would return garbage.
+    """
+    _register_fleet(sharded)
+    ordered = sorted(
+        MONITORS, key=lambda spec: sharded.shard_of(spec[0], spec[1])
+    )
+    first, last = ordered[0], ordered[-1]
+    assert sharded.shard_of(first[0], first[1]) != sharded.shard_of(last[0], last[1])
+
+    with pytest.raises(TypeError):
+        sharded.ingest(
+            [
+                (first[0], first[1], [1.0, 0.0]),
+                # Generators work on MonitorHub (np.fromiter) but cannot
+                # cross a process boundary.
+                (last[0], last[1], (v for v in [1.0, 0.0])),
+            ]
+        )
+
+    # Both shards still answer correctly-typed replies afterwards.
+    stats = sharded.stats()
+    assert stats["n_alive_shards"] == 2
+    outcome = sharded.observe(first[0], first[1], [1.0])
+    assert outcome.tenant == first[0] and outcome.monitor_id == first[1]
+    outcome = sharded.observe(last[0], last[1], [1.0])
+    assert outcome.monitor_id == last[1]
+
+
+def test_request_timeout_kills_hung_worker(tmp_path):
+    """A wedged (SIGSTOPped) worker is alive but unresponsive; with a
+    request timeout it is killed — becoming a normal dead shard the respawn
+    machinery recovers from its checkpoint."""
+    import os
+    import signal as signal_module
+
+    hub = ShardedHub(2, checkpoint_dir=tmp_path, request_timeout=0.5)
+    try:
+        _register_fleet(hub)
+        hub.ingest(_interleaved_events(VALUES))
+        hub.checkpoint()
+        victim = hub.shard_of(*next(iter([(t, m) for t, m, _, _ in MONITORS])))
+        os.kill(hub.worker_pid(victim), signal_module.SIGSTOP)
+
+        with pytest.raises(ShardError, match="did not reply"):
+            hub.stats(*next((t, m) for t, m, _, _ in MONITORS
+                            if hub.shard_of(t, m) == victim))
+        assert victim in hub.dead_shards()
+        assert hub.respawn_dead_shards() == [victim]
+        # Resumed from the checkpoint taken before the hang.
+        for tenant, monitor_id, _, _ in MONITORS:
+            if hub.shard_of(tenant, monitor_id) == victim:
+                assert hub.stats(tenant, monitor_id)["n_seen"] == 600
+    finally:
+        hub.close()
+
+
+def test_tenant_scoped_stats():
+    """Tenant-narrowed stats must scope every field to the tenant — n_events
+    used to leak the hub-wide lifetime count next to filtered drift counts."""
+    hub = MonitorHub()
+    hub.register("a", "x", "DDM")
+    hub.register("b", "y", "DDM")
+    hub.observe("a", "x", VALUES[:100])
+    hub.observe("b", "y", VALUES)
+
+    assert hub.stats()["n_events"] == 100 + len(VALUES)
+    assert hub.stats("a")["n_events"] == 100
+    assert hub.stats("b")["n_events"] == len(VALUES)
+
+    with ShardedHub(2) as sharded:
+        sharded.register("a", "x", "DDM")
+        sharded.register("b", "y", "DDM")
+        sharded.observe("a", "x", VALUES[:100])
+        sharded.observe("b", "y", VALUES)
+        assert sharded.stats("a")["n_events"] == 100
+        assert sharded.stats("b")["n_events"] == len(VALUES)
+        assert sharded.stats()["n_events"] == 100 + len(VALUES)
+
+
+# ------------------------------------------------------------------ close
+
+
+def test_close_terminates_wedged_worker(tmp_path):
+    """close() must not hang on a worker that is alive but unresponsive:
+    the stop-reply wait is bounded and falls back to terminate()."""
+    import os
+    import signal as signal_module
+    import time
+
+    hub = ShardedHub(2, checkpoint_dir=tmp_path)
+    hub._STOP_REPLY_TIMEOUT = 0.5  # keep the test fast
+    hub.register("t", "m", "DDM")
+    os.kill(hub.worker_pid(0), signal_module.SIGSTOP)
+    start = time.monotonic()
+    hub.close()
+    assert time.monotonic() - start < 15
+    assert all(
+        process is None or not process.is_alive() for process in hub._processes
+    )
+
+
+def test_closed_hub_refuses_calls(tmp_path):
+    hub = ShardedHub(2, checkpoint_dir=tmp_path)
+    hub.register("t", "m", "DDM")
+    hub.close()
+    hub.close()  # idempotent
+    with pytest.raises(ShardError):
+        hub.observe("t", "m", [1.0])
+    with pytest.raises(ShardError):
+        hub.stats()
+    # A recovery loop running after close() must not spawn orphan workers.
+    with pytest.raises(ShardError):
+        hub.respawn_dead_shards()
