@@ -57,6 +57,7 @@ def main() -> None:
         checkpoint_dir=checkpoint_dir,
         sinks=[CallbackSink(notify)],
         checkpoint_every=2_000,  # durable state every 2 000 observed errors
+        wal_dir=checkpoint_dir / "wal",  # alerts logged before delivery
     )
     hub.register(TENANT, "sea-optwin", "OPTWIN", {"w_max": 5_000})
     hub.register(TENANT, "sea-ddm", "DDM")
@@ -91,9 +92,28 @@ def main() -> None:
             f"drifts={stats['n_drifts']} warnings={stats['n_warnings']}"
         )
 
-    # A restarted daemon resumes from the checkpoint, bit-exactly.
+    # The `metrics` op view: ingest rate, flush latency, WAL and sink health.
+    metrics = hub.metrics()
+    wal = metrics["wal"]
+    print(
+        f"\nhub metrics: ingest_rate={metrics['ingest_rate']:,.0f} events/s, "
+        f"flush p95={metrics['flush_latency_ms']['p95']:.2f} ms, "
+        f"wal={wal['n_alerts']} alerts in {wal['n_segments']} segment(s) "
+        f"(fsync={wal['fsync_mode']})"
+    )
+    print("last 3 alerts from the WAL (the `alerts_history` op):")
+    for record in hub.alerts_history(tenant=TENANT, limit=3):
+        print(
+            f"  seq={record['seq']} [{record['kind']:^7s}] "
+            f"{record['monitor_id']} at element {record['position']}"
+        )
+
+    # A restarted daemon resumes from the checkpoint, bit-exactly; the WAL
+    # replays any alerts logged after it (none here — clean shutdown).
     path = hub.checkpoint()
-    resumed = MonitorHub(checkpoint_dir=checkpoint_dir)
+    resumed = MonitorHub(
+        checkpoint_dir=checkpoint_dir, wal_dir=checkpoint_dir / "wal"
+    )
     assert resumed.stats(TENANT, "sea-optwin") == hub.stats(TENANT, "sea-optwin")
     print(f"\ncheckpoint written to {path}; resume verified.")
 

@@ -12,7 +12,14 @@ positions drift detectors for:
   the vectorised ``update_batch`` fast paths and atomic whole-hub
   checkpointing;
 * :mod:`repro.serving.sinks` — pluggable alert sinks (callback, in-memory
-  queue, JSON-lines audit log) fired on warning/drift transitions;
+  queue, JSON-lines audit log, retrying webhook) fired on warning/drift
+  transitions;
+* :mod:`repro.serving.wal` — :class:`AlertWal`, the segmented, CRC-checked,
+  fsync'd write-ahead log behind the durable alert bus: alerts are logged
+  before sinks see them, a restarted hub replays the post-checkpoint tail
+  exactly once, and the retained tail serves the ``alerts_history`` op;
+* :mod:`repro.serving.metrics` — the latency/rate instruments behind the
+  ``metrics`` op;
 * :mod:`repro.serving.server` — an asyncio JSON-lines TCP server
   (``python -m repro.serving``) so external processes can stream error
   values at high throughput;
@@ -40,13 +47,16 @@ from repro.serving.sharded import (
     ShardedHub,
     route_shard,
 )
+from repro.serving.metrics import LatencyWindow, RateMeter
 from repro.serving.sinks import (
     AlertSink,
     CallbackSink,
     DriftAlert,
     JsonlAuditSink,
     QueueSink,
+    WebhookSink,
 )
+from repro.serving.wal import AlertWal, WAL_SCHEMA_VERSION, read_wal_head
 from repro.serving.snapshot import (
     SNAPSHOT_SCHEMA_VERSION,
     build_detector,
@@ -68,7 +78,13 @@ __all__ = [
     "CallbackSink",
     "QueueSink",
     "JsonlAuditSink",
+    "WebhookSink",
     "DriftAlert",
+    "AlertWal",
+    "read_wal_head",
+    "WAL_SCHEMA_VERSION",
+    "LatencyWindow",
+    "RateMeter",
     "snapshot_detector",
     "restore_detector",
     "snapshot_json",

@@ -33,7 +33,7 @@ from typing import Union
 from repro.serving.hub import MonitorHub
 from repro.serving.server import ServingServer
 from repro.serving.sharded import ShardedHub
-from repro.serving.sinks import JsonlAuditSink
+from repro.serving.sinks import JsonlAuditSink, WebhookSink
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +75,35 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --shards: one file per shard, suffixed .shard-NN)",
     )
     parser.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="PATH",
+        help="directory of the durable alert write-ahead log (with --shards: "
+        "one shard-NN/ subdirectory per shard); enables crash-safe alert "
+        "delivery, the alerts_history op, and replay-after-restore",
+    )
+    parser.add_argument(
+        "--wal-fsync",
+        choices=("batch", "always", "off"),
+        default="batch",
+        help="WAL durability mode: fsync once per ingest flush (batch, "
+        "default), per record (always), or never (off)",
+    )
+    parser.add_argument(
+        "--webhook",
+        default=None,
+        metavar="URL",
+        help="POST every alert to this URL (bounded retries with backoff, "
+        "circuit breaker; a down endpoint never blocks ingest)",
+    )
+    parser.add_argument(
+        "--webhook-dead-letter",
+        default=None,
+        metavar="PATH",
+        help="JSON-lines file for alerts the webhook could not deliver "
+        "(with --shards: one file per shard, suffixed .shard-NN)",
+    )
+    parser.add_argument(
         "--request-timeout",
         type=float,
         default=None,
@@ -107,15 +136,29 @@ def build_hub(args: argparse.Namespace) -> Union[MonitorHub, ShardedHub]:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             audit_log=args.audit_log,
+            wal_dir=args.wal_dir,
+            wal_fsync=args.wal_fsync,
+            webhook=args.webhook,
+            webhook_dead_letter=args.webhook_dead_letter,
             request_timeout=timeout,
         )
     sinks = []
     if args.audit_log:
         sinks.append(JsonlAuditSink(args.audit_log))
+    if args.webhook:
+        sinks.append(
+            WebhookSink(args.webhook, dead_letter_path=args.webhook_dead_letter)
+        )
+    # The server attaches its alert queue after construction, so WAL replay
+    # is deferred (wal_auto_replay=False); ServingServer triggers it once
+    # every sink is in place.
     return MonitorHub(
         checkpoint_dir=args.checkpoint_dir,
         sinks=sinks,
         checkpoint_every=args.checkpoint_every,
+        wal_dir=args.wal_dir,
+        wal_fsync=args.wal_fsync,
+        wal_auto_replay=False,
     )
 
 

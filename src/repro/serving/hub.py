@@ -23,6 +23,15 @@ Design points:
 * **Alert transitions** — sinks fire on *transitions*: one ``"warning"``
   alert per entry into the warning zone (not per warning element) and one
   ``"drift"`` alert per flagged drift.
+* **Durable alert bus** — with a ``wal_dir``, every alert is appended to a
+  segmented, CRC-checked, fsync'd write-ahead log (:class:`~repro.serving.
+  wal.AlertWal`) *before* any sink sees it, each alert carrying a monotonic
+  per-monitor sequence number that also lives in the checkpoint schema.  A
+  restarted hub replays the WAL tail past its checkpoint to its sinks
+  (:meth:`replay_wal`, flagged ``redelivered``) and suppresses the live
+  re-fires a producer's replay regenerates — ``kill -9`` loses no alert and
+  delivers none twice (see ``docs/serving.md``, "Durability & delivery
+  semantics", and ``tests/integration/test_wal_crash_matrix.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from __future__ import annotations
 import json
 import logging
 import numbers
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -49,6 +59,7 @@ import numpy as np
 
 from repro.core.base import BatchResult, DriftDetector, as_value_array
 from repro.exceptions import ConfigurationError, SnapshotError
+from repro.serving.metrics import LatencyWindow, RateMeter
 from repro.serving.sinks import AlertSink, DriftAlert
 from repro.serving.snapshot import (
     atomic_write_json,
@@ -57,13 +68,20 @@ from repro.serving.snapshot import (
     sanitize,
     snapshot_detector,
 )
+from repro.serving.wal import AlertWal
 
 __all__ = ["MonitorHub", "ObserveResult", "HUB_SCHEMA_VERSION", "CHECKPOINT_FILENAME"]
 
 logger = logging.getLogger(__name__)
 
-#: Version of the hub checkpoint document schema.
-HUB_SCHEMA_VERSION = 1
+#: Version of the hub checkpoint document schema.  Version 2 added the
+#: per-monitor ``alert_seq`` counter (the WAL replay watermark); version-1
+#: checkpoints are still readable (their counters restore as zero, which is
+#: correct — they predate the WAL).
+HUB_SCHEMA_VERSION = 2
+
+#: Checkpoint schema versions :meth:`MonitorHub._restore_from` accepts.
+_READABLE_SCHEMA_VERSIONS = (1, 2)
 
 #: File name of the hub checkpoint inside ``checkpoint_dir``.
 CHECKPOINT_FILENAME = "hub-checkpoint.json"
@@ -105,7 +123,14 @@ class ObserveResult:
 class _MonitorEntry:
     """One hosted monitor: identity, detector, and alert-transition state."""
 
-    __slots__ = ("tenant", "monitor_id", "detector", "group_key", "in_warning")
+    __slots__ = (
+        "tenant",
+        "monitor_id",
+        "detector",
+        "group_key",
+        "in_warning",
+        "alert_seq",
+    )
 
     def __init__(
         self,
@@ -113,12 +138,17 @@ class _MonitorEntry:
         monitor_id: str,
         detector: DriftDetector,
         in_warning: bool = False,
+        alert_seq: int = 0,
     ) -> None:
         self.tenant = tenant
         self.monitor_id = monitor_id
         self.detector = detector
         self.group_key = _group_key(detector)
         self.in_warning = in_warning
+        #: Sequence number of this monitor's most recently *assigned* alert
+        #: (1-based; 0 = never alerted).  Deterministic: a restored monitor
+        #: re-fed the same elements re-assigns the same numbers.
+        self.alert_seq = alert_seq
 
 
 def _coalesce(parts: List[Any]) -> "np.ndarray":
@@ -171,6 +201,23 @@ class MonitorHub:
     checkpoint_every:
         Automatically checkpoint after this many observed values (across all
         monitors); ``None`` disables automatic checkpointing.
+    wal_dir:
+        Directory of the durable alert write-ahead log (``None`` disables
+        the WAL).  With a WAL, every alert and per-monitor ingest watermark
+        is logged before sinks fire, and a resumed hub re-delivers the
+        post-checkpoint alert tail to its sinks exactly once.
+    wal_fsync:
+        WAL durability mode — ``"batch"`` (default; one fsync per
+        ``ingest``/``observe`` flush), ``"always"`` (per record), or
+        ``"off"`` (OS flush only).
+    wal_segment_bytes, wal_retain_segments:
+        Segment rotation size and history retention of the WAL (see
+        :class:`~repro.serving.wal.AlertWal`).
+    wal_auto_replay:
+        Replay the WAL tail to the constructor-provided ``sinks`` during
+        construction (the library default).  Front-ends that attach sinks
+        *after* construction (the TCP server's alert queue) pass ``False``
+        and call :meth:`replay_wal` once their sinks are in place.
     """
 
     def __init__(
@@ -179,6 +226,11 @@ class MonitorHub:
         sinks: Iterable[AlertSink] = (),
         checkpoint_every: Optional[int] = None,
         resume: bool = True,
+        wal_dir: Optional[Union[str, Path]] = None,
+        wal_fsync: str = "batch",
+        wal_segment_bytes: int = 4 * 1024 * 1024,
+        wal_retain_segments: int = 8,
+        wal_auto_replay: bool = True,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ConfigurationError(
@@ -200,10 +252,35 @@ class MonitorHub:
         self._events_since_checkpoint = 0
         self._n_sink_failures = 0
         self._sink_failures_by_tenant: Dict[str, int] = {}
+        #: Per-monitor ``alert_seq`` as recorded in the restored checkpoint
+        #: (the replay floor: alerts at or below it were delivered before
+        #: the checkpoint was written).
+        self._checkpoint_seq: Dict[_MonitorKey, int] = {}
+        #: Per-monitor highest seq already delivered to sinks by a previous
+        #: process or this process's restore replay; live re-fires at or
+        #: below it are suppressed instead of double-delivered.
+        self._replayed_through: Dict[_MonitorKey, int] = {}
+        self._n_replay_suppressed = 0
+        self._n_wal_replayed = 0
+        self._flush_latency = LatencyWindow(1024)
+        self._ingest_rate = RateMeter(window=60.0)
         if resume and self._checkpoint_dir is not None:
             path = self._checkpoint_dir / CHECKPOINT_FILENAME
             if path.is_file():
                 self._restore_from(path)
+        self._wal: Optional[AlertWal] = None
+        self._wal_replay_pending = False
+        if wal_dir is not None:
+            self._wal = AlertWal(
+                wal_dir,
+                fsync=wal_fsync,
+                segment_bytes=wal_segment_bytes,
+                retain_segments=wal_retain_segments,
+            )
+            if resume:
+                self._wal_replay_pending = True
+                if wal_auto_replay:
+                    self.replay_wal()
 
     # ---------------------------------------------------------- registration
 
@@ -287,7 +364,10 @@ class MonitorHub:
     ) -> ObserveResult:
         """Feed one monitor a value or chunk of values (oldest first)."""
         entry = self._entry(tenant, monitor_id)
+        started = time.perf_counter()
         result = self._feed(entry, values)
+        self._commit_wal()
+        self._flush_latency.add(time.perf_counter() - started)
         self._maybe_checkpoint()
         return result
 
@@ -318,6 +398,7 @@ class MonitorHub:
         # Buffer whole payloads (scalars or chunks) per monitor and coalesce
         # once at flush time — per-element Python conversion here would cost
         # more than the vectorised detector work it feeds.
+        started = time.perf_counter()
         buffers: Dict[_MonitorKey, List[Any]] = {}
         for tenant, monitor_id, payload in events:
             key = (str(tenant), str(monitor_id))
@@ -334,6 +415,8 @@ class MonitorHub:
                     results.append(
                         self._feed(self._entries[key], _coalesce(parts))
                     )
+        self._commit_wal()
+        self._flush_latency.add(time.perf_counter() - started)
         self._maybe_checkpoint()
         return results
 
@@ -348,8 +431,17 @@ class MonitorHub:
         batch = detector.update_batch(chunk)
         self._n_events += batch.n_processed
         self._events_since_checkpoint += batch.n_processed
+        self._ingest_rate.add(batch.n_processed)
         self._fire_alerts(entry, batch, offset)
+        if self._wal is not None and batch.n_processed > 0:
+            self._wal.append_watermark(
+                entry.tenant, entry.monitor_id, detector.n_seen
+            )
         return ObserveResult(entry.tenant, entry.monitor_id, offset, batch)
+
+    def _commit_wal(self) -> None:
+        if self._wal is not None:
+            self._wal.commit()
 
     def _fire_alerts(
         self, entry: _MonitorEntry, batch: BatchResult, offset: int
@@ -369,32 +461,56 @@ class MonitorHub:
         for index in batch.warning_indices:
             if index in drift_set:
                 drift_number += 1
-                self._emit(
-                    DriftAlert(
-                        tenant=entry.tenant,
-                        monitor_id=entry.monitor_id,
-                        kind="drift",
-                        position=offset + index,
-                        detector=type(detector).__name__,
-                        n_drifts=n_drifts_before + drift_number,
-                    )
+                self._fire(
+                    entry, "drift", offset + index, n_drifts_before + drift_number
                 )
                 # The drift resets the detector, ending any warning zone.
                 prev_warn = -2
             else:
                 if index != prev_warn + 1:
-                    self._emit(
-                        DriftAlert(
-                            tenant=entry.tenant,
-                            monitor_id=entry.monitor_id,
-                            kind="warning",
-                            position=offset + index,
-                            detector=type(detector).__name__,
-                            n_drifts=n_drifts_before + drift_number,
-                        )
+                    self._fire(
+                        entry,
+                        "warning",
+                        offset + index,
+                        n_drifts_before + drift_number,
                     )
                 prev_warn = index
         entry.in_warning = prev_warn == n - 1
+
+    def _fire(
+        self, entry: _MonitorEntry, kind: str, position: int, n_drifts: int
+    ) -> None:
+        """Assign the next sequence number, log to the WAL, deliver to sinks.
+
+        The order is the durability contract: the WAL append happens before
+        any sink sees the alert, so a crash at any point leaves the alert
+        either (a) durable in the WAL — re-delivered by the restore replay —
+        or (b) not yet durable — but then the detector state that produced
+        it also rolls back to the checkpoint, and the producer's replay
+        re-fires it with the *same* sequence number (alert numbering is a
+        deterministic function of the element stream).  Re-fires the restore
+        already delivered (``seq <= replayed_through``) are suppressed, not
+        double-delivered.
+        """
+        entry.alert_seq += 1
+        seq = entry.alert_seq
+        key = (entry.tenant, entry.monitor_id)
+        alert = DriftAlert(
+            tenant=entry.tenant,
+            monitor_id=entry.monitor_id,
+            kind=kind,
+            position=position,
+            detector=type(entry.detector).__name__,
+            n_drifts=n_drifts,
+            seq=seq,
+            ts=time.time(),
+        )
+        if seq <= self._replayed_through.get(key, 0):
+            self._n_replay_suppressed += 1
+            return
+        if self._wal is not None:
+            self._wal.append_alert(alert)
+        self._emit(alert)
 
     def _emit(self, alert: DriftAlert) -> None:
         """Deliver one alert to every sink, tolerating per-sink failures.
@@ -422,6 +538,98 @@ class MonitorHub:
                     alert.tenant,
                     alert.monitor_id,
                 )
+
+    # ------------------------------------------------------------ WAL replay
+
+    @property
+    def wal_replay_pending(self) -> bool:
+        """True while a restored WAL tail has not yet been replayed."""
+        return self._wal_replay_pending
+
+    def replay_wal(self) -> int:
+        """Re-deliver the WAL's post-checkpoint alert tail to the sinks.
+
+        Every WAL alert whose sequence number exceeds both the restored
+        checkpoint's ``alert_seq`` and the log's delivered-through marker is
+        emitted once more, flagged ``redelivered=True``, in original append
+        order.  A delivered-through marker is then appended (bounding the
+        duplication window of a crash *during* replay), and the replayed
+        numbers become suppression floors for the live re-fires a producer's
+        replay-from-watermark regenerates.  Idempotent: the second call (and
+        a hub without a WAL) returns 0 without delivering anything.
+        """
+        if self._wal is None or not self._wal_replay_pending:
+            return 0
+        self._wal_replay_pending = False
+        replayed: Dict[_MonitorKey, int] = {}
+        n = 0
+        for record in self._wal.iter_alerts():
+            key = (str(record.get("tenant")), str(record.get("monitor_id")))
+            seq = int(record.get("seq", 0))
+            floor = max(
+                self._checkpoint_seq.get(key, 0),
+                self._wal.delivered_through(*key),
+                replayed.get(key, 0),
+            )
+            if seq <= floor:
+                continue
+            self._emit(DriftAlert.from_dict(record).as_redelivery())
+            replayed[key] = seq
+            n += 1
+        for (tenant, monitor_id), seq in replayed.items():
+            self._wal.append_delivered(tenant, monitor_id, seq)
+        self._wal.commit()
+        # Suppression floors cover everything any process ever delivered:
+        # pre-checkpoint live deliveries, prior processes' replays (the
+        # delivered markers), and this replay.
+        floors: Dict[_MonitorKey, int] = dict(self._checkpoint_seq)
+        for key in self._wal.watermarks():
+            # Watermark keys enumerate every monitor the WAL ever saw.
+            floors.setdefault(key, 0)
+        for key in list(floors):
+            floors[key] = max(
+                floors[key],
+                self._wal.delivered_through(*key),
+                replayed.get(key, 0),
+            )
+        for key, seq in replayed.items():
+            floors[key] = max(floors.get(key, 0), seq)
+        self._replayed_through = {k: v for k, v in floors.items() if v > 0}
+        self._n_wal_replayed += n
+        return n
+
+    def wal_watermarks(self) -> Dict[_MonitorKey, int]:
+        """Highest WAL-recorded ``n_seen`` per monitor (empty without a WAL).
+
+        After a crash this can exceed the restored detectors' ``n_seen`` —
+        the gap is exactly the event range a producer must replay.
+        """
+        return self._wal.watermarks() if self._wal is not None else {}
+
+    def alerts_history(
+        self,
+        tenant: Optional[str] = None,
+        monitor_id: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        limit: int = 1000,
+    ) -> List[Dict[str, Any]]:
+        """Query the WAL-backed alert history (newest ``limit`` matches).
+
+        Requires a ``wal_dir``; filters by tenant, monitor, and inclusive
+        ``ts`` range.  History depth is bounded by WAL segment retention.
+        """
+        if self._wal is None:
+            raise ConfigurationError(
+                "alert history needs a WAL; construct the hub with wal_dir"
+            )
+        return self._wal.alerts_history(
+            tenant=tenant,
+            monitor_id=monitor_id,
+            since=since,
+            until=until,
+            limit=limit,
+        )
 
     # ---------------------------------------------------------------- stats
 
@@ -454,7 +662,7 @@ class MonitorHub:
         if tenant is not None and monitor_id is not None:
             entry = self._entry(tenant, monitor_id)
             detector = entry.detector
-            return {
+            stats = {
                 "tenant": entry.tenant,
                 "monitor_id": entry.monitor_id,
                 "detector": type(detector).__name__,
@@ -462,7 +670,15 @@ class MonitorHub:
                 "n_drifts": detector.n_drifts,
                 "n_warnings": detector.n_warnings,
                 "in_warning": entry.in_warning,
+                "alert_seq": entry.alert_seq,
             }
+            if self._wal is not None:
+                watermark = self._wal.watermarks().get(
+                    (entry.tenant, entry.monitor_id)
+                )
+                if watermark is not None:
+                    stats["wal_watermark"] = watermark
+            return stats
         entries = [
             entry
             for entry in self._entries.values()
@@ -483,6 +699,29 @@ class MonitorHub:
             "n_sink_failures": n_sink_failures,
         }
 
+    def metrics(self) -> Dict[str, Any]:
+        """Operational telemetry: rates, latency percentiles, WAL and sinks.
+
+        The ``metrics`` wire op serialises this dict directly.  All latency
+        summaries are in milliseconds over a bounded recent window;
+        ``ingest_rate`` is events/second over the last minute.
+        """
+        return {
+            "n_monitors": len(self._entries),
+            "n_events": self._n_events,
+            "n_flushes": self._flush_latency.n_total,
+            "ingest_rate": round(self._ingest_rate.rate(), 3),
+            "flush_latency_ms": self._flush_latency.summary_ms(),
+            "n_sink_failures": self._n_sink_failures,
+            "n_wal_replayed": self._n_wal_replayed,
+            "n_replay_suppressed": self._n_replay_suppressed,
+            "wal": self._wal.stats() if self._wal is not None else None,
+            "sinks": [
+                {"sink": type(sink).__name__, **sink.stats()}
+                for sink in self._sinks
+            ],
+        }
+
     # ------------------------------------------------------- checkpointing
 
     def composition_hash(self) -> str:
@@ -501,20 +740,29 @@ class MonitorHub:
         )
         return grid_config_hash({"monitors": [list(token) for token in tokens]})
 
+    def wal_head(self) -> Optional[Dict[str, Any]]:
+        """The WAL's identity head (for the cluster manifest); ``None`` without one."""
+        return self._wal.head() if self._wal is not None else None
+
     def checkpoint(self, directory: Optional[Union[str, Path]] = None) -> Path:
         """Atomically write the full hub state; return the checkpoint path.
 
         The document is strict JSON with a ``schema_version`` field, one
-        bit-exact detector snapshot per monitor, and the composition hash.
-        The write goes to a temp file in the target directory followed by
-        ``os.replace``, so a crash mid-write never corrupts the previous
-        checkpoint.
+        bit-exact detector snapshot per monitor (including its ``alert_seq``
+        replay watermark), and the composition hash.  The write goes to a
+        temp file in the target directory followed by ``os.replace``, so a
+        crash mid-write never corrupts the previous checkpoint.  The WAL (if
+        any) is committed first — its durable state always covers the
+        checkpoint — and pruned after, since a successful checkpoint makes
+        every logged alert replay-unnecessary (retention beyond that is the
+        ``alerts_history`` depth).
         """
         target_dir = Path(directory) if directory else self._checkpoint_dir
         if target_dir is None:
             raise ConfigurationError(
                 "no checkpoint directory configured; pass one to checkpoint()"
             )
+        self._commit_wal()
         target_dir.mkdir(parents=True, exist_ok=True)
         document = {
             "schema_version": HUB_SCHEMA_VERSION,
@@ -525,6 +773,7 @@ class MonitorHub:
                     "tenant": entry.tenant,
                     "monitor_id": entry.monitor_id,
                     "in_warning": entry.in_warning,
+                    "alert_seq": entry.alert_seq,
                     "snapshot": snapshot_detector(entry.detector),
                 }
                 for entry in self._entries.values()
@@ -532,6 +781,8 @@ class MonitorHub:
         }
         path = atomic_write_json(target_dir / CHECKPOINT_FILENAME, document)
         self._events_since_checkpoint = 0
+        if self._wal is not None:
+            self._wal.prune()
         return path
 
     def _maybe_checkpoint(self) -> None:
@@ -548,10 +799,10 @@ class MonitorHub:
         except (OSError, json.JSONDecodeError) as exc:
             raise SnapshotError(f"cannot read hub checkpoint {path}: {exc}") from exc
         version = document.get("schema_version")
-        if version != HUB_SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMA_VERSIONS:
             raise SnapshotError(
                 f"hub checkpoint schema version {version!r} is not supported "
-                f"(expected {HUB_SCHEMA_VERSION})"
+                f"(expected one of {_READABLE_SCHEMA_VERSIONS})"
             )
         try:
             self._n_events = int(document["n_events"])
@@ -562,14 +813,18 @@ class MonitorHub:
                     str(record["monitor_id"]),
                     detector,
                     in_warning=bool(record["in_warning"]),
+                    alert_seq=int(record.get("alert_seq", 0)),
                 )
                 key = (entry.tenant, entry.monitor_id)
                 self._entries[key] = entry
                 self._groups.setdefault(entry.group_key, []).append(key)
+                self._checkpoint_seq[key] = entry.alert_seq
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(f"corrupt hub checkpoint {path}: {exc}") from exc
 
     def close(self) -> None:
-        """Close all attached sinks (the hub itself holds no other resources)."""
+        """Close the WAL and all attached sinks."""
+        if self._wal is not None:
+            self._wal.close()
         for sink in self._sinks:
             sink.close()

@@ -18,6 +18,9 @@ Supported operations::
     {"op": "stats", "tenant": "t"}       # per tenant
     {"op": "stats", "tenant": "t", "monitor": "m"}
     {"op": "alerts"}                     # drain buffered alerts
+    {"op": "alerts_history", "tenant": "t", "monitor": "m",
+     "since": 1e9, "until": 2e9, "limit": 100}   # WAL-backed, all optional
+    {"op": "metrics"}                    # rates, latency percentiles, WAL/sinks
     {"op": "snapshot"}                   # checkpoint the hub now
 
 ``observe`` responds with lifetime stream positions (``drifts`` /
@@ -85,6 +88,11 @@ class ServingServer:
         else:
             self._alert_queue = QueueSink(maxlen=ALERT_BUFFER_LIMIT)
             hub.add_sink(self._alert_queue)
+            if getattr(hub, "wal_replay_pending", False):
+                # The hub deferred its WAL replay (wal_auto_replay=False)
+                # so the post-checkpoint alert tail lands in the queue the
+                # ``alerts`` op drains, not in a pre-server void.
+                hub.replay_wal()
         self._server: Optional[asyncio.AbstractServer] = None
 
     @property
@@ -204,6 +212,19 @@ class ServingServer:
                 "alerts": [alert.to_dict() for alert in alerts],
                 "n_dropped": n_dropped,
             }
+        if op == "alerts_history":
+            return {
+                "ok": True,
+                "alerts": self._hub.alerts_history(
+                    tenant=request.get("tenant"),
+                    monitor_id=request.get("monitor"),
+                    since=request.get("since"),
+                    until=request.get("until"),
+                    limit=int(request.get("limit", 1000)),
+                ),
+            }
+        if op == "metrics":
+            return {"ok": True, "metrics": self._hub.metrics()}
         if op == "snapshot":
             path = self._hub.checkpoint()
             return {"ok": True, "checkpoint": str(path)}

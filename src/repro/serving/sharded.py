@@ -54,8 +54,9 @@ from typing import (
 from repro.core.base import DriftDetector
 from repro.exceptions import ConfigurationError, ShardError, SnapshotError
 from repro.serving.hub import Event, MonitorHub, ObserveResult
-from repro.serving.sinks import DriftAlert, JsonlAuditSink, QueueSink
+from repro.serving.sinks import AlertSink, DriftAlert, JsonlAuditSink, QueueSink, WebhookSink
 from repro.serving.snapshot import atomic_write_json
+from repro.serving.wal import read_wal_head
 
 __all__ = [
     "ShardedHub",
@@ -114,6 +115,10 @@ def _shard_worker_main(
     resume: bool,
     alert_buffer: Optional[int],
     audit_log: Optional[str],
+    wal_dir: Optional[str] = None,
+    wal_fsync: str = "batch",
+    webhook: Optional[str] = None,
+    webhook_dead_letter: Optional[str] = None,
 ) -> None:
     """Request/reply loop of one shard worker (one ``MonitorHub`` per shard).
 
@@ -127,15 +132,25 @@ def _shard_worker_main(
     # the parent has written its final checkpoint.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
+        # Sinks are built *before* the hub so they are constructor-provided
+        # and the resume-time WAL replay re-delivers the post-checkpoint
+        # alert tail into them (a sink attached afterwards would miss it).
+        alerts = QueueSink(maxlen=alert_buffer)
+        sinks: List[AlertSink] = [alerts]
+        if audit_log is not None:
+            sinks.append(JsonlAuditSink(audit_log))
+        if webhook is not None:
+            sinks.append(
+                WebhookSink(webhook, dead_letter_path=webhook_dead_letter)
+            )
         hub = MonitorHub(
             checkpoint_dir=checkpoint_dir,
+            sinks=sinks,
             checkpoint_every=checkpoint_every,
             resume=resume,
+            wal_dir=wal_dir,
+            wal_fsync=wal_fsync,
         )
-        alerts = QueueSink(maxlen=alert_buffer)
-        hub.add_sink(alerts)
-        if audit_log is not None:
-            hub.add_sink(JsonlAuditSink(audit_log))
     except BaseException as exc:
         _safe_send(conn, ("error", exc))
         return
@@ -170,6 +185,10 @@ def _shard_worker_main(
                     (tenant, monitor_id, type(detector).__name__)
                     for tenant, monitor_id, detector in hub.monitors()
                 ]
+            elif op == "metrics":
+                result = hub.metrics()
+            elif op == "alerts_history":
+                result = hub.alerts_history(**payload[0])
             elif op == "checkpoint":
                 path = hub.checkpoint()
                 result = {
@@ -177,12 +196,14 @@ def _shard_worker_main(
                     "config_hash": hub.composition_hash(),
                     "n_events": hub.n_events,
                     "n_monitors": len(hub),
+                    "wal": hub.wal_head(),
                 }
             elif op == "describe":
                 result = {
                     "config_hash": hub.composition_hash(),
                     "n_events": hub.n_events,
                     "n_monitors": len(hub),
+                    "wal": hub.wal_head(),
                 }
             elif op == "composition_hash":
                 result = hub.composition_hash()
@@ -232,6 +253,22 @@ class ShardedHub:
     audit_log:
         When set, each worker appends alerts to ``<audit_log>.shard-NN``
         (one file per shard — concurrent writers never interleave a line).
+    wal_dir:
+        Root of the durable alert write-ahead logs; each shard owns
+        ``<wal_dir>/shard-NN`` (shared-nothing, like the checkpoints).  The
+        cluster manifest records every shard's ``(wal_id, segment_index)``
+        head, and resuming against WAL directories that disagree with the
+        manifest raises :class:`SnapshotError` (see :meth:`_validate_manifest`).
+    wal_fsync:
+        WAL durability mode forwarded to every shard (``"batch"`` |
+        ``"always"`` | ``"off"``).
+    webhook:
+        When set, each worker POSTs alerts to this URL through a
+        :class:`~repro.serving.sinks.WebhookSink` (bounded retries, circuit
+        breaker — a down endpoint never blocks ingest).
+    webhook_dead_letter:
+        Dead-letter JSONL root for undeliverable webhook alerts; each shard
+        writes ``<path>.shard-NN``.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
     request_timeout:
@@ -253,6 +290,10 @@ class ShardedHub:
         resume: bool = True,
         alert_buffer: Optional[int] = 10_000,
         audit_log: Optional[str] = None,
+        wal_dir: Optional[Union[str, Path]] = None,
+        wal_fsync: str = "batch",
+        webhook: Optional[str] = None,
+        webhook_dead_letter: Optional[str] = None,
         start_method: Optional[str] = None,
         request_timeout: Optional[float] = None,
     ) -> None:
@@ -273,6 +314,10 @@ class ShardedHub:
             )
         self._alert_buffer = alert_buffer
         self._audit_log = audit_log
+        self._wal_dir = Path(wal_dir) if wal_dir else None
+        self._wal_fsync = wal_fsync
+        self._webhook = webhook
+        self._webhook_dead_letter = webhook_dead_letter
         self._request_timeout = request_timeout
         self._context = multiprocessing.get_context(start_method)
         self._closed = False
@@ -331,6 +376,59 @@ class ShardedHub:
                 "shards; the routing hash would silently send monitors to the "
                 "wrong shard — re-shard the checkpoint or start fresh"
             )
+        self._validate_wal_heads(manifest)
+
+    def _validate_wal_heads(self, manifest: Dict[str, Any]) -> None:
+        """Refuse to resume against WAL directories the manifest disowns.
+
+        The manifest records each shard's ``(wal_id, segment_index)`` head at
+        checkpoint time.  A WAL directory with a *different* ``wal_id``
+        belongs to another cluster (or was swapped by hand) — replaying it
+        would re-deliver someone else's alerts; a highest on-disk segment
+        *older* than the recorded head means segments were deleted or the
+        directory was restored from an earlier backup — the replay floor
+        bookkeeping inside it can no longer be trusted.  Both are
+        mis-assembly, so both raise instead of replaying.
+        """
+        if self._wal_dir is None:
+            return
+        for entry in manifest.get("shards", []):
+            recorded_head = entry.get("wal")
+            if not recorded_head:
+                continue
+            index = int(entry.get("index", -1))
+            if not 0 <= index < self._n_shards:
+                continue
+            wal_dir = self._wal_dir / _shard_dirname(index)
+            disk_head = read_wal_head(wal_dir)
+            if disk_head is None:
+                raise SnapshotError(
+                    f"cluster manifest records a WAL for shard {index} "
+                    f"(wal_id {recorded_head.get('wal_id')!r}) but {wal_dir} "
+                    "holds none; the WAL directory was removed or swapped — "
+                    "refusing to resume without it"
+                )
+            if disk_head.get("wal_id") != recorded_head.get("wal_id"):
+                raise SnapshotError(
+                    f"WAL directory {wal_dir} has wal_id "
+                    f"{disk_head.get('wal_id')!r} but the cluster manifest "
+                    f"recorded {recorded_head.get('wal_id')!r}; this WAL "
+                    "belongs to a different cluster — refusing to replay it"
+                )
+            recorded_segment = int(recorded_head.get("segment_index", 0))
+            if int(disk_head.get("segment_index", 0)) < recorded_segment:
+                raise SnapshotError(
+                    f"WAL directory {wal_dir} ends at segment "
+                    f"{disk_head.get('segment_index')} but the cluster "
+                    f"manifest recorded segment {recorded_segment}; the WAL "
+                    "segment sequence went backwards (deleted segments or an "
+                    "older backup) — refusing to replay it"
+                )
+
+    def _shard_wal_dir(self, index: int) -> Optional[str]:
+        if self._wal_dir is None:
+            return None
+        return str(self._wal_dir / _shard_dirname(index))
 
     def _shard_checkpoint_dir(self, index: int) -> Optional[str]:
         if self._checkpoint_dir is None:
@@ -344,6 +442,11 @@ class ShardedHub:
             if self._audit_log is not None
             else None
         )
+        dead_letter = (
+            f"{self._webhook_dead_letter}.{_shard_dirname(index)}"
+            if self._webhook_dead_letter is not None
+            else None
+        )
         process = self._context.Process(
             target=_shard_worker_main,
             args=(
@@ -354,6 +457,10 @@ class ShardedHub:
                 resume,
                 self._alert_buffer,
                 audit,
+                self._shard_wal_dir(index),
+                self._wal_fsync,
+                self._webhook,
+                dead_letter,
             ),
             name=f"repro-shard-{index:02d}",
             daemon=True,
@@ -714,6 +821,63 @@ class ShardedHub:
             for stats in self._broadcast("stats", None, None, tolerate_dead=True)
         )
 
+    def metrics(self) -> Dict[str, Any]:
+        """Cluster telemetry: summed counters plus every live shard's detail.
+
+        Dead shards are absent from ``shards`` and from the sums —
+        ``n_alive_shards`` reports the degradation.  Each shard entry is the
+        worker hub's :meth:`MonitorHub.metrics` dict (ingest rate, flush
+        latency percentiles, WAL and sink counters).
+        """
+        shard_metrics = self._broadcast("metrics", tolerate_dead=True)
+        return {
+            "n_shards": self._n_shards,
+            "n_alive_shards": self._n_shards - len(self.dead_shards()),
+            "n_monitors": len(self._registry),
+            "n_events": sum(m["n_events"] for m in shard_metrics),
+            "ingest_rate": round(sum(m["ingest_rate"] for m in shard_metrics), 3),
+            "n_sink_failures": sum(m["n_sink_failures"] for m in shard_metrics),
+            "n_wal_replayed": sum(m["n_wal_replayed"] for m in shard_metrics),
+            "n_replay_suppressed": sum(
+                m["n_replay_suppressed"] for m in shard_metrics
+            ),
+            "shards": shard_metrics,
+        }
+
+    def alerts_history(
+        self,
+        tenant: Optional[str] = None,
+        monitor_id: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        limit: int = 1000,
+    ) -> List[Dict[str, Any]]:
+        """Query the WAL-backed alert history across shards.
+
+        A fully-qualified ``(tenant, monitor_id)`` query routes to the owning
+        shard; broader queries fan out to every live shard and merge by alert
+        timestamp (keeping the newest ``limit`` matches).  Requires
+        ``wal_dir``; a worker without one raises
+        :class:`~repro.exceptions.ConfigurationError`.
+        """
+        filters = {
+            "tenant": tenant,
+            "monitor_id": monitor_id,
+            "since": since,
+            "until": until,
+            "limit": limit,
+        }
+        if tenant is not None and monitor_id is not None:
+            key, shard = self._shard_for(tenant, monitor_id)
+            return self._call(shard, "alerts_history", filters)
+        merged: List[Dict[str, Any]] = []
+        for shard_history in self._broadcast(
+            "alerts_history", filters, tolerate_dead=True
+        ):
+            merged.extend(shard_history)
+        merged.sort(key=lambda record: (record.get("ts", 0.0), record.get("seq", 0)))
+        return merged[-limit:]
+
     def drain_alerts(self) -> Tuple[List[DriftAlert], int]:
         """Drain every live shard's alert queue; return ``(alerts, n_dropped)``.
 
@@ -773,6 +937,7 @@ class ShardedHub:
                     "config_hash": report["config_hash"],
                     "n_events": report["n_events"],
                     "n_monitors": report["n_monitors"],
+                    "wal": report.get("wal"),
                 }
                 for index, report in enumerate(reports)
             ],

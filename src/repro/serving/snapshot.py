@@ -164,10 +164,15 @@ def atomic_write_json(path: Union[str, Path], document: Any) -> Path:
     """Write ``document`` as strict JSON to ``path`` atomically.
 
     The write goes to a temp file in the target directory, is flushed and
-    ``fsync``-ed, then moved into place with ``os.replace`` — a crash mid-write
-    never corrupts a previous file at ``path``.  Shared by the hub checkpoint
-    and the sharded cluster manifest.
+    ``fsync``-ed, then moved into place with ``os.replace``, and finally the
+    *containing directory* is fsync'd — without that last step the rename
+    itself can be lost in a power failure, resurrecting the previous file
+    (or, for a first write, no file at all).  A crash mid-write never
+    corrupts a previous file at ``path``.  Shared by the hub checkpoint,
+    the sharded cluster manifest, and the WAL meta document.
     """
+    from repro.serving.wal import fsync_directory
+
     path = Path(path)
     handle = tempfile.NamedTemporaryFile(
         "w",
@@ -189,6 +194,7 @@ def atomic_write_json(path: Union[str, Path], document: Any) -> Path:
         except OSError:
             pass
         raise
+    fsync_directory(path.parent)
     return path
 
 

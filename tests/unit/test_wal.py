@@ -1,0 +1,264 @@
+"""Unit tests of the serving layer's alert write-ahead log.
+
+Covers the storage format (CRC-checked records, torn-tail truncation on
+open), segment rotation and retention, the absorbed watermark/delivered
+bookkeeping, the ``alerts_history`` query, and the identity head the sharded
+cluster manifest validates against.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SnapshotError
+from repro.serving.sinks import DriftAlert
+from repro.serving.wal import (
+    WAL_META_FILENAME,
+    AlertWal,
+    read_wal_head,
+)
+
+
+def _alert(seq: int, kind: str = "warning", tenant: str = "t", monitor: str = "m"):
+    return DriftAlert(
+        tenant=tenant,
+        monitor_id=monitor,
+        kind=kind,
+        position=100 + seq,
+        detector="Ddm",
+        n_drifts=1 if kind == "drift" else 0,
+        seq=seq,
+        ts=1000.0 + seq,
+    )
+
+
+def _segments(directory):
+    return sorted(p.name for p in directory.iterdir() if p.suffix == ".log")
+
+
+# ----------------------------------------------------------------- round trip
+
+
+def test_records_round_trip_across_reopen(tmp_path):
+    wal = AlertWal(tmp_path)
+    wal.append_alert(_alert(1))
+    wal.append_watermark("t", "m", 250)
+    wal.append_alert(_alert(2, kind="drift"))
+    wal.append_delivered("t", "m", 1)
+    wal.commit()
+    wal.close()
+
+    reopened = AlertWal(tmp_path)
+    records = list(reopened.iter_records())
+    assert [r["t"] for r in records] == ["alert", "watermark", "alert", "delivered"]
+    alerts = list(reopened.iter_alerts())
+    assert [a["seq"] for a in alerts] == [1, 2]
+    assert alerts[1]["kind"] == "drift"
+    # Watermarks and delivered markers were absorbed during recovery.
+    assert reopened.watermarks() == {("t", "m"): 250}
+    assert reopened.delivered_through("t", "m") == 1
+    assert reopened.delivered_through("t", "other") == 0
+    reopened.close()
+
+
+def test_uncommitted_appends_visible_to_readers(tmp_path):
+    wal = AlertWal(tmp_path, fsync="off")
+    wal.append_alert(_alert(1))
+    # No commit: iter_records flushes the buffer so readers see the append.
+    assert [a["seq"] for a in wal.iter_alerts()] == [1]
+    wal.close()
+
+
+# ------------------------------------------------------------- torn tails
+
+
+def test_torn_header_is_truncated_on_open(tmp_path):
+    wal = AlertWal(tmp_path)
+    wal.append_alert(_alert(1))
+    wal.append_alert(_alert(2))
+    wal.commit()
+    wal.close()
+    segment = tmp_path / _segments(tmp_path)[-1]
+    intact = segment.stat().st_size
+    with open(segment, "ab") as handle:
+        handle.write(b"\x07\x00")  # half a header: a crash mid-append
+
+    reopened = AlertWal(tmp_path)
+    assert [a["seq"] for a in reopened.iter_alerts()] == [1, 2]
+    assert segment.stat().st_size == intact  # tail truncated away
+    # The log keeps appending cleanly after recovery.
+    reopened.append_alert(_alert(3))
+    reopened.commit()
+    assert [a["seq"] for a in reopened.iter_alerts()] == [1, 2, 3]
+    reopened.close()
+
+
+def test_torn_payload_is_truncated_on_open(tmp_path):
+    wal = AlertWal(tmp_path)
+    wal.append_alert(_alert(1))
+    wal.commit()
+    wal.close()
+    segment = tmp_path / _segments(tmp_path)[-1]
+    intact = segment.stat().st_size
+    header = struct.Struct("<II")
+    with open(segment, "ab") as handle:
+        handle.write(header.pack(1000, 0) + b"only-part-of-the-payload")
+
+    reopened = AlertWal(tmp_path)
+    assert [a["seq"] for a in reopened.iter_alerts()] == [1]
+    assert segment.stat().st_size == intact
+    reopened.close()
+
+
+def test_crc_mismatch_truncates_corrupt_record(tmp_path):
+    wal = AlertWal(tmp_path)
+    wal.append_alert(_alert(1))
+    wal.commit()
+    before = (tmp_path / _segments(tmp_path)[-1]).stat().st_size
+    wal.append_alert(_alert(2))
+    wal.commit()
+    wal.close()
+    segment = tmp_path / _segments(tmp_path)[-1]
+    data = bytearray(segment.read_bytes())
+    data[-3] ^= 0xFF  # flip a byte inside the second record's payload
+    segment.write_bytes(bytes(data))
+
+    reopened = AlertWal(tmp_path)
+    assert [a["seq"] for a in reopened.iter_alerts()] == [1]
+    assert segment.stat().st_size == before
+    reopened.close()
+
+
+# ------------------------------------------------------- rotation & retention
+
+
+def test_rotation_preserves_order_and_retention_prunes(tmp_path):
+    wal = AlertWal(tmp_path, segment_bytes=4096, retain_segments=2)
+    seq = 0
+    while wal.segment_index < 4:
+        seq += 1
+        wal.append_alert(_alert(seq))
+        wal.commit()
+    assert len(_segments(tmp_path)) >= 4
+    # Order is preserved across every segment boundary.
+    seqs = [a["seq"] for a in wal.iter_alerts()]
+    assert seqs == sorted(seqs) and seqs[-1] == seq
+
+    removed = wal.prune()
+    assert removed >= 1
+    assert len(_segments(tmp_path)) == 2
+    # The retained tail still ends at the newest alert.
+    remaining = [a["seq"] for a in wal.iter_alerts()]
+    assert remaining == sorted(remaining) and remaining[-1] == seq
+    # The open segment is never pruned, however small the retention.
+    assert _segments(tmp_path)[-1] == f"wal-{wal.segment_index:08d}.log"
+    wal.close()
+
+
+def test_prune_is_noop_within_retention(tmp_path):
+    wal = AlertWal(tmp_path)
+    wal.append_alert(_alert(1))
+    wal.commit()
+    assert wal.prune() == 0
+    assert len(_segments(tmp_path)) == 1
+    wal.close()
+
+
+# ------------------------------------------------------------ alerts history
+
+
+def test_alerts_history_filters_and_limit(tmp_path):
+    wal = AlertWal(tmp_path)
+    for seq in range(1, 6):
+        wal.append_alert(_alert(seq, tenant="acme"))
+    wal.append_alert(_alert(1, tenant="globex", kind="drift"))
+    wal.append_watermark("acme", "m", 500)  # not an alert: never in history
+    wal.commit()
+
+    assert len(wal.alerts_history()) == 6
+    acme = wal.alerts_history(tenant="acme")
+    assert [a["seq"] for a in acme] == [1, 2, 3, 4, 5]
+    assert all("t" not in a for a in acme)  # record-type tag stripped
+    assert [a["tenant"] for a in wal.alerts_history(monitor_id="m", tenant="globex")] == [
+        "globex"
+    ]
+    # ts filters are inclusive; limit keeps the newest matches.
+    assert [a["seq"] for a in wal.alerts_history(tenant="acme", since=1003.0)] == [3, 4, 5]
+    assert [a["seq"] for a in wal.alerts_history(tenant="acme", until=1002.0)] == [1, 2]
+    assert [a["seq"] for a in wal.alerts_history(tenant="acme", limit=2)] == [4, 5]
+    with pytest.raises(ConfigurationError):
+        wal.alerts_history(limit=0)
+    wal.close()
+
+
+# ------------------------------------------------------------- identity head
+
+
+def test_wal_id_stable_across_reopen_and_read_head(tmp_path):
+    assert read_wal_head(tmp_path / "nothing-here") is None
+    wal = AlertWal(tmp_path)
+    wal_id = wal.wal_id
+    assert wal.head() == {"wal_id": wal_id, "segment_index": 1}
+    wal.close()
+
+    reopened = AlertWal(tmp_path)
+    assert reopened.wal_id == wal_id
+    reopened.close()
+
+    head = read_wal_head(tmp_path)
+    assert head == {"wal_id": wal_id, "segment_index": 1}
+
+    (tmp_path / WAL_META_FILENAME).write_text("{not json", encoding="utf-8")
+    with pytest.raises(SnapshotError):
+        read_wal_head(tmp_path)
+    with pytest.raises(SnapshotError):
+        AlertWal(tmp_path)
+
+
+def test_unsupported_meta_schema_version_rejected(tmp_path):
+    wal = AlertWal(tmp_path)
+    wal.close()
+    meta_path = tmp_path / WAL_META_FILENAME
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    meta["schema_version"] = 99
+    meta_path.write_text(json.dumps(meta), encoding="utf-8")
+    with pytest.raises(SnapshotError):
+        AlertWal(tmp_path)
+
+
+# ------------------------------------------------------------- configuration
+
+
+def test_configuration_validation(tmp_path):
+    with pytest.raises(ConfigurationError):
+        AlertWal(tmp_path, fsync="sometimes")
+    with pytest.raises(ConfigurationError):
+        AlertWal(tmp_path, segment_bytes=16)
+    with pytest.raises(ConfigurationError):
+        AlertWal(tmp_path, retain_segments=0)
+
+
+def test_closed_wal_rejects_appends(tmp_path):
+    wal = AlertWal(tmp_path)
+    wal.close()
+    wal.close()  # idempotent
+    with pytest.raises(SnapshotError):
+        wal.append_alert(_alert(1))
+
+
+def test_stats_shape(tmp_path):
+    wal = AlertWal(tmp_path, fsync="always")
+    wal.append_alert(_alert(1))
+    wal.append_watermark("t", "m", 10)
+    stats = wal.stats()
+    assert stats["fsync_mode"] == "always"
+    assert stats["n_appends"] == 2
+    assert stats["n_alerts"] == 1
+    assert stats["n_segments"] == 1
+    assert stats["bytes_written"] > 0
+    # fsync="always" synced per append, so latency samples were recorded.
+    assert stats["fsync_latency_ms"]["count"] == 2
+    wal.close()
