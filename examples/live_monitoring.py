@@ -117,6 +117,58 @@ def main() -> None:
     assert resumed.stats(TENANT, "sea-optwin") == hub.stats(TENANT, "sea-optwin")
     print(f"\ncheckpoint written to {path}; resume verified.")
 
+    reshard_act()
+
+
+def reshard_act() -> None:
+    """Grow a live ShardedHub mid-stream — no restart, no lost events."""
+    from repro.serving import ShardedHub
+
+    stream = MultiConceptDriftStream(
+        [
+            SeaGenerator(classification_function=1, noise_fraction=0.05, seed=1),
+            SeaGenerator(classification_function=3, noise_fraction=0.05, seed=2),
+        ],
+        drift_positions=[3_000],
+        seed=4,
+    )
+    learner = NaiveBayes(schema=stream.schema, n_classes=stream.n_classes)
+    errors = []
+    for instance in stream.take(6_000):
+        errors.append(1.0 if learner.predict_one(instance) != instance.y else 0.0)
+        learner.learn_one(instance)
+
+    cluster_dir = Path(tempfile.mkdtemp(prefix="live-monitoring-cluster-"))
+    cluster = ShardedHub(2, checkpoint_dir=cluster_dir)
+    try:
+        cluster.register(TENANT, "sea-optwin", "OPTWIN", {"w_max": 5_000})
+        cluster.register(TENANT, "sea-ddm", "DDM")
+
+        # First half of the stream on 2 shards...
+        half = len(errors) // 2
+        cluster.ingest(
+            [(TENANT, m, errors[:half]) for m in ("sea-optwin", "sea-ddm")]
+        )
+        # ...grow the cluster live (monitors hand off bit-exactly)...
+        report = cluster.reshard(4)
+        print(
+            f"\nresharded live: now {cluster.n_shards} shards, "
+            f"{report['n_slots_moved']} of {cluster.n_slots} slots moved, "
+            f"{report['n_monitors_moved']} monitor(s) relocated"
+        )
+        # ...and keep ingesting where we left off: no events lost, no reset.
+        cluster.ingest(
+            [(TENANT, m, errors[half:]) for m in ("sea-optwin", "sea-ddm")]
+        )
+        stats = cluster.stats(TENANT, "sea-ddm")
+        assert stats["n_seen"] == len(errors)
+        print(
+            f"after reshard: sea-ddm n_seen={stats['n_seen']} "
+            f"drifts={stats['n_drifts']} (stream continued seamlessly)"
+        )
+    finally:
+        cluster.close()
+
 
 if __name__ == "__main__":
     main()

@@ -24,9 +24,10 @@ positions drift detectors for:
   (``python -m repro.serving``) so external processes can stream error
   values at high throughput;
 * :mod:`repro.serving.sharded` — :class:`ShardedHub`, the same registry
-  partitioned across N shared-nothing worker processes (deterministic
-  BLAKE2b routing, per-shard checkpoints plus a cluster manifest,
-  kill-and-respawn recovery) for multi-core scale-out
+  partitioned across N shared-nothing worker processes (slot-based BLAKE2b
+  routing over a manifest-carried assignment table, live ``reshard(n)``,
+  shared-memory ingest fan-out, per-shard checkpoints plus a cluster
+  manifest, kill-and-respawn recovery) for multi-core scale-out
   (``python -m repro.serving --shards N``).
 
 See ``docs/serving.md`` for the hub lifecycle, the checkpoint format, the
@@ -44,8 +45,11 @@ from repro.serving.server import ServingServer
 from repro.serving.sharded import (
     MANIFEST_FILENAME,
     MANIFEST_SCHEMA_VERSION,
+    N_SLOTS,
     ShardedHub,
+    default_slot_assignment,
     route_shard,
+    route_slot,
 )
 from repro.serving.metrics import LatencyWindow, RateMeter
 from repro.serving.sinks import (
@@ -72,6 +76,9 @@ __all__ = [
     "ServingServer",
     "ShardedHub",
     "route_shard",
+    "route_slot",
+    "default_slot_assignment",
+    "N_SLOTS",
     "MANIFEST_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
     "AlertSink",

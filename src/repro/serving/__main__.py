@@ -104,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --shards: one file per shard, suffixed .shard-NN)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("shm", "pickle"),
+        default="shm",
+        help="with --shards: ingest fan-out transport — 'shm' stages float "
+        "batches in per-shard shared memory (zero-copy in the workers), "
+        "'pickle' sends them through the worker pipes",
+    )
+    parser.add_argument(
         "--request-timeout",
         type=float,
         default=None,
@@ -141,6 +149,7 @@ def build_hub(args: argparse.Namespace) -> Union[MonitorHub, ShardedHub]:
             webhook=args.webhook,
             webhook_dead_letter=args.webhook_dead_letter,
             request_timeout=timeout,
+            transport=args.transport,
         )
     sinks = []
     if args.audit_log:

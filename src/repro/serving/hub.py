@@ -354,6 +354,114 @@ class MonitorHub:
         """Attach an additional alert sink."""
         self._sinks.append(sink)
 
+    # ------------------------------------------------------------ relocation
+
+    def export_monitors(
+        self, keys: Iterable[_MonitorKey]
+    ) -> List[Dict[str, Any]]:
+        """Snapshot selected monitors for relocation to another hub.
+
+        Returns one record per key in the checkpoint's ``monitors`` schema
+        (identity, transition state, ``alert_seq``, bit-exact detector
+        snapshot) — exactly what :meth:`import_monitors` consumes on the
+        receiving hub.  Read-only: the exporting hub keeps serving the
+        monitors until :meth:`forget_monitors` drops them.  This is the
+        state hand-off underneath :meth:`~repro.serving.sharded.ShardedHub.
+        reshard`.
+        """
+        records: List[Dict[str, Any]] = []
+        for tenant, monitor_id in keys:
+            entry = self._entry(tenant, monitor_id)
+            records.append(
+                {
+                    "tenant": entry.tenant,
+                    "monitor_id": entry.monitor_id,
+                    "in_warning": entry.in_warning,
+                    "alert_seq": entry.alert_seq,
+                    "snapshot": snapshot_detector(entry.detector),
+                }
+            )
+        return records
+
+    def import_monitors(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Adopt monitors exported from another hub; return the count.
+
+        Restores each record bit-exactly — detector state, warning-zone
+        transition flag, and the ``alert_seq`` counter, so the monitor's
+        next alert continues the sequence the exporting hub left off at
+        (exactly-once delivery survives the move).  A key that already
+        exists raises :class:`ConfigurationError` before anything is
+        adopted.  The hub's lifetime event count adopts each detector's
+        ``n_seen`` (and :meth:`forget_monitors` sheds it), keeping
+        cluster-wide ``n_events`` invariant across relocations.
+        """
+        records = list(records)
+        for record in records:
+            key = (str(record["tenant"]), str(record["monitor_id"]))
+            if key in self._entries:
+                raise ConfigurationError(
+                    f"monitor {key[0]}/{key[1]} is already registered"
+                )
+        for record in records:
+            try:
+                detector = restore_detector(record["snapshot"])
+                entry = _MonitorEntry(
+                    str(record["tenant"]),
+                    str(record["monitor_id"]),
+                    detector,
+                    in_warning=bool(record["in_warning"]),
+                    alert_seq=int(record.get("alert_seq", 0)),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SnapshotError(f"corrupt monitor export record: {exc}") from exc
+            key = (entry.tenant, entry.monitor_id)
+            self._entries[key] = entry
+            self._groups.setdefault(entry.group_key, []).append(key)
+            self._n_events += detector.n_seen
+            if self._wal is not None:
+                self._wal.append_watermark(
+                    entry.tenant, entry.monitor_id, detector.n_seen
+                )
+        if records:
+            self._commit_wal()
+        return len(records)
+
+    def forget_monitors(self, keys: Iterable[_MonitorKey]) -> int:
+        """Drop monitors handed off to another hub; return how many existed.
+
+        Unknown keys are skipped (forget is the idempotent second half of a
+        relocation, and crash recovery may retry it).  With a WAL, a
+        ``delivered`` marker is appended at each monitor's ``alert_seq``
+        first: every alert this hub ever fired for the monitor was delivered
+        before the hand-off, so a later crash-replay of this shard's WAL
+        must not re-deliver the departed monitor's tail.
+        """
+        n = 0
+        for tenant, monitor_id in keys:
+            key = (str(tenant), str(monitor_id))
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                continue
+            group = self._groups.get(entry.group_key)
+            if group is not None:
+                try:
+                    group.remove(key)
+                except ValueError:
+                    pass
+                if not group:
+                    del self._groups[entry.group_key]
+            self._n_events = max(0, self._n_events - entry.detector.n_seen)
+            self._checkpoint_seq.pop(key, None)
+            self._replayed_through.pop(key, None)
+            if self._wal is not None and entry.alert_seq > 0:
+                self._wal.append_delivered(
+                    entry.tenant, entry.monitor_id, entry.alert_seq
+                )
+            n += 1
+        if n:
+            self._commit_wal()
+        return n
+
     # ------------------------------------------------------------- ingestion
 
     def observe(

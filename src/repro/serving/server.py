@@ -228,7 +228,23 @@ class ServingServer:
         if op == "snapshot":
             path = self._hub.checkpoint()
             return {"ok": True, "checkpoint": str(path)}
+        if op == "reshard":
+            return self._op_reshard(request)
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _op_reshard(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Live-migrate a sharded hub to a new worker count.
+
+        The reshard runs inline on the event loop (like every other hub
+        op): no ingest can interleave with the migration, which is exactly
+        the quiesce the protocol needs.
+        """
+        if not hasattr(self._hub, "reshard"):
+            return {"ok": False, "error": "hub is not sharded; reshard needs --shards"}
+        shards = request.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            return {"ok": False, "error": "reshard needs 'shards': a positive integer"}
+        return {"ok": True, **self._hub.reshard(shards)}
 
     def _op_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
         tenant, monitor = _identity(request)

@@ -5,21 +5,35 @@ batch speed, but all tenant ingest funnels through one GIL-bound Python
 process.  :class:`ShardedHub` removes that ceiling by partitioning the
 ``(tenant, monitor_id)`` keyspace across N shared-nothing worker processes:
 
-* **Deterministic routing** — :func:`route_shard` hashes the key with
-  BLAKE2b (process-independent, unlike the salted builtin ``hash``) so the
-  same monitor lands on the same shard in every run, every process, and
-  every restart.  No routing table needs to be persisted or synchronised.
-* **Fan-out ingestion** — :meth:`ShardedHub.ingest` partitions an
-  interleaved event batch into one message per shard (preserving each
-  monitor's event order), sends them all, and only then collects replies —
-  the shards run their vectorised flushes concurrently on separate cores.
+* **Slot-based routing** — :func:`route_slot` hashes the key with BLAKE2b
+  (process-independent, unlike the salted builtin ``hash``) into a fixed
+  space of :data:`N_SLOTS` slots, and a slot → shard assignment table maps
+  slots to workers.  The table — not the shard count — is the routing
+  authority: it is carried in the cluster manifest, survives restarts, and
+  is rewritten by :meth:`ShardedHub.reshard`, so growing or shrinking the
+  cluster moves only the slots that change owner instead of remapping the
+  whole keyspace.
+* **Live elastic resharding** — :meth:`ShardedHub.reshard` moves monitors
+  between live workers through the bit-exact ``state_dict`` snapshot
+  contract: quiesce, checkpoint, copy the moving slots' monitors to their
+  new owners, make the copies durable, then atomically rewrite the manifest
+  (the commit point) and clean up.  Alert sequence numbers travel with the
+  monitors, so exactly-once delivery survives a reshard; a crash at any
+  point leaves a layout the resume/respawn machinery recovers exactly.
+* **Shared-memory fan-out** — with ``transport="shm"`` (the default) the
+  hot :meth:`ShardedHub.ingest` path writes each shard's float batch into a
+  per-shard ``multiprocessing.shared_memory`` segment and sends only tiny
+  ``(segment, offsets)`` descriptors over the pipes; workers wrap the bytes
+  in zero-copy numpy views.  The classic pickle path remains as
+  ``transport="pickle"`` and as the automatic fallback.
 * **Per-shard checkpoints + cluster manifest** — every worker owns a
   ``shard-NN/hub-checkpoint.json`` written with the hub's atomic snapshot
   machinery, and :meth:`ShardedHub.checkpoint` records a
-  ``cluster-manifest.json`` with the shard count and per-shard composition
-  hashes.  ``kill -9`` of any worker loses nothing past that shard's last
-  checkpoint (:meth:`respawn_shard` resumes it bit-exactly), and opening a
-  checkpoint directory with a different ``n_shards`` raises
+  ``cluster-manifest.json`` with the shard count, the assignment table, and
+  per-shard composition hashes.  ``kill -9`` of any worker loses nothing
+  past that shard's last checkpoint (:meth:`respawn_shard` resumes it
+  bit-exactly), and opening a checkpoint directory whose manifest disagrees
+  with the requested layout raises
   :class:`~repro.exceptions.SnapshotError` instead of silently mis-routing.
 * **Aggregation** — ``ObserveResult``s, ``stats()`` counters, and alert
   drains come back over the worker pipes; alerts buffer in one
@@ -34,6 +48,7 @@ registering a pre-positioned detector instance on a shard is loss-free.
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
 import multiprocessing
 import signal
@@ -41,55 +56,148 @@ from multiprocessing.connection import Connection
 from pathlib import Path
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     Iterator,
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
     Union,
 )
 
-from repro.core.base import DriftDetector
+import numpy as np
+
+from repro.core.base import DriftDetector, as_value_array
 from repro.exceptions import ConfigurationError, ShardError, SnapshotError
 from repro.serving.hub import Event, MonitorHub, ObserveResult
 from repro.serving.sinks import AlertSink, DriftAlert, JsonlAuditSink, QueueSink, WebhookSink
 from repro.serving.snapshot import atomic_write_json
 from repro.serving.wal import read_wal_head
 
+try:  # pragma: no cover - present on every supported CPython
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
+
 __all__ = [
     "ShardedHub",
+    "route_slot",
     "route_shard",
+    "default_slot_assignment",
+    "N_SLOTS",
     "MANIFEST_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
 ]
 
 logger = logging.getLogger(__name__)
 
-#: Version of the cluster manifest document schema.
-MANIFEST_SCHEMA_VERSION = 1
+#: Version of the cluster manifest document schema.  Version 2 added the
+#: slot → shard ``assignment`` table (plus the ``prev_assignment`` /
+#: ``pending`` reshard bookkeeping); version-1 manifests are still readable —
+#: resume synthesizes the modulo-equivalent table (see ``_resume_plan``).
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Manifest schema versions resume accepts.
+_READABLE_MANIFEST_VERSIONS = (1, 2)
 
 #: File name of the cluster manifest inside ``checkpoint_dir``.
 MANIFEST_FILENAME = "cluster-manifest.json"
 
+#: Size of the fixed slot space keys hash into.  Every cluster layout is an
+#: assignment of these slots to shards; reshards move slots, never rehash
+#: keys.  256 slots bound a cluster at 256 shards while keeping the
+#: manifest table human-readable.
+N_SLOTS = 256
+
 _MonitorKey = Tuple[str, str]
 
 
-def route_shard(tenant: str, monitor_id: str, n_shards: int) -> int:
-    """Deterministic stable shard of a ``(tenant, monitor_id)`` key.
-
-    BLAKE2b over the NUL-joined key (tenant and monitor ids are free-form
-    strings; NUL keeps ``("a", "b/c")`` and ``("a/b", "c")`` distinct), taken
-    modulo the shard count.  Stable across processes, interpreter restarts,
-    and platforms — the property the per-shard checkpoints rely on.
-    """
-    if n_shards < 1:
-        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+def _key_digest(tenant: str, monitor_id: str) -> int:
     digest = hashlib.blake2b(
         f"{tenant}\x00{monitor_id}".encode("utf-8"), digest_size=8
     ).digest()
-    return int.from_bytes(digest, "big") % n_shards
+    return int.from_bytes(digest, "big")
+
+
+def route_slot(tenant: str, monitor_id: str) -> int:
+    """Deterministic stable slot of a ``(tenant, monitor_id)`` key.
+
+    BLAKE2b over the NUL-joined key (tenant and monitor ids are free-form
+    strings; NUL keeps ``("a", "b/c")`` and ``("a/b", "c")`` distinct),
+    taken modulo :data:`N_SLOTS`.  Stable across processes, interpreter
+    restarts, and platforms — the property the per-shard checkpoints rely
+    on.  Which *shard* serves the slot is the cluster's assignment table
+    (:attr:`ShardedHub.assignment`), not a function of the key.
+    """
+    return _key_digest(tenant, monitor_id) % N_SLOTS
+
+
+def default_slot_assignment(n_shards: int) -> List[int]:
+    """The slot → shard table of a fresh ``n_shards``-shard cluster.
+
+    Round-robin (``slot % n_shards``): balanced to within one slot, and —
+    because :func:`route_slot` is itself a modulo of the same digest — for
+    shard counts that divide :data:`N_SLOTS` it places every key on exactly
+    the shard the pre-slot ``digest % n_shards`` routing chose, which is
+    what makes v1 checkpoint migration a pure table synthesis.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    return [slot % n_shards for slot in range(N_SLOTS)]
+
+
+def route_shard(tenant: str, monitor_id: str, n_shards: int) -> int:
+    """Shard of a key under a fresh ``n_shards``-shard cluster's layout.
+
+    .. deprecated::
+        Kept as a thin compatibility wrapper over :func:`route_slot` plus
+        :func:`default_slot_assignment`.  It answers "where would a
+        never-resharded ``n_shards`` cluster place this key" — for a live
+        cluster (whose table may have diverged through
+        :meth:`ShardedHub.reshard`) ask :meth:`ShardedHub.shard_of`
+        instead.
+    """
+    return default_slot_assignment(n_shards)[route_slot(tenant, monitor_id)]
+
+
+def _legacy_route_shard(tenant: str, monitor_id: str, n_shards: int) -> int:
+    """The pre-slot (manifest v1) direct-modulo routing, for migration."""
+    return _key_digest(tenant, monitor_id) % n_shards
+
+
+def _rebalance_assignment(assignment: Sequence[int], n_shards: int) -> List[int]:
+    """Rebalance a slot table onto ``n_shards`` shards, moving minimally.
+
+    Deterministic: surviving shards keep their lowest-numbered slots up to
+    their quota (``N_SLOTS // n`` plus one for the first ``N_SLOTS % n``
+    shards); slots owned by removed shards and surplus slots pool up and are
+    dealt, in slot order, to the under-quota shards in index order.  Only
+    slots that *must* change owner do.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    n_slots = len(assignment)
+    base, extra = divmod(n_slots, n_shards)
+    quota = [base + (1 if index < extra else 0) for index in range(n_shards)]
+    counts = [0] * n_shards
+    rebalanced = [-1] * n_slots
+    pool: List[int] = []
+    for slot, owner in enumerate(assignment):
+        if 0 <= owner < n_shards and counts[owner] < quota[owner]:
+            rebalanced[slot] = owner
+            counts[owner] += 1
+        else:
+            pool.append(slot)
+    receiver = 0
+    for slot in pool:
+        while counts[receiver] >= quota[receiver]:
+            receiver += 1
+        rebalanced[slot] = receiver
+        counts[receiver] += 1
+    return rebalanced
 
 
 def _shard_dirname(index: int) -> str:
@@ -105,6 +213,57 @@ def _safe_send(conn: Connection, reply: Tuple[str, Any]) -> None:
         conn.send(reply)
     except Exception as exc:  # pragma: no cover - defensive
         conn.send(("error", ShardError(f"worker reply failed to serialize: {exc!r}")))
+
+
+def _tracker_is_inherited() -> bool:
+    """Whether this worker shares its parent's resource-tracker process.
+
+    Under the ``fork`` start method the tracker's pipe fd survives into the
+    child, so register/unregister messages land in the *parent's* tracker;
+    under ``spawn`` the fd starts unset and the first registration launches
+    a child-private tracker.  Must be sampled before any shared-memory call
+    (which would itself set the fd).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        return resource_tracker._resource_tracker._fd is not None
+    except Exception:  # pragma: no cover - tracker internals moved
+        return False
+
+
+def _worker_attach_shm(
+    name: str, cache: Dict[str, Any], tracker_inherited: bool
+) -> Any:
+    """Attach (and cache) the parent's shared-memory segment by name.
+
+    The parent owns at most one live segment per shard, so a new name
+    retires every cached one.  Python < 3.13 registers an *attached*
+    segment with the resource tracker as if this process owned it; when the
+    worker runs its own tracker (``spawn``) that registration would unlink
+    the parent's segment on worker exit, so it is immediately revoked.
+    When the tracker is the parent's (``fork``) the registration is an
+    idempotent no-op and revoking it would instead break the *parent's*
+    unlink bookkeeping — so it is left alone.
+    """
+    block = cache.get(name)
+    if block is not None:
+        return block
+    for stale_name in list(cache):
+        try:
+            cache.pop(stale_name).close()
+        except Exception:  # pragma: no cover - view still referenced
+            pass
+    block = _shared_memory.SharedMemory(name=name)
+    if not tracker_inherited:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API differences
+            pass
+    cache[name] = block
+    return block
 
 
 def _shard_worker_main(
@@ -155,6 +314,8 @@ def _shard_worker_main(
         _safe_send(conn, ("error", exc))
         return
 
+    shm_cache: Dict[str, Any] = {}
+    tracker_inherited = _tracker_is_inherited()
     while True:
         try:
             op, payload = conn.recv()
@@ -163,6 +324,18 @@ def _shard_worker_main(
         try:
             if op == "ingest":
                 result: Any = hub.ingest(payload[0])
+            elif op == "ingest_shm":
+                name, total, entries = payload
+                block = _worker_attach_shm(name, shm_cache, tracker_inherited)
+                values = np.ndarray(
+                    (total,), dtype=np.float64, buffer=block.buf
+                )
+                result = hub.ingest(
+                    [
+                        (tenant, monitor_id, values[offset : offset + length])
+                        for tenant, monitor_id, offset, length in entries
+                    ]
+                )
             elif op == "observe":
                 result = hub.observe(*payload)
             elif op == "observe_stats":
@@ -185,6 +358,12 @@ def _shard_worker_main(
                     (tenant, monitor_id, type(detector).__name__)
                     for tenant, monitor_id, detector in hub.monitors()
                 ]
+            elif op == "export_monitors":
+                result = hub.export_monitors(payload[0])
+            elif op == "import_monitors":
+                result = hub.import_monitors(payload[0])
+            elif op == "forget_monitors":
+                result = hub.forget_monitors(payload[0])
             elif op == "metrics":
                 result = hub.metrics()
             elif op == "alerts_history":
@@ -217,6 +396,11 @@ def _shard_worker_main(
         else:
             _safe_send(conn, ("ok", result))
     hub.close()
+    for block in shm_cache.values():
+        try:
+            block.close()
+        except Exception:  # pragma: no cover - view still referenced
+            pass
     conn.close()
 
 
@@ -237,11 +421,12 @@ class ShardedHub:
     ----------
     n_shards:
         Number of worker processes.  Fixed for the lifetime of a checkpoint
-        directory — resuming with a different count raises
-        :class:`SnapshotError` (re-shard explicitly instead of mis-routing).
+        directory *except* through :meth:`reshard` — resuming with a count
+        that disagrees with the manifest raises :class:`SnapshotError`
+        (reshard explicitly instead of mis-routing).
     checkpoint_dir:
         Cluster checkpoint root; each shard owns ``shard-NN/`` inside it and
-        the manifest records the composition.
+        the manifest records the composition and the slot table.
     checkpoint_every:
         Per-shard auto-checkpoint period, counted in values observed by that
         shard (forwarded to each worker's ``MonitorHub``).
@@ -258,7 +443,7 @@ class ShardedHub:
         ``<wal_dir>/shard-NN`` (shared-nothing, like the checkpoints).  The
         cluster manifest records every shard's ``(wal_id, segment_index)``
         head, and resuming against WAL directories that disagree with the
-        manifest raises :class:`SnapshotError` (see :meth:`_validate_manifest`).
+        manifest raises :class:`SnapshotError` (see :meth:`_validate_wal_heads`).
     wal_fsync:
         WAL durability mode forwarded to every shard (``"batch"`` |
         ``"always"`` | ``"off"``).
@@ -280,6 +465,15 @@ class ShardedHub:
         respawn machinery knows how to recover — and :class:`ShardError` is
         raised.  Size it well above the slowest expected flush: a false
         positive costs a checkpoint rollback.
+    transport:
+        Fan-out transport of the hot :meth:`ingest` path.  ``"shm"`` (the
+        default) stages each shard's float batch in a per-shard
+        ``multiprocessing.shared_memory`` segment so workers read it
+        zero-copy; only tiny descriptors cross the pipes.  ``"pickle"``
+        sends the batches through the pipes (the classic path; also the
+        automatic fallback when shared memory is unavailable).  The two are
+        bit-identical in outcome — ``benchmarks/bench_serving_sharded.py``
+        measures the gap.
     """
 
     def __init__(
@@ -296,13 +490,22 @@ class ShardedHub:
         webhook_dead_letter: Optional[str] = None,
         start_method: Optional[str] = None,
         request_timeout: Optional[float] = None,
+        transport: str = "shm",
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards > N_SLOTS:
+            raise ConfigurationError(
+                f"n_shards must be <= {N_SLOTS} (the slot space), got {n_shards}"
+            )
         if checkpoint_every is not None and checkpoint_dir is None:
             raise ConfigurationError(
                 "checkpoint_every requires a checkpoint_dir — without one the "
                 "periodic checkpoints would silently never be written"
+            )
+        if transport not in ("shm", "pickle"):
+            raise ConfigurationError(
+                f"transport must be 'shm' or 'pickle', got {transport!r}"
             )
         self._n_shards = n_shards
         self._checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
@@ -319,29 +522,54 @@ class ShardedHub:
         self._webhook = webhook
         self._webhook_dead_letter = webhook_dead_letter
         self._request_timeout = request_timeout
+        if transport == "shm" and _shared_memory is None:  # pragma: no cover
+            logger.warning(
+                "multiprocessing.shared_memory is unavailable; "
+                "falling back to the pickle transport"
+            )
+            transport = "pickle"
+        self._transport = transport
+        self._shm_blocks: Dict[int, Any] = {}
         self._context = multiprocessing.get_context(start_method)
         self._closed = False
         self._registry: Dict[_MonitorKey, int] = {}
+        self._assignment: List[int] = default_slot_assignment(n_shards)
+        #: Alerts drained out of workers removed by a shrink, merged into
+        #: the next :meth:`drain_alerts`; the dropped counter is the
+        #: lifetime eviction count of those retired workers.
+        self._parked_alerts: List[DriftAlert] = []
+        self._parked_dropped = 0
+        #: Test seam: called with a stage name at every reshard phase
+        #: boundary so crash-injection tests can kill workers mid-protocol.
+        self._reshard_test_hook: Optional[Callable[[str], None]] = None
         self._processes: List[Optional[multiprocessing.process.BaseProcess]] = [
             None
         ] * n_shards
         self._conns: List[Optional[Connection]] = [None] * n_shards
 
-        if resume:
-            self._validate_manifest()
+        plan = self._resume_plan() if resume else None
+        if plan is not None:
+            self._assignment = plan["assignment"]
         try:
             for index in range(n_shards):
                 self._spawn(index, resume=resume)
-            for index in range(n_shards):
-                self._adopt_shard_monitors(index)
+            # Also the startup handshake (for resume=False the listings are
+            # empty): a worker whose hub failed to construct surfaces the
+            # real exception here instead of an opaque dead pipe later.
+            migrated = self._adopt_cluster(plan)
             if self._checkpoint_dir is not None:
                 # Write the manifest up front, not only in checkpoint():
                 # per-shard auto-checkpoints (checkpoint_every) never touch
-                # it, and without a manifest the shard-count guard cannot
-                # fire — a divisor reshard (4 → 2) would then pass the
-                # routing check (digest % 4 ∈ {0, 1} implies the same
-                # digest % 2) and silently drop the other shards' monitors.
-                self._write_manifest(self._broadcast("describe"))
+                # it, and without a manifest the layout guard cannot fire —
+                # opening a 4-shard directory as 2 shards would silently
+                # drop the other shards' monitors.  When adoption moved or
+                # deduplicated monitors (a v1 migration, an interrupted
+                # reshard), checkpoint first so the clean v2 manifest never
+                # points at shard files that contradict it.
+                reports = self._broadcast(
+                    "checkpoint" if migrated else "describe"
+                )
+                self._write_manifest(reports)
         except BaseException:
             # A failed resume (corrupt shard checkpoint, mis-assembled
             # directories) must not leak live worker processes and pipes.
@@ -350,33 +578,96 @@ class ShardedHub:
 
     # ------------------------------------------------------------- lifecycle
 
-    def _validate_manifest(self) -> None:
+    def _resume_plan(self) -> Optional[Dict[str, Any]]:
+        """Read the manifest into a resume plan (assignment + provenance).
+
+        The plan carries the authoritative slot table plus the legitimate
+        *alternative* locations a monitor may be found in:
+
+        * ``legacy`` — a v1 manifest; keys may sit on their old direct
+          ``digest % n_shards`` shard and migrate to the synthesized slot
+          table once.
+        * ``pending`` — a reshard crashed before its commit point; copies
+          may exist on the intended targets (the committed table wins).
+        * ``prev`` — a reshard committed but crashed during cleanup; stale
+          source copies may remain (the new table wins).
+
+        Anything found elsewhere is mis-assembly and raises.
+        """
+        plan: Dict[str, Any] = {
+            "assignment": default_slot_assignment(self._n_shards),
+            "legacy": False,
+            "pending": None,
+            "prev": None,
+        }
         if self._checkpoint_dir is None:
-            return
+            return plan
         path = self._checkpoint_dir / MANIFEST_FILENAME
         if not path.is_file():
-            return
-        import json
-
+            return plan
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
             raise SnapshotError(f"cannot read cluster manifest {path}: {exc}") from exc
         version = manifest.get("schema_version")
-        if version != MANIFEST_SCHEMA_VERSION:
+        if version not in _READABLE_MANIFEST_VERSIONS:
             raise SnapshotError(
                 f"cluster manifest schema version {version!r} is not supported "
-                f"(expected {MANIFEST_SCHEMA_VERSION})"
+                f"(expected one of {_READABLE_MANIFEST_VERSIONS})"
             )
         recorded = manifest.get("n_shards")
         if recorded != self._n_shards:
             raise SnapshotError(
                 f"checkpoint directory {self._checkpoint_dir} was written by a "
                 f"{recorded}-shard cluster but this hub has {self._n_shards} "
-                "shards; the routing hash would silently send monitors to the "
-                "wrong shard — re-shard the checkpoint or start fresh"
+                "shards; the slot table would silently send monitors to the "
+                f"wrong shard — resume with n_shards={recorded} and call "
+                f"reshard({self._n_shards}), or start fresh"
             )
+        if version == 1:
+            # Pre-slot manifest: the synthesized round-robin table equals
+            # the old digest % n layout when n divides N_SLOTS; otherwise
+            # _adopt_cluster relocates the stragglers once.
+            plan["legacy"] = True
+            self._validate_wal_heads(manifest)
+            return plan
+        n_slots = manifest.get("n_slots")
+        if n_slots != N_SLOTS:
+            raise SnapshotError(
+                f"cluster manifest uses {n_slots!r} slots but this build "
+                f"routes over {N_SLOTS}; refusing to mis-route"
+            )
+        plan["assignment"] = self._checked_assignment(
+            manifest.get("assignment"), "assignment"
+        )
+        pending = manifest.get("pending")
+        if pending:
+            plan["pending"] = self._checked_assignment(
+                pending.get("assignment"),
+                "pending assignment",
+                n_shards=int(pending.get("n_shards", self._n_shards)),
+            )
+        prev = manifest.get("prev_assignment")
+        if prev:
+            plan["prev"] = self._checked_assignment(prev, "prev_assignment")
         self._validate_wal_heads(manifest)
+        return plan
+
+    def _checked_assignment(
+        self, table: Any, label: str, n_shards: Optional[int] = None
+    ) -> List[int]:
+        limit = self._n_shards if n_shards is None else max(n_shards, self._n_shards)
+        if not isinstance(table, list) or len(table) != N_SLOTS:
+            raise SnapshotError(
+                f"cluster manifest {label} is not a {N_SLOTS}-entry table"
+            )
+        checked = [int(shard) for shard in table]
+        if any(not 0 <= shard < limit for shard in checked):
+            raise SnapshotError(
+                f"cluster manifest {label} references shards outside "
+                f"0..{limit - 1}"
+            )
+        return checked
 
     def _validate_wal_heads(self, manifest: Dict[str, Any]) -> None:
         """Refuse to resume against WAL directories the manifest disowns.
@@ -470,35 +761,157 @@ class ShardedHub:
         self._processes[index] = process
         self._conns[index] = parent_conn
 
-    def _adopt_shard_monitors(self, index: int) -> None:
-        """Mirror a (re)spawned shard's resumed monitors into the registry.
+    def _adopt_cluster(self, plan: Optional[Dict[str, Any]]) -> bool:
+        """Mirror every shard's resumed monitors into the registry.
 
         Doubles as the startup handshake — a worker whose hub failed to
-        construct (corrupt shard checkpoint, bad directory) surfaces the real
-        exception here instead of an opaque dead pipe later.  Every resumed
-        key must route to the shard that holds it; a violation means the
-        checkpoint directory was assembled from a different cluster layout
-        (e.g. shard directories swapped by hand), which is a correctness
-        error, not a warning.
+        construct (corrupt shard checkpoint, bad directory) surfaces the
+        real exception here instead of an opaque dead pipe later.  Every
+        resumed key must sit on the shard the slot table assigns it to, or
+        on a location the resume plan explains (a v1 layout, an interrupted
+        reshard) — those migrate or deduplicate here, through the same
+        export/import/forget hand-off a live reshard uses.  Anything else
+        means the checkpoint directory was assembled from a different
+        cluster layout, which is a correctness error, not a warning.
+
+        Returns whether any monitor moved or was deduplicated (callers then
+        checkpoint before writing the clean manifest).
+        """
+        if plan is None:
+            plan = {
+                "assignment": self._assignment,
+                "legacy": False,
+                "pending": None,
+                "prev": None,
+            }
+        self._registry = {}
+        placement: Dict[_MonitorKey, List[int]] = {}
+        for index in range(self._n_shards):
+            for tenant, monitor_id, _ in self._call(index, "list_monitors"):
+                placement.setdefault((tenant, monitor_id), []).append(index)
+        migrated = False
+        forgets: Dict[int, List[_MonitorKey]] = {}
+        moves: Dict[int, List[_MonitorKey]] = {}
+        for key, holders in placement.items():
+            owner = self._assignment[route_slot(*key)]
+            strays = [shard for shard in holders if shard != owner]
+            for shard in strays:
+                if not self._stray_allowed(key, shard, plan):
+                    raise SnapshotError(
+                        f"monitor {key[0]}/{key[1]} resumed on shard {shard} "
+                        f"but routes to shard {owner}; the shard checkpoints "
+                        "do not belong to this cluster layout"
+                    )
+            if owner in holders:
+                # Copies beyond the owner are leftovers of an interrupted
+                # reshard's cleanup phase; the committed owner wins.
+                for shard in strays:
+                    forgets.setdefault(shard, []).append(key)
+            else:
+                if len(strays) != 1:
+                    raise SnapshotError(
+                        f"monitor {key[0]}/{key[1]} resumed on shards "
+                        f"{sorted(strays)} but routes to shard {owner}; the "
+                        "shard checkpoints do not belong to this cluster layout"
+                    )
+                moves.setdefault(strays[0], []).append(key)
+            self._registry[key] = owner
+        for source, keys in sorted(moves.items()):
+            per_target: Dict[int, List[_MonitorKey]] = {}
+            for key in keys:
+                per_target.setdefault(
+                    self._assignment[route_slot(*key)], []
+                ).append(key)
+            records = self._call(source, "export_monitors", keys)
+            by_key = {
+                (record["tenant"], record["monitor_id"]): record
+                for record in records
+            }
+            for target, target_keys in sorted(per_target.items()):
+                self._call(
+                    target,
+                    "import_monitors",
+                    [by_key[key] for key in target_keys],
+                )
+            self._call(source, "forget_monitors", keys)
+            migrated = True
+        for shard, keys in sorted(forgets.items()):
+            self._call(shard, "forget_monitors", keys)
+            migrated = True
+        return migrated
+
+    def _stray_allowed(
+        self, key: _MonitorKey, shard: int, plan: Dict[str, Any]
+    ) -> bool:
+        """Whether the resume plan legitimises finding ``key`` on ``shard``."""
+        tenant, monitor_id = key
+        if plan["legacy"] and shard == _legacy_route_shard(
+            tenant, monitor_id, self._n_shards
+        ):
+            return True
+        slot = route_slot(tenant, monitor_id)
+        for table in (plan["pending"], plan["prev"]):
+            if table is not None and table[slot] == shard:
+                return True
+        return False
+
+    def _adopt_shard_monitors(self, index: int) -> None:
+        """Mirror a respawned shard's resumed monitors into the registry.
+
+        Same contract as :meth:`_adopt_cluster`, scoped to one shard: every
+        resumed key must be assigned to this shard, except stale duplicates
+        of monitors the registry knows live elsewhere — copies a reshard's
+        interrupted cleanup left in this shard's checkpoint — which are
+        forgotten, not adopted.  Anything else is mis-assembly and raises.
         """
         self._registry = {
             key: shard for key, shard in self._registry.items() if shard != index
         }
+        stale: List[_MonitorKey] = []
         for tenant, monitor_id, _ in self._call(index, "list_monitors"):
-            expected = route_shard(tenant, monitor_id, self._n_shards)
-            if expected != index:
-                raise SnapshotError(
-                    f"monitor {tenant}/{monitor_id} resumed on shard {index} "
-                    f"but routes to shard {expected}; the shard checkpoints "
-                    "do not belong to this cluster layout"
-                )
-            self._registry[(tenant, monitor_id)] = index
+            key = (tenant, monitor_id)
+            owner = self._assignment[route_slot(tenant, monitor_id)]
+            if owner == index:
+                self._registry[key] = index
+                continue
+            if self._registry.get(key) == owner:
+                stale.append(key)
+                continue
+            raise SnapshotError(
+                f"monitor {tenant}/{monitor_id} resumed on shard {index} "
+                f"but routes to shard {owner}; the shard checkpoints "
+                "do not belong to this cluster layout"
+            )
+        if stale:
+            self._call(index, "forget_monitors", stale)
 
     #: Seconds :meth:`close` waits for a worker's ``stop`` reply before
     #: falling back to ``terminate()``.  Bounded regardless of
     #: ``request_timeout`` — an unbounded wait on a wedged-but-alive worker
     #: would hang shutdown and make the terminate fallback unreachable.
     _STOP_REPLY_TIMEOUT = 5.0
+
+    def _stop_worker(self, process: Any, conn: Optional[Connection]) -> None:
+        """Gracefully stop one worker: ``stop`` op, then escalate."""
+        if process is not None and process.is_alive() and conn is not None:
+            try:
+                conn.send(("stop", ()))
+                if conn.poll(self._STOP_REPLY_TIMEOUT):
+                    conn.recv()
+            except Exception:
+                pass
+        if process is not None:
+            process.join(timeout=self._STOP_REPLY_TIMEOUT)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=self._STOP_REPLY_TIMEOUT)
+            if process.is_alive():
+                # SIGTERM stays *pending* on a SIGSTOPped worker; SIGKILL
+                # is the only signal guaranteed to reap a wedged process.
+                process.kill()
+                process.join(timeout=self._STOP_REPLY_TIMEOUT)
+        if conn is not None:
+            conn.close()
 
     def close(self) -> None:
         """Stop every worker (graceful ``stop`` op, then terminate stragglers)."""
@@ -536,6 +949,8 @@ class ShardedHub:
             conn = self._conns[index]
             if conn is not None:
                 conn.close()
+        for index in list(self._shm_blocks):
+            self._release_shm_block(index)
 
     def __enter__(self) -> "ShardedHub":
         return self
@@ -679,6 +1094,75 @@ class ShardedHub:
             raise dead_error
         return replies
 
+    # ------------------------------------------------- shared-memory staging
+
+    def _release_shm_block(self, index: int) -> None:
+        block = self._shm_blocks.pop(index, None)
+        if block is None:
+            return
+        for method in (block.close, block.unlink):
+            try:
+                method()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+    def _shm_block(self, index: int, nbytes: int) -> Any:
+        """The shard's staging segment, grown (power-of-two) on demand.
+
+        Growing allocates a *new* named segment and retires the old one —
+        the worker switches attachments when it sees the new name, and the
+        strict request/reply pipe discipline guarantees the old segment has
+        no in-flight reader by the time the parent reuses or frees it.
+        """
+        block = self._shm_blocks.get(index)
+        if block is not None and block.size >= nbytes:
+            return block
+        if block is not None:
+            self._release_shm_block(index)
+        capacity = max(64 * 1024, 1 << (max(1, nbytes) - 1).bit_length())
+        block = _shared_memory.SharedMemory(create=True, size=capacity)
+        self._shm_blocks[index] = block
+        return block
+
+    def _shm_message(
+        self, index: int, shard_events: List[Event]
+    ) -> Optional[Tuple[str, Tuple[Any, ...]]]:
+        """Stage one shard's batch in shared memory; descriptor message.
+
+        Returns ``None`` to fall back to the pickle path (empty batch, or
+        the segment could not be allocated — in which case the transport
+        downgrades for good).  Payload conversion errors propagate: they
+        are caller errors, identical to what the worker-side conversion
+        would have raised, and no message has touched a pipe yet.
+        """
+        converted: List[Tuple[str, str, "np.ndarray"]] = []
+        total = 0
+        for tenant, monitor_id, payload in shard_events:
+            values = as_value_array(payload)
+            converted.append((tenant, monitor_id, values))
+            total += values.shape[0]
+        if total == 0:
+            return None
+        try:
+            block = self._shm_block(index, total * 8)
+        except Exception:
+            logger.warning(
+                "cannot allocate a shared-memory segment; falling back to "
+                "the pickle transport",
+                exc_info=True,
+            )
+            self._transport = "pickle"
+            return None
+        staged = np.ndarray((total,), dtype=np.float64, buffer=block.buf)
+        entries: List[Tuple[str, str, int, int]] = []
+        offset = 0
+        for tenant, monitor_id, values in converted:
+            length = values.shape[0]
+            staged[offset : offset + length] = values
+            entries.append((tenant, monitor_id, offset, length))
+            offset += length
+        return ("ingest_shm", (block.name, total, entries))
+
     # ---------------------------------------------------------- registration
 
     def register(
@@ -697,7 +1181,7 @@ class ShardedHub:
         inside the worker — shared-nothing means the parent never holds one.
         """
         key = (str(tenant), str(monitor_id))
-        shard = route_shard(key[0], key[1], self._n_shards)
+        shard = self._assignment[route_slot(key[0], key[1])]
         info = self._call(
             shard, "register", key[0], key[1], detector, dict(params) if params else None, exist_ok
         )
@@ -705,8 +1189,12 @@ class ShardedHub:
         return info
 
     def shard_of(self, tenant: str, monitor_id: str) -> int:
-        """The shard index a key routes to (registered or not)."""
-        return route_shard(str(tenant), str(monitor_id), self._n_shards)
+        """The shard the assignment table routes a key to (registered or not)."""
+        return self._assignment[route_slot(str(tenant), str(monitor_id))]
+
+    def slot_of(self, tenant: str, monitor_id: str) -> int:
+        """The slot a key hashes into (layout-independent)."""
+        return route_slot(str(tenant), str(monitor_id))
 
     def __len__(self) -> int:
         return len(self._registry)
@@ -718,6 +1206,21 @@ class ShardedHub:
     def n_shards(self) -> int:
         """Number of worker processes the keyspace is partitioned across."""
         return self._n_shards
+
+    @property
+    def n_slots(self) -> int:
+        """Size of the slot space (fixed; see :data:`N_SLOTS`)."""
+        return N_SLOTS
+
+    @property
+    def assignment(self) -> Tuple[int, ...]:
+        """The live slot → shard table (index = slot)."""
+        return tuple(self._assignment)
+
+    @property
+    def transport(self) -> str:
+        """The active ingest fan-out transport (``"shm"`` or ``"pickle"``)."""
+        return self._transport
 
     def monitor_keys(self) -> Iterator[Tuple[str, str, int]]:
         """Iterate ``(tenant, monitor_id, shard_index)`` over the registry."""
@@ -758,6 +1261,11 @@ class ShardedHub:
         the per-monitor sequences a single hub would have seen — detections
         are bit-identical to the unsharded run.  Results aggregate in shard
         order (within a shard, the worker hub's flush order).
+
+        With the ``"shm"`` transport each shard's values are staged in its
+        shared-memory segment and only ``(segment, offsets)`` descriptors
+        cross the pipe; the worker reads the floats zero-copy.  Payloads the
+        float conversion rejects raise here, before anything is sent.
         """
         per_shard: Dict[int, List[Event]] = {}
         for tenant, monitor_id, payload in events:
@@ -766,9 +1274,15 @@ class ShardedHub:
         if not per_shard:
             return []
         indices = sorted(per_shard)
-        replies = self._fan_out(
-            indices, [("ingest", (per_shard[index],)) for index in indices]
-        )
+        messages: List[Tuple[str, Tuple[Any, ...]]] = []
+        for index in indices:
+            message = None
+            if self._transport == "shm":
+                message = self._shm_message(index, per_shard[index])
+            if message is None:
+                message = ("ingest", (per_shard[index],))
+            messages.append(message)
+        replies = self._fan_out(indices, messages)
         results: List[ObserveResult] = []
         for reply in replies:
             results.extend(reply)
@@ -841,6 +1355,7 @@ class ShardedHub:
             "n_replay_suppressed": sum(
                 m["n_replay_suppressed"] for m in shard_metrics
             ),
+            "transport": self._transport,
             "shards": shard_metrics,
         }
 
@@ -858,7 +1373,10 @@ class ShardedHub:
         shard; broader queries fan out to every live shard and merge by alert
         timestamp (keeping the newest ``limit`` matches).  Requires
         ``wal_dir``; a worker without one raises
-        :class:`~repro.exceptions.ConfigurationError`.
+        :class:`~repro.exceptions.ConfigurationError`.  After a reshard a
+        moved monitor's *older* records remain in its previous shard's WAL:
+        the fan-out query still finds them (until that WAL prunes), the
+        owner-routed query covers everything since the move.
         """
         filters = {
             "tenant": tenant,
@@ -881,16 +1399,19 @@ class ShardedHub:
     def drain_alerts(self) -> Tuple[List[DriftAlert], int]:
         """Drain every live shard's alert queue; return ``(alerts, n_dropped)``.
 
-        Alerts merge in shard order (emission order within a shard);
-        ``n_dropped`` is the lifetime count of alerts evicted from full
-        shard queues.  Draining is destructive, so a dead shard must never
-        abort the call — the surviving shards' alerts are returned (a strict
-        mode would throw them away *after* the workers had already drained
-        their queues).  A dead shard's undelivered alerts are gone with its
+        Alerts merge in shard order (emission order within a shard), after
+        any alerts parked by a shrinking :meth:`reshard` (drained out of the
+        retiring workers before they stopped); ``n_dropped`` is the lifetime
+        count of alerts evicted from full shard queues, including retired
+        shards'.  Draining is destructive, so a dead shard must never abort
+        the call — the surviving shards' alerts are returned (a strict mode
+        would throw them away *after* the workers had already drained their
+        queues).  A dead shard's undelivered alerts are gone with its
         worker; its detections re-fire during the post-respawn replay.
         """
-        alerts: List[DriftAlert] = []
-        n_dropped = 0
+        alerts: List[DriftAlert] = list(self._parked_alerts)
+        self._parked_alerts = []
+        n_dropped = self._parked_dropped
         for shard_alerts, shard_dropped in self._broadcast(
             "alerts", tolerate_dead=True
         ):
@@ -904,12 +1425,14 @@ class ShardedHub:
         """Checkpoint every shard, then write the cluster manifest.
 
         Shards checkpoint concurrently (their own atomic
-        ``hub-checkpoint.json``); the manifest records the shard count, each
-        shard's composition hash and event count, and a cluster hash over
-        the ordered shard hashes.  The manifest is advisory metadata written
-        *after* the shard files — the shard checkpoints alone are sufficient
-        to resume, and a crash between the two leaves a stale-but-harmless
-        manifest (shard count is what resume validates).
+        ``hub-checkpoint.json``); the manifest records the shard count, the
+        slot table, each shard's composition hash and event count, and a
+        cluster hash over the ordered shard hashes.  The manifest is
+        advisory metadata written *after* the shard files — the shard
+        checkpoints alone are sufficient to resume, and a crash between the
+        two leaves a stale-but-harmless manifest (the layout fields are
+        what resume validates, and they only change through :meth:`reshard`,
+        which orders its writes explicitly).
         """
         if self._checkpoint_dir is None:
             raise ConfigurationError(
@@ -917,15 +1440,42 @@ class ShardedHub:
             )
         return self._write_manifest(self._broadcast("checkpoint"))
 
-    def _write_manifest(self, reports: List[Dict[str, Any]]) -> Path:
-        """Atomically record the cluster composition (also at construction,
-        so shard-count validation works for clusters that only ever
-        auto-checkpoint)."""
+    def _write_manifest(
+        self,
+        reports: List[Dict[str, Any]],
+        n_shards: Optional[int] = None,
+        assignment: Optional[Sequence[int]] = None,
+        prev_assignment: Optional[Sequence[int]] = None,
+        pending: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Atomically record the cluster composition and slot table.
+
+        Also called at construction, so layout validation works for
+        clusters that only ever auto-checkpoint.  ``reports`` must align
+        with shard indices 0..n-1.  ``pending`` records a reshard's durable
+        intent before its commit point; ``prev_assignment`` names the
+        pre-commit table until the sources' stale copies are cleaned up.
+        """
         from repro.experiments.orchestrator import grid_config_hash
 
+        n = self._n_shards if n_shards is None else n_shards
+        table = list(self._assignment if assignment is None else assignment)
         manifest = {
             "schema_version": MANIFEST_SCHEMA_VERSION,
-            "n_shards": self._n_shards,
+            "n_shards": n,
+            "n_slots": N_SLOTS,
+            "assignment": table,
+            "prev_assignment": (
+                list(prev_assignment) if prev_assignment is not None else None
+            ),
+            "pending": (
+                {
+                    "n_shards": int(pending["n_shards"]),
+                    "assignment": list(pending["assignment"]),
+                }
+                if pending is not None
+                else None
+            ),
             "cluster_hash": grid_config_hash(
                 {"shards": [report["config_hash"] for report in reports]}
             ),
@@ -944,6 +1494,242 @@ class ShardedHub:
         }
         self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
         return atomic_write_json(self._checkpoint_dir / MANIFEST_FILENAME, manifest)
+
+    # ------------------------------------------------------------ resharding
+
+    def _reshard_stage(self, stage: str) -> None:
+        hook = self._reshard_test_hook
+        if hook is not None:
+            hook(stage)
+
+    def reshard(self, n_shards: int) -> Dict[str, Any]:
+        """Live-migrate the cluster to ``n_shards`` workers; return a summary.
+
+        The slot table is rebalanced with minimal movement (only slots that
+        must change owner do), and the moving slots' monitors are handed
+        source → target through the bit-exact snapshot contract, alert
+        sequence counters included — detections and exactly-once alert
+        delivery continue as if the cluster had never changed shape.  The
+        parent is the cluster's only writer, so the quiesce is implicit: no
+        ingest runs while this method does.
+
+        Crash safety (with a ``checkpoint_dir``) is a write-ahead protocol
+        on the manifest:
+
+        1. baseline checkpoint of every shard;
+        2. manifest gains a ``pending`` record (durable intent; the old
+           table stays authoritative);
+        3. moving monitors are exported → imported and the *target* shards
+           checkpoint (copies exist on disk under both layouts);
+        4. **commit**: the manifest is atomically rewritten with the new
+           table (``prev_assignment`` names the old one);
+        5. cleanup: sources forget the moved monitors, retiring workers
+           stop (their queued alerts are parked for :meth:`drain_alerts`),
+           every shard checkpoints, and the manifest drops
+           ``prev_assignment``.
+
+        A crash before step 4 resumes under the old layout (stray copies on
+        the intended targets are recognised via ``pending`` and dropped); a
+        crash after it resumes under the new layout (stale source copies
+        are recognised via ``prev_assignment`` and dropped).  A worker
+        death *during* the protocol aborts it the same way: copies roll
+        back, freshly spawned workers stop, the intent record is cleared,
+        and the :class:`ShardError` propagates — ``respawn_dead_shards()``
+        then repairs the cluster and the reshard can be retried.
+
+        Fails fast on a degraded cluster (``respawn_dead_shards()`` first);
+        requires every monitor's owner to be live because their state must
+        be read to move.
+        """
+        if self._closed:
+            raise ShardError("sharded hub is closed")
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards > N_SLOTS:
+            raise ConfigurationError(
+                f"n_shards must be <= {N_SLOTS} (the slot space), got {n_shards}"
+            )
+        dead = self.dead_shards()
+        if dead:
+            raise ShardError(
+                f"cannot reshard with dead shards {dead}; "
+                "respawn_dead_shards() first"
+            )
+        old_n = self._n_shards
+        old_assignment = list(self._assignment)
+        if n_shards == old_n:
+            return {
+                "n_shards": old_n,
+                "n_slots_moved": 0,
+                "n_monitors_moved": 0,
+            }
+        new_assignment = _rebalance_assignment(old_assignment, n_shards)
+        n_slots_moved = sum(
+            1
+            for old, new in zip(old_assignment, new_assignment)
+            if old != new
+        )
+        # Plan the monitor moves from the live registry.
+        moves: Dict[Tuple[int, int], List[_MonitorKey]] = {}
+        for key, shard in self._registry.items():
+            target = new_assignment[route_slot(*key)]
+            if target != shard:
+                moves.setdefault((shard, target), []).append(key)
+        n_monitors_moved = sum(len(keys) for keys in moves.values())
+        logger.info(
+            "resharding %d -> %d shards: %d slots, %d monitors moving",
+            old_n,
+            n_shards,
+            n_slots_moved,
+            n_monitors_moved,
+        )
+
+        # 1. Quiesce + baseline: durable pre-reshard state on every shard.
+        baseline_reports: Optional[List[Dict[str, Any]]] = None
+        if self._checkpoint_dir is not None:
+            baseline_reports = self._broadcast("checkpoint")
+        self._reshard_stage("baseline")
+
+        spawned: List[int] = []
+        imported: Dict[int, List[_MonitorKey]] = {}
+        try:
+            # 2. Grow: spawn the new workers with fresh hubs.  Checkpoints
+            #    under their directories are leftovers of an aborted grow —
+            #    never part of a committed layout — and are ignored.
+            for index in range(old_n, n_shards):
+                self._processes.append(None)
+                self._conns.append(None)
+                self._spawn(index, resume=False)
+                spawned.append(index)
+            self._reshard_stage("spawned")
+            # 3. Durable intent: the old table stays authoritative.
+            if baseline_reports is not None:
+                self._write_manifest(
+                    baseline_reports,
+                    pending={"n_shards": n_shards, "assignment": new_assignment},
+                )
+            self._reshard_stage("intent")
+            # 4. Copy the moving monitors to their new owners.
+            for (source, target), keys in sorted(moves.items()):
+                records = self._call(source, "export_monitors", keys)
+                self._reshard_stage("exported")
+                self._call(target, "import_monitors", records)
+                imported.setdefault(target, []).extend(keys)
+            self._reshard_stage("imported")
+            # 5. Make the copies durable before the commit point, and gather
+            #    the commit manifest's per-shard reports.
+            reports: Optional[List[Dict[str, Any]]] = None
+            if self._checkpoint_dir is not None:
+                targets = {target for _, target in moves} | set(spawned)
+                reports = []
+                for index in range(n_shards):
+                    reports.append(
+                        self._call(
+                            index,
+                            "checkpoint" if index in targets else "describe",
+                        )
+                    )
+            self._reshard_stage("copied")
+            # 6. COMMIT: the manifest atomically switches the layout.
+            if reports is not None:
+                self._write_manifest(
+                    reports,
+                    n_shards=n_shards,
+                    assignment=new_assignment,
+                    prev_assignment=old_assignment,
+                )
+        except BaseException:
+            self._abort_reshard(spawned, imported, old_n, baseline_reports)
+            raise
+        self._n_shards = n_shards
+        self._assignment = list(new_assignment)
+        self._registry = {
+            key: new_assignment[route_slot(*key)] for key in self._registry
+        }
+        self._reshard_stage("committed")
+
+        # 7. Cleanup.  The reshard is already committed: failures here leave
+        #    recoverable duplicates (prev_assignment explains them), so they
+        #    surface as ShardError *after* the layout change took effect.
+        cleanup_error: Optional[BaseException] = None
+        for (source, target), keys in sorted(moves.items()):
+            if source >= n_shards:
+                continue  # the whole worker retires below
+            try:
+                self._call(source, "forget_monitors", keys)
+            except Exception as exc:
+                logger.warning("reshard cleanup: shard %d forget failed", source)
+                cleanup_error = cleanup_error or exc
+        for index in range(n_shards, old_n):
+            try:
+                parked, dropped = self._call(index, "alerts")
+                self._parked_alerts.extend(parked)
+                self._parked_dropped += dropped
+            except Exception as exc:
+                logger.warning(
+                    "reshard cleanup: could not drain retiring shard %d", index
+                )
+                cleanup_error = cleanup_error or exc
+            self._stop_worker(self._processes[index], self._conns[index])
+        del self._processes[n_shards:]
+        del self._conns[n_shards:]
+        for index in range(n_shards, old_n):
+            self._release_shm_block(index)
+        self._reshard_stage("cleanup")
+        if self._checkpoint_dir is not None and cleanup_error is None:
+            try:
+                self._write_manifest(self._broadcast("checkpoint"))
+            except Exception as exc:
+                cleanup_error = exc
+        if cleanup_error is not None:
+            raise ShardError(
+                f"reshard to {n_shards} shards committed, but its cleanup "
+                f"failed ({cleanup_error!r}); respawn_dead_shards() finishes "
+                "the recovery"
+            ) from cleanup_error
+        return {
+            "n_shards": n_shards,
+            "n_slots_moved": n_slots_moved,
+            "n_monitors_moved": n_monitors_moved,
+        }
+
+    def _abort_reshard(
+        self,
+        spawned: List[int],
+        imported: Dict[int, List[_MonitorKey]],
+        old_n: int,
+        baseline_reports: Optional[List[Dict[str, Any]]],
+    ) -> None:
+        """Roll a failed (pre-commit) reshard back to the old layout.
+
+        The old table never stopped being authoritative — this only drops
+        the copies, retires the workers spawned for the abandoned layout,
+        and clears the durable intent record.  Best-effort by design: a
+        dead worker here is exactly what aborted the reshard, and whatever
+        cannot be cleaned up live is recognised on resume via ``pending``.
+        """
+        for target, keys in imported.items():
+            if target >= old_n:
+                continue  # the whole worker is discarded below
+            try:
+                self._call(target, "forget_monitors", keys)
+            except Exception:
+                logger.warning(
+                    "reshard abort: could not roll back imports on shard %d",
+                    target,
+                )
+        for index in sorted(spawned, reverse=True):
+            self._stop_worker(self._processes[index], self._conns[index])
+            del self._processes[index]
+            del self._conns[index]
+            self._release_shm_block(index)
+        if baseline_reports is not None:
+            try:
+                self._write_manifest(baseline_reports)
+            except Exception:
+                logger.warning(
+                    "reshard abort: could not clear the manifest intent record"
+                )
 
     # ------------------------------------------------------ failure handling
 
@@ -980,6 +1766,8 @@ class ShardedHub:
         conn = self._conns[index]
         if conn is not None:
             conn.close()
+        # The retiring worker may have died mid-read; never reuse its block.
+        self._release_shm_block(index)
         logger.warning("respawning shard %d from its checkpoint", index)
         self._spawn(index, resume=True)
         self._adopt_shard_monitors(index)

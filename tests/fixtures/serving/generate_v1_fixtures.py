@@ -1,0 +1,73 @@
+"""Generate the checked-in v1 cluster-manifest fixtures.
+
+Run once against the PRE-slot-routing serving code (manifest schema v1,
+modulo routing).  The output directories are frozen test fixtures for the
+v1 -> v2 manifest migration path; regenerating them with newer code would
+defeat their purpose.
+"""
+import hashlib
+import shutil
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, "/root/repo/src")
+
+from repro.serving.sharded import ShardedHub, route_shard
+
+ROOT = Path("/root/repo/tests/fixtures/serving")
+
+TENANTS = ["acme", "globex"]
+N_MONITORS = 8  # per tenant
+N_VALUES = 120
+
+
+def monitor_values(tenant: str, monitor_id: str) -> np.ndarray:
+    seed = int.from_bytes(
+        hashlib.blake2b(f"{tenant}:{monitor_id}".encode(), digest_size=4).digest(),
+        "big",
+    )
+    rng = np.random.default_rng(seed)
+    return (rng.random(N_VALUES) < 0.3).astype(np.float64)
+
+
+def build(n_shards: int, dirname: str) -> None:
+    target = ROOT / dirname
+    if target.exists():
+        shutil.rmtree(target)
+    target.mkdir(parents=True)
+    hub = ShardedHub(n_shards, checkpoint_dir=target, resume=False)
+    events = []
+    for tenant in TENANTS:
+        for i in range(N_MONITORS):
+            monitor_id = f"mon-{i}"
+            hub.register(tenant, monitor_id, "DDM")
+            events.append((tenant, monitor_id, monitor_values(tenant, monitor_id)))
+    hub.ingest(events)
+    hub.checkpoint()
+    hub.close()
+    # Report where the legacy modulo layout disagrees with the synthesized
+    # 256-slot table ((digest % 256) % n) -- the 3-shard fixture must have
+    # at least one such monitor so the migration relocation path is covered.
+    n_moved = 0
+    for tenant in TENANTS:
+        for i in range(N_MONITORS):
+            monitor_id = f"mon-{i}"
+            digest = int.from_bytes(
+                hashlib.blake2b(
+                    f"{tenant}\x00{monitor_id}".encode(), digest_size=8
+                ).digest(),
+                "big",
+            )
+            legacy = digest % n_shards
+            slotted = (digest % 256) % n_shards
+            assert legacy == route_shard(tenant, monitor_id, n_shards)
+            if legacy != slotted:
+                n_moved += 1
+                print(f"  {dirname}: {tenant}/{monitor_id} legacy={legacy} slotted={slotted}")
+    print(f"{dirname}: n_shards={n_shards} monitors={2 * N_MONITORS} relocations={n_moved}")
+
+
+build(2, "v1-cluster-2shard")
+build(3, "v1-cluster-3shard")

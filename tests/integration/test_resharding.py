@@ -1,0 +1,413 @@
+"""Integration tests of live elastic resharding.
+
+The contract under test: :meth:`ShardedHub.reshard` changes the cluster's
+shape without changing its *behaviour* — stitched detections and alert
+sequence numbers across any sequence of reshards are bit-identical to a
+never-resharded single :class:`MonitorHub`, and a crash at any point of the
+reshard protocol (worker SIGKILL mid-copy, coordinator death before or
+after the manifest commit) leaves a checkpoint directory that resumes to
+exactly one copy of every monitor.
+
+Scenarios:
+
+* online 2 → 4 → 3 reshard under an interleaved multi-tenant SEA stream,
+  detections + alert seqs vs a single hub;
+* SIGKILL of a source worker mid-reshard → abort → ``respawn_dead_shards``
+  → retried reshard, stitched stream still bit-identical;
+* coordinator crash *before* the manifest commit (``pending`` record on
+  disk) and *after* it (``prev_assignment`` + stale source copies) — both
+  resume cleanly;
+* the ``reshard`` wire op on the CLI server (the CI smoke scenario).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ShardError
+from repro.serving import MANIFEST_FILENAME, MonitorHub, QueueSink, ShardedHub
+from tests.integration.test_serving_server import (
+    _Client,
+    _DRIFT_POSITION,
+    _stop_server,
+    sea_error_stream,
+)
+from tests.integration.test_sharded_serving import (
+    MONITORS,
+    _interleaved_events,
+    _register_fleet,
+    _start_sharded_server,
+)
+
+
+def _alert_key(alert):
+    return (alert.tenant, alert.monitor_id, alert.seq, alert.kind, alert.position)
+
+
+def _reference_run(errors, splits):
+    """Detections and alert keys of a never-resharded single hub, phase by
+    phase over the same interleaved events the sharded run sees."""
+    queue = QueueSink(maxlen=None)
+    hub = MonitorHub(sinks=[queue])
+    _register_fleet(hub)
+    detections = {}
+    bounds = [0, *splits, None]
+    for start, stop in zip(bounds, bounds[1:]):
+        stop = len(errors) if stop is None else stop
+        for outcome in hub.ingest(_interleaved_events(errors, start, stop)):
+            detections.setdefault(
+                (outcome.tenant, outcome.monitor_id), []
+            ).extend(outcome.drift_positions)
+    alerts = sorted(_alert_key(a) for a in queue.drain())
+    hub.close()
+    return detections, alerts
+
+
+def test_online_reshard_2_4_3_bit_identical_to_single_hub(tmp_path):
+    """Grow mid-stream, shrink mid-stream; nothing observable changes."""
+    errors = sea_error_stream()
+    split_a, split_b = 1000, 2000  # multiples of the 125-element chunk
+    expected_detections, expected_alerts = _reference_run(
+        errors, (split_a, split_b)
+    )
+
+    hub = ShardedHub(2, checkpoint_dir=tmp_path / "cluster")
+    try:
+        _register_fleet(hub)
+        detections = {key: [] for key in
+                      {(t, m) for t, m, _ in MONITORS}}
+        alerts = []
+
+        for outcome in hub.ingest(_interleaved_events(errors, 0, split_a)):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        alerts.extend(hub.drain_alerts()[0])
+
+        summary = hub.reshard(4)
+        assert summary["n_shards"] == hub.n_shards == 4
+        assert summary["n_slots_moved"] == 128
+        # Routing stays self-consistent after the move.
+        assert len(hub.assignment) == hub.n_slots == 256
+        for tenant, monitor_id, shard in hub.monitor_keys():
+            assert shard == hub.shard_of(tenant, monitor_id)
+        assert len(hub) == len(MONITORS)
+
+        for outcome in hub.ingest(_interleaved_events(errors, split_a, split_b)):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        alerts.extend(hub.drain_alerts()[0])
+
+        summary = hub.reshard(3)
+        assert summary["n_shards"] == hub.n_shards == 3
+        for tenant, monitor_id, shard in hub.monitor_keys():
+            assert shard == hub.shard_of(tenant, monitor_id)
+
+        for outcome in hub.ingest(
+            _interleaved_events(errors, split_b, len(errors))
+        ):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        alerts.extend(hub.drain_alerts()[0])
+
+        assert detections == expected_detections
+        assert any(expected_detections.values())  # the stream does drift
+        # Alert streams — including per-monitor seq continuity across both
+        # reshards — are bit-identical (exactly-once survived the moves).
+        assert sorted(_alert_key(a) for a in alerts) == expected_alerts
+        assert expected_alerts  # and non-trivially so
+
+        # The committed manifest reflects the final layout.
+        manifest = json.loads(
+            (tmp_path / "cluster" / MANIFEST_FILENAME).read_text()
+        )
+        assert manifest["n_shards"] == 3
+        assert manifest["assignment"] == list(hub.assignment)
+        assert manifest["pending"] is None
+        assert manifest["prev_assignment"] is None
+    finally:
+        hub.close()
+
+
+def test_sigkill_mid_reshard_then_recovery_bit_identical(tmp_path):
+    """A source worker dies mid-copy: the reshard aborts to the old layout,
+    ``respawn_dead_shards`` restores the victim from the baseline
+    checkpoint the reshard took first, the retried reshard succeeds, and
+    the stitched stream is still bit-identical — events and alert seqs."""
+    errors = sea_error_stream()
+    split = 1000
+    expected_detections, expected_alerts = _reference_run(errors, (split,))
+
+    hub = ShardedHub(2, checkpoint_dir=tmp_path / "cluster")
+    try:
+        _register_fleet(hub)
+        detections = {(t, m): [] for t, m, _ in MONITORS}
+        alerts = []
+        for outcome in hub.ingest(_interleaved_events(errors, 0, split)):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        alerts.extend(hub.drain_alerts()[0])
+
+        victim = hub.shard_of("acme", "checkout")
+
+        def kill_source_mid_copy(stage):
+            if stage == "imported":
+                os.kill(hub.worker_pid(victim), signal.SIGKILL)
+                deadline = time.time() + 10
+                while not hub.dead_shards() and time.time() < deadline:
+                    time.sleep(0.05)
+
+        hub._reshard_test_hook = kill_source_mid_copy
+        with pytest.raises(ShardError):
+            hub.reshard(4)
+        hub._reshard_test_hook = None
+
+        # Abort rolled the cluster back to the 2-shard layout with one
+        # dead worker; the manifest's intent record was cleared.
+        assert hub.n_shards == 2
+        assert hub.dead_shards() == [victim]
+        manifest = json.loads(
+            (tmp_path / "cluster" / MANIFEST_FILENAME).read_text()
+        )
+        assert manifest["n_shards"] == 2 and manifest["pending"] is None
+
+        # Mid-reshard there is no ingest, so the baseline checkpoint the
+        # reshard opened with makes the respawn loss-free.
+        assert hub.respawn_dead_shards() == [victim]
+        assert hub.dead_shards() == []
+        for tenant, monitor_id, _ in MONITORS:
+            assert hub.stats(tenant, monitor_id)["n_seen"] == split
+        for tenant, monitor_id, shard in hub.monitor_keys():
+            assert shard == hub.shard_of(tenant, monitor_id)
+
+        # Retry, then finish the stream on the grown cluster.
+        assert hub.reshard(4)["n_shards"] == 4
+        for outcome in hub.ingest(
+            _interleaved_events(errors, split, len(errors))
+        ):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        alerts.extend(hub.drain_alerts()[0])
+
+        assert detections == expected_detections
+        assert sorted(_alert_key(a) for a in alerts) == expected_alerts
+    finally:
+        hub.close()
+
+
+def _crash_cluster(hub):
+    """Simulate a coordinator hard-crash: SIGKILL every worker, then reap
+    the parent-side state without any graceful shutdown."""
+    for index in range(len(hub._processes)):
+        pid = hub.worker_pid(index)
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+    hub.close()
+
+
+def test_crash_before_commit_resumes_old_layout(tmp_path):
+    """Coordinator dies after the intent manifest and the target-side
+    copies, before the commit: resume under the old shard count sees the
+    ``pending`` record, keeps the old layout authoritative, and a re-run
+    reshard completes from scratch."""
+    errors = sea_error_stream()
+    split = 1000
+    expected_detections, _ = _reference_run(errors, (split,))
+    checkpoint_dir = tmp_path / "cluster"
+
+    hub = ShardedHub(2, checkpoint_dir=checkpoint_dir)
+    detections = {(t, m): [] for t, m, _ in MONITORS}
+    try:
+        _register_fleet(hub)
+        for outcome in hub.ingest(_interleaved_events(errors, 0, split)):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+
+        class _Crash(BaseException):
+            pass
+
+        def crash_before_commit(stage):
+            if stage == "copied":
+                raise _Crash()
+
+        hub._reshard_test_hook = crash_before_commit
+        # Simulate a hard crash: the abort path never runs.
+        hub._abort_reshard = lambda *args, **kwargs: None
+        with pytest.raises(_Crash):
+            hub.reshard(4)
+    finally:
+        _crash_cluster(hub)
+
+    # On disk: intent manifest (n_shards=2 + pending table for 4) and
+    # copies of the moving monitors in the new shards' checkpoints.
+    manifest = json.loads((checkpoint_dir / MANIFEST_FILENAME).read_text())
+    assert manifest["n_shards"] == 2
+    assert manifest["pending"]["n_shards"] == 4
+
+    resumed = ShardedHub(2, checkpoint_dir=checkpoint_dir)
+    try:
+        assert len(resumed) == len(MONITORS)
+        for tenant, monitor_id, _ in MONITORS:
+            assert resumed.stats(tenant, monitor_id)["n_seen"] == split
+        # The intent record is cleared by the resume.
+        manifest = json.loads((checkpoint_dir / MANIFEST_FILENAME).read_text())
+        assert manifest["pending"] is None
+        # The re-run reshard and the rest of the stream behave as if the
+        # crash never happened.
+        assert resumed.reshard(4)["n_shards"] == 4
+        for outcome in resumed.ingest(
+            _interleaved_events(errors, split, len(errors))
+        ):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        assert detections == expected_detections
+    finally:
+        resumed.close()
+
+
+def test_crash_after_commit_resumes_new_layout(tmp_path):
+    """Coordinator dies right after the manifest commit, before the
+    sources forget the moved monitors: resume under the NEW shard count
+    deduplicates via ``prev_assignment`` — the committed owner wins, the
+    stale source copies are dropped, and the stream continues bit-exactly."""
+    errors = sea_error_stream()
+    split = 1000
+    expected_detections, _ = _reference_run(errors, (split,))
+    checkpoint_dir = tmp_path / "cluster"
+
+    hub = ShardedHub(2, checkpoint_dir=checkpoint_dir)
+    detections = {(t, m): [] for t, m, _ in MONITORS}
+    try:
+        _register_fleet(hub)
+        for outcome in hub.ingest(_interleaved_events(errors, 0, split)):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+
+        class _Crash(BaseException):
+            pass
+
+        def crash_after_commit(stage):
+            if stage == "committed":
+                raise _Crash()
+
+        hub._reshard_test_hook = crash_after_commit
+        with pytest.raises(_Crash):
+            hub.reshard(4)
+    finally:
+        _crash_cluster(hub)
+
+    manifest = json.loads((checkpoint_dir / MANIFEST_FILENAME).read_text())
+    assert manifest["n_shards"] == 4
+    assert manifest["prev_assignment"] is not None
+
+    resumed = ShardedHub(4, checkpoint_dir=checkpoint_dir)
+    try:
+        # Exactly one copy of every monitor, owned per the committed table.
+        assert len(resumed) == len(MONITORS)
+        for tenant, monitor_id, shard in resumed.monitor_keys():
+            assert shard == resumed.shard_of(tenant, monitor_id)
+        for tenant, monitor_id, _ in MONITORS:
+            assert resumed.stats(tenant, monitor_id)["n_seen"] == split
+        for outcome in resumed.ingest(
+            _interleaved_events(errors, split, len(errors))
+        ):
+            detections[(outcome.tenant, outcome.monitor_id)].extend(
+                outcome.drift_positions
+            )
+        assert detections == expected_detections
+    finally:
+        resumed.close()
+
+
+def test_reshard_guards(tmp_path):
+    with ShardedHub(2) as hub:
+        hub.register("t", "m", "DDM")
+        with pytest.raises(ConfigurationError):
+            hub.reshard(0)
+        # Same count is a no-op, not an error.
+        assert hub.reshard(2)["n_monitors_moved"] == 0
+        os.kill(hub.worker_pid(0), signal.SIGKILL)
+        deadline = time.time() + 10
+        while not hub.dead_shards() and time.time() < deadline:
+            time.sleep(0.05)
+        with pytest.raises(ShardError, match="respawn_dead_shards"):
+            hub.reshard(3)
+
+
+def test_reshard_over_the_wire(tmp_path):
+    """The CI smoke scenario: a 2-shard CLI server grows to 4 over the
+    wire mid-stream; the stitched drift positions equal the
+    never-resharded reference."""
+    errors = sea_error_stream()
+    split = 1000
+    expected_detections, _ = _reference_run(errors, (split,))
+
+    process, port, _ = _start_sharded_server(tmp_path / "cluster")
+    client = _Client(port)
+    try:
+        for tenant, monitor_id, detector in MONITORS:
+            request = {
+                "op": "register",
+                "tenant": tenant,
+                "monitor": monitor_id,
+                "detector": detector,
+            }
+            if detector == "OPTWIN":
+                request["params"] = {"w_max": 2000}
+            assert client.rpc(request)["ok"]
+
+        detections = {(t, m): [] for t, m, _ in MONITORS}
+
+        def ingest(start, stop):
+            for offset in range(start, stop, 125):
+                chunk = errors[offset : offset + 125]
+                response = client.rpc(
+                    {
+                        "op": "ingest",
+                        "events": [
+                            [t, m, list(chunk)] for t, m, _ in MONITORS
+                        ],
+                    }
+                )
+                assert response["ok"], response
+                for result in response["results"]:
+                    detections[(result["tenant"], result["monitor"])].extend(
+                        result["drifts"]
+                    )
+
+        ingest(0, split)
+
+        # Bad requests are rejected without touching the cluster.
+        assert not client.rpc({"op": "reshard"})["ok"]
+        assert not client.rpc({"op": "reshard", "shards": 0})["ok"]
+
+        response = client.rpc({"op": "reshard", "shards": 4})
+        assert response["ok"], response
+        assert response["n_shards"] == 4
+        assert client.rpc({"op": "stats"})["stats"]["n_shards"] == 4
+
+        ingest(split, len(errors))
+        assert detections == expected_detections
+        assert any(
+            _DRIFT_POSITION <= position <= _DRIFT_POSITION + 800
+            for positions in detections.values()
+            for position in positions
+        )
+    finally:
+        client.close()
+        _stop_server(process)

@@ -1,0 +1,190 @@
+"""v1 → v2 cluster-manifest migration regression tests.
+
+``tests/fixtures/serving/v1-cluster-{2,3}shard/`` are checkpoint
+directories frozen from the pre-slot-routing code (manifest
+``schema_version: 1``, direct ``BLAKE2b % n_shards`` routing).  Resuming
+them must synthesize the modulo-equivalent slot table — relocating, once,
+any monitor the old layout placed where the table does not — and continue
+bit-exactly, then upgrade the manifest to v2.  The per-monitor streams are
+reproduced here with the same BLAKE2b-seeded RNG the fixture generator
+used, so continuation can be checked against independently built
+reference detectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SnapshotError
+from repro.serving import MANIFEST_FILENAME, ShardedHub, build_detector
+from repro.serving.sharded import _legacy_route_shard
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "serving"
+
+TENANTS = ["acme", "globex"]
+N_MONITORS = 8  # per tenant, "mon-0".."mon-7"
+N_FIXTURE_VALUES = 120  # values already ingested when the fixture froze
+N_TAIL_VALUES = 600  # fed after resume, to force detections
+
+
+def _keys():
+    return [
+        (tenant, f"mon-{index}")
+        for tenant in TENANTS
+        for index in range(N_MONITORS)
+    ]
+
+
+def _stream(tenant: str, monitor_id: str, n: int) -> np.ndarray:
+    """The fixture generator's deterministic per-monitor error stream."""
+    seed = int.from_bytes(
+        hashlib.blake2b(
+            f"{tenant}:{monitor_id}".encode(), digest_size=4
+        ).digest(),
+        "big",
+    )
+    rng = np.random.default_rng(seed)
+    return (rng.random(n) < 0.3).astype(np.float64)
+
+
+def _tail(tenant: str, monitor_id: str) -> np.ndarray:
+    """Post-resume continuation: a drifting segment appended to the frozen
+    prefix (same RNG, so the prefix regenerates identically)."""
+    seed = int.from_bytes(
+        hashlib.blake2b(
+            f"tail:{tenant}:{monitor_id}".encode(), digest_size=4
+        ).digest(),
+        "big",
+    )
+    rng = np.random.default_rng(seed)
+    return (rng.random(N_TAIL_VALUES) < 0.6).astype(np.float64)
+
+
+def _copy_fixture(name: str, tmp_path: Path) -> Path:
+    target = tmp_path / name
+    shutil.copytree(FIXTURES / name, target)
+    return target
+
+
+def _reference_drifts():
+    """Drift positions of never-sharded DDM detectors fed prefix + tail."""
+    expected = {}
+    for key in _keys():
+        detector = build_detector("DDM", None)
+        detector.update_batch(list(_stream(*key, N_FIXTURE_VALUES)))
+        result = detector.update_batch(list(_tail(*key)))
+        expected[key] = [N_FIXTURE_VALUES + i for i in result.drift_indices]
+    return expected
+
+
+@pytest.mark.parametrize("name,n_shards", [("v1-cluster-2shard", 2), ("v1-cluster-3shard", 3)])
+def test_v1_fixture_is_really_v1(name, n_shards):
+    manifest = json.loads(
+        (FIXTURES / name / MANIFEST_FILENAME).read_text(encoding="utf-8")
+    )
+    assert manifest["schema_version"] == 1
+    assert manifest["n_shards"] == n_shards
+    assert "assignment" not in manifest
+
+
+@pytest.mark.parametrize("name,n_shards", [("v1-cluster-2shard", 2), ("v1-cluster-3shard", 3)])
+def test_v1_resume_migrates_and_continues_bit_exactly(name, n_shards, tmp_path):
+    checkpoint_dir = _copy_fixture(name, tmp_path)
+    with ShardedHub(n_shards, checkpoint_dir=checkpoint_dir) as hub:
+        # Every frozen monitor resumed with its full history.
+        assert len(hub) == 2 * N_MONITORS
+        assert hub.n_events == 2 * N_MONITORS * N_FIXTURE_VALUES
+        # The registry agrees with the slot table everywhere.
+        for tenant, monitor_id, shard in hub.monitor_keys():
+            assert shard == hub.shard_of(tenant, monitor_id)
+        # Continuation is bit-identical to never-sharded references.
+        collected = {}
+        for outcome in hub.ingest(
+            [(t, m, _tail(t, m)) for t, m in _keys()]
+        ):
+            collected.setdefault(
+                (outcome.tenant, outcome.monitor_id), []
+            ).extend(outcome.drift_positions)
+        expected = _reference_drifts()
+        assert any(expected.values())  # the tail does force drifts
+        for key in _keys():
+            assert collected.get(key, []) == expected[key], key
+
+    # The manifest was upgraded in place.
+    manifest = json.loads(
+        (checkpoint_dir / MANIFEST_FILENAME).read_text(encoding="utf-8")
+    )
+    assert manifest["schema_version"] == 2
+    assert len(manifest["assignment"]) == 256
+    assert manifest["pending"] is None and manifest["prev_assignment"] is None
+
+
+def test_3shard_migration_physically_relocates_monitors(tmp_path):
+    """3 does not divide 256, so the fixture holds monitors whose legacy
+    shard differs from the slot table's — migration must move their state
+    (the checkpoints prove it: after resume each shard file holds exactly
+    the slot table's monitors)."""
+    checkpoint_dir = _copy_fixture("v1-cluster-3shard", tmp_path)
+    with ShardedHub(3, checkpoint_dir=checkpoint_dir) as hub:
+        expected_moves = [
+            key
+            for key in _keys()
+            if _legacy_route_shard(*key, 3) != hub.shard_of(*key)
+        ]
+        assert expected_moves  # the fixture exercises the relocation path
+        slot_owner = {key: hub.shard_of(*key) for key in _keys()}
+    # Residency on disk now matches the slot table, not the legacy modulo
+    # (the constructor checkpointed after migrating).
+    for index in range(3):
+        shard_file = (
+            checkpoint_dir / f"shard-{index:02d}" / "hub-checkpoint.json"
+        )
+        snapshot = json.loads(shard_file.read_text(encoding="utf-8"))
+        resident = {
+            (m["tenant"], m["monitor_id"]) for m in snapshot["monitors"]
+        }
+        assert resident == {
+            key for key, owner in slot_owner.items() if owner == index
+        }
+
+
+def test_2shard_migration_moves_nothing(tmp_path):
+    """2 divides 256: the synthesized table reproduces the legacy layout
+    exactly, so migration must not rewrite any shard checkpoint."""
+    checkpoint_dir = _copy_fixture("v1-cluster-2shard", tmp_path)
+    before = {
+        index: (checkpoint_dir / f"shard-{index:02d}" / "hub-checkpoint.json")
+        .read_bytes()
+        for index in range(2)
+    }
+    with ShardedHub(2, checkpoint_dir=checkpoint_dir) as hub:
+        for key in _keys():
+            assert hub.shard_of(*key) == _legacy_route_shard(*key, 2)
+    after = {
+        index: (checkpoint_dir / f"shard-{index:02d}" / "hub-checkpoint.json")
+        .read_bytes()
+        for index in range(2)
+    }
+    assert before == after
+
+
+def test_v1_resume_still_rejects_wrong_shard_count(tmp_path):
+    checkpoint_dir = _copy_fixture("v1-cluster-2shard", tmp_path)
+    with pytest.raises(SnapshotError, match="2-shard"):
+        ShardedHub(4, checkpoint_dir=checkpoint_dir)
+
+
+def test_unsupported_future_manifest_version_is_rejected(tmp_path):
+    checkpoint_dir = _copy_fixture("v1-cluster-2shard", tmp_path)
+    path = checkpoint_dir / MANIFEST_FILENAME
+    manifest = json.loads(path.read_text(encoding="utf-8"))
+    manifest["schema_version"] = 99
+    path.write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(SnapshotError, match="schema version"):
+        ShardedHub(2, checkpoint_dir=checkpoint_dir)

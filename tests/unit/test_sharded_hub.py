@@ -60,6 +60,15 @@ def sharded(tmp_path):
         hub.close()
 
 
+@pytest.fixture
+def sharded_pickle():
+    hub = ShardedHub(2, transport="pickle")
+    try:
+        yield hub
+    finally:
+        hub.close()
+
+
 def _register_fleet(hub):
     for tenant, monitor_id, detector, params in MONITORS:
         hub.register(tenant, monitor_id, detector, params)
@@ -350,13 +359,17 @@ def test_invalid_shard_count():
         ShardedHub(0)
 
 
-def test_unpicklable_payload_does_not_desync_pipes(sharded):
+def test_unpicklable_payload_does_not_desync_pipes(sharded_pickle):
     """A payload the pickler rejects is a caller error, not a dead shard.
 
     The fan-out must still drain the shards that already received their
     message — otherwise their pending replies would be handed to the next
-    unrelated request and every later op would return garbage.
+    unrelated request and every later op would return garbage.  Pinned to
+    the pickle transport: the shm path converts payloads parent-side, so
+    generators never reach a pickler there (see
+    test_shm_transport_accepts_generator_payloads).
     """
+    sharded = sharded_pickle
     _register_fleet(sharded)
     ordered = sorted(
         MONITORS, key=lambda spec: sharded.shard_of(spec[0], spec[1])
@@ -468,3 +481,181 @@ def test_closed_hub_refuses_calls(tmp_path):
     # A recovery loop running after close() must not spawn orphan workers.
     with pytest.raises(ShardError):
         hub.respawn_dead_shards()
+
+
+# -------------------------------------------------------- shm transport
+
+
+def test_shm_transport_bit_identical_to_pickle():
+    """Same stream through both transports: detections must not differ by
+    a single position (the transports change *how* floats travel, never
+    what the workers compute)."""
+    collected = {}
+    for transport in ("shm", "pickle"):
+        hub = ShardedHub(2, transport=transport)
+        try:
+            assert hub.transport == transport
+            _register_fleet(hub)
+            detections = {}
+            for outcome in hub.ingest(_interleaved_events(VALUES)):
+                detections.setdefault(
+                    (outcome.tenant, outcome.monitor_id), []
+                ).extend(outcome.drift_positions)
+            collected[transport] = detections
+        finally:
+            hub.close()
+    assert collected["shm"] == collected["pickle"]
+    assert any(collected["shm"].values())  # the stream does drift
+
+
+def test_shm_transport_accepts_generator_payloads():
+    """The shm path converts payloads parent-side, so generators — which
+    the pickle transport must reject — simply work."""
+    with ShardedHub(2, transport="shm") as hub:
+        hub.register("t", "gen", "DDM")
+        outcome = hub.ingest([("t", "gen", (v for v in [1.0, 0.0, 1.0]))])[0]
+        assert outcome.n_processed == 3
+        assert hub.stats("t", "gen")["n_seen"] == 3
+
+
+def test_shm_block_grows_and_shrinks_with_batches():
+    """A batch larger than the staging segment forces a bigger replacement
+    segment; correctness is unaffected in either direction."""
+    with ShardedHub(1, transport="shm") as hub:
+        hub.register("t", "m", "DDM")
+        hub.ingest([("t", "m", [0.0] * 8)])
+        first = hub._shm_blocks[0].size
+        big = 2 * first // 8 + 16  # elements, > capacity
+        hub.ingest([("t", "m", [0.0] * big)])
+        assert hub._shm_blocks[0].size > first
+        hub.ingest([("t", "m", [0.0] * 4)])  # shrink back to small batches
+        assert hub.stats("t", "m")["n_seen"] == 8 + big + 4
+
+
+def test_shm_segments_are_released_on_close():
+    hub = ShardedHub(2, transport="shm")
+    hub.register("t", "m", "DDM")
+    hub.ingest([("t", "m", [1.0, 0.0])])
+    names = [block.name for block in hub._shm_blocks.values()]
+    assert names
+    hub.close()
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_transport_knob_is_validated():
+    with pytest.raises(ConfigurationError):
+        ShardedHub(2, transport="carrier-pigeon")
+
+
+# ----------------------------------------------------- degraded cluster
+
+
+def _kill_shard(hub, index):
+    import os
+    import signal as signal_module
+    import time
+
+    os.kill(hub.worker_pid(index), signal_module.SIGKILL)
+    deadline = time.time() + 10
+    while index not in hub.dead_shards() and time.time() < deadline:
+        time.sleep(0.05)
+    assert index in hub.dead_shards()
+
+
+def test_degraded_reads_with_dead_shard(tmp_path):
+    """metrics / alerts_history / stats keep answering on a degraded
+    cluster — dead shards are absent from the sums, not an exception."""
+    hub = ShardedHub(
+        2, checkpoint_dir=tmp_path / "ck", wal_dir=tmp_path / "wal"
+    )
+    try:
+        _register_fleet(hub)
+        hub.ingest(_interleaved_events(VALUES))
+        full_stats = hub.stats()
+        full_history = hub.alerts_history()
+        assert full_history  # the stream drifts, so the WAL has records
+        victim = hub.shard_of("acme", "checkout")
+        survivor_keys = {
+            (t, m) for t, m, _, _ in MONITORS if hub.shard_of(t, m) != victim
+        }
+        _kill_shard(hub, victim)
+
+        stats = hub.stats()
+        assert stats["n_alive_shards"] == 1
+        assert stats["n_shards"] == 2
+        assert stats["n_events"] < full_stats["n_events"]
+
+        metrics = hub.metrics()
+        assert metrics["n_alive_shards"] == 1
+        assert len(metrics["shards"]) == 1
+        assert metrics["transport"] == "shm"
+
+        history = hub.alerts_history()
+        assert {(r["tenant"], r["monitor_id"]) for r in history} <= survivor_keys
+        assert len(history) <= len(full_history)
+    finally:
+        hub.close()
+
+
+def test_reshard_in_memory_grow_and_shrink():
+    """reshard without a checkpoint_dir: pure in-memory migration (no
+    manifest, no WAL) still preserves every monitor's state bit-exactly."""
+    single = MonitorHub()
+    _register_fleet(single)
+    expected = {}
+    for outcome in single.ingest(_interleaved_events(VALUES)):
+        expected.setdefault((outcome.tenant, outcome.monitor_id), []).extend(
+            outcome.drift_positions
+        )
+
+    hub = ShardedHub(2)
+    try:
+        _register_fleet(hub)
+        collected = {}
+        events = _interleaved_events(VALUES)
+        third = len(events) // 3
+        for batch, n_new in ((events[:third], 4), (events[third : 2 * third], 3), (events[2 * third :], None)):
+            for outcome in hub.ingest(batch):
+                collected.setdefault(
+                    (outcome.tenant, outcome.monitor_id), []
+                ).extend(outcome.drift_positions)
+            if n_new is not None:
+                hub.reshard(n_new)
+                assert hub.n_shards == n_new
+                for tenant, monitor_id, shard in hub.monitor_keys():
+                    assert shard == hub.shard_of(tenant, monitor_id)
+        assert collected == expected
+    finally:
+        hub.close()
+
+
+def test_retired_shard_alerts_are_parked_not_lost():
+    """A shrink retires workers; alerts still queued in them must surface
+    from the next drain, not vanish with the process."""
+    with ShardedHub(4) as hub:
+        _register_fleet(hub)
+        hub.ingest(_interleaved_events(VALUES))  # drifts → queued alerts
+        # Do NOT drain before the shrink: the retiring workers' queues are
+        # exactly what must survive.
+        before = {
+            (t, m) for t, m, _, _ in MONITORS
+        }
+        hub.reshard(2)
+        alerts, _ = hub.drain_alerts()
+        alerted = {(a.tenant, a.monitor_id) for a in alerts}
+        assert alerted  # the stream drifts
+        assert alerted <= before
+        # Same fleet, same stream, never-resharded: identical alert keys.
+    with ShardedHub(4) as reference:
+        _register_fleet(reference)
+        reference.ingest(_interleaved_events(VALUES))
+        ref_alerts, _ = reference.drain_alerts()
+    assert sorted(
+        (a.tenant, a.monitor_id, a.seq, a.kind, a.position) for a in alerts
+    ) == sorted(
+        (a.tenant, a.monitor_id, a.seq, a.kind, a.position) for a in ref_alerts
+    )
