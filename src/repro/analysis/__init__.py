@@ -1,0 +1,73 @@
+"""AST-based invariant linter for the repro codebase.
+
+``python -m repro.analysis`` statically enforces the contracts the rest of
+the repository only defends with golden tests after the fact:
+
+* **determinism** — no unseeded RNG or clock reads on replayable paths;
+* **durability** — serving-layer writes go through ``atomic_write_json`` or
+  the WAL framing;
+* **snapshot-contract** — detectors implement both snapshot halves, are
+  registered in ``exported_detector_classes()``, and match the committed
+  schema-lock manifest;
+* **broad-except** — swallowed exceptions surface in stats counters or carry
+  a written justification;
+* **deprecated-symbol** — internal callers keep off deprecated symbols.
+
+Suppressions require a reason (``# repro: allow(<rule>) -- <why>``),
+grandfathered findings live in a checked-in baseline, and the CLI exits
+non-zero on anything new — which is what the CI ``lint`` job gates on.
+See ``docs/static-analysis.md`` for the full catalogue and workflows.
+"""
+
+from repro.analysis.baseline import (
+    default_baseline_path,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    RULE_SUPPRESSION_HYGIENE,
+    RULE_SYNTAX_ERROR,
+    RULE_UNUSED_SUPPRESSION,
+    Finding,
+    ModuleInfo,
+    Project,
+    Report,
+    Rule,
+    Suppression,
+    run_rules,
+    scan_paths,
+)
+from repro.analysis.rules import ALL_RULES, all_rules, rules_by_id, select_rules
+from repro.analysis.schema_lock import (
+    default_lock_path,
+    diff_lock,
+    generate_lock,
+    load_lock,
+    write_lock,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Report",
+    "Rule",
+    "Suppression",
+    "scan_paths",
+    "run_rules",
+    "RULE_SYNTAX_ERROR",
+    "RULE_SUPPRESSION_HYGIENE",
+    "RULE_UNUSED_SUPPRESSION",
+    "ALL_RULES",
+    "all_rules",
+    "rules_by_id",
+    "select_rules",
+    "default_baseline_path",
+    "load_baseline",
+    "write_baseline",
+    "default_lock_path",
+    "generate_lock",
+    "load_lock",
+    "write_lock",
+    "diff_lock",
+]

@@ -1,0 +1,213 @@
+"""``python -m repro.analysis`` — run the invariant linter.
+
+Exit codes (what CI gates on):
+
+* ``0`` — clean: no findings beyond the committed baseline.
+* ``1`` — findings: at least one non-baselined violation (listed on stdout).
+* ``2`` — usage or internal error (bad rule name, unreadable baseline).
+
+Common invocations::
+
+    python -m repro.analysis                          # lint src/repro
+    python -m repro.analysis --format json            # machine-readable (CI)
+    python -m repro.analysis --rules determinism      # one rule only
+    python -m repro.analysis --update-baseline        # re-record debt
+    python -m repro.analysis --update-lock            # commit a new snapshot
+                                                      # schema layout
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import schema_lock
+from repro.analysis.engine import ENGINE_RULE_IDS, Report, run_rules, scan_paths
+from repro.analysis.rules import all_rules, rules_by_id, select_rules
+
+
+def default_target() -> Path:
+    """The ``repro`` package source tree this module ships inside."""
+    return Path(__file__).resolve().parents[1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter (determinism, durability, "
+        "snapshot-contract, broad-except, deprecated-symbol).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (json is one object with findings + summary)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: the committed src/repro/analysis/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--lock",
+        type=Path,
+        default=None,
+        help="snapshot schema-lock manifest for the snapshot-contract rule "
+        "(default: the committed src/repro/analysis/snapshot_schema.lock.json)",
+    )
+    parser.add_argument(
+        "--no-lock",
+        action="store_true",
+        help="skip the dynamic schema-lock check (fixture/offline runs)",
+    )
+    parser.add_argument(
+        "--update-lock",
+        action="store_true",
+        help="regenerate the schema-lock manifest from the live detector "
+        "registry and exit (the sanctioned flow after a "
+        "SNAPSHOT_SCHEMA_VERSION bump)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_human(report: Report, stream) -> None:
+    for finding in report.findings:
+        stream.write(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.message} [{finding.rule}]\n"
+        )
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{report.n_suppressed} suppressed, "
+        f"{report.n_baselined} baselined"
+    )
+    if report.stale_baseline:
+        summary += (
+            f", {len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+            "(re-run --update-baseline to prune)"
+        )
+    stream.write(summary + "\n")
+
+
+def _print_json(report: Report, stream) -> None:
+    stream.write(
+        json.dumps(
+            {
+                "findings": [finding.to_dict() for finding in report.findings],
+                "summary": {
+                    "n_findings": len(report.findings),
+                    "n_suppressed": report.n_suppressed,
+                    "n_baselined": report.n_baselined,
+                    "stale_baseline": report.stale_baseline,
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:20s} {rule.description}")
+        for rule_id in ENGINE_RULE_IDS:
+            print(f"{rule_id:20s} (engine) scan/suppression hygiene")
+        return 0
+
+    if args.update_lock:
+        path = args.lock or schema_lock.default_lock_path()
+        document = schema_lock.write_lock(path)
+        print(
+            f"wrote {path} ({len(document['detectors'])} detectors, "
+            f"snapshot schema v{document['snapshot_schema_version']})"
+        )
+        return 0
+
+    try:
+        rules = select_rules(
+            [token.strip() for token in args.rules.split(",") if token.strip()]
+            if args.rules
+            else None
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths: List[Path] = [Path(p) for p in args.paths] or [default_target()]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    options = {}
+    if not args.no_lock and "snapshot-contract" in rules_by_id() and any(
+        rule.id == "snapshot-contract" for rule in rules
+    ):
+        lock_path = args.lock or schema_lock.default_lock_path()
+        options["schema_lock_path"] = str(lock_path)
+
+    project = scan_paths(paths, options)
+
+    baseline_path = args.baseline or baseline_mod.default_baseline_path()
+    fingerprints = None
+    if not args.no_baseline and not args.update_baseline:
+        try:
+            fingerprints = baseline_mod.load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_rules(project, rules, fingerprints)
+
+    if args.update_baseline:
+        count = baseline_mod.write_baseline(baseline_path, project, report.findings)
+        print(f"wrote {baseline_path} ({count} grandfathered finding(s))")
+        return 0
+
+    stream = sys.stdout
+    if args.format == "json":
+        _print_json(report, stream)
+    else:
+        _print_human(report, stream)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Baseline (grandfathered-findings) support for ``repro.analysis``.
+
+A baseline is a checked-in JSON file of *fingerprints* of findings that
+existed when a rule was introduced.  CI fails only on findings that are not
+in the baseline, so a new rule can land with its historical debt recorded
+instead of blocking every PR until the debt is paid down.
+
+Fingerprints are line-number independent: they hash the rule id, the file
+path, the *text* of the offending line (whitespace-normalised), and an
+occurrence index (disambiguating identical lines in one file).  Re-ordering
+or shifting code therefore does not invalidate the baseline, while editing
+the offending line does — which is exactly when the finding deserves a fresh
+look.
+
+Workflow::
+
+    python -m repro.analysis                    # compare against baseline
+    python -m repro.analysis --update-baseline  # re-record current findings
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, Project
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "default_baseline_path",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def default_baseline_path() -> Path:
+    """The checked-in baseline shipped next to this module."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def _fingerprint(rule: str, path: str, line_text: str, index: int) -> str:
+    normalized = " ".join(line_text.split())
+    digest = hashlib.sha256(
+        f"{rule}\x00{path}\x00{normalized}\x00{index}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def fingerprint_findings(
+    project: Project, findings: Sequence[Finding]
+) -> List[Tuple[Finding, str]]:
+    """Pair every finding with its stable fingerprint."""
+    counters: Dict[Tuple[str, str, str], int] = {}
+    result: List[Tuple[Finding, str]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        info = project.module(finding.path)
+        line_text = info.line_text(finding.line) if info is not None else ""
+        normalized = " ".join(line_text.split())
+        key = (finding.rule, finding.path, normalized)
+        index = counters.get(key, 0)
+        counters[key] = index + 1
+        result.append((finding, _fingerprint(finding.rule, finding.path, line_text, index)))
+    return result
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprint set from a baseline file; empty when the file is absent."""
+    if not path.exists():
+        return set()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    version = document.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline schema version {version!r} is not supported "
+            f"(expected {BASELINE_SCHEMA_VERSION}); regenerate with --update-baseline"
+        )
+    return {str(entry["fingerprint"]) for entry in document.get("entries", [])}
+
+
+def write_baseline(
+    path: Path,
+    project: Project,
+    findings: Sequence[Finding],
+    note: Optional[str] = None,
+) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count.
+
+    Entries keep the human-readable context (rule, path, offending line) next
+    to the fingerprint so baseline diffs review like code.
+    """
+    entries = []
+    for finding, print_ in fingerprint_findings(project, findings):
+        info = project.module(finding.path)
+        line_text = info.line_text(finding.line).strip() if info is not None else ""
+        entries.append(
+            {
+                "fingerprint": print_,
+                "rule": finding.rule,
+                "path": finding.path,
+                "text": line_text,
+                "message": finding.message,
+            }
+        )
+    document = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "note": note
+        or "Grandfathered findings; shrink this file, never grow it silently.",
+        "entries": entries,
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,0 +1,480 @@
+"""Core of the ``repro.analysis`` static-analysis framework.
+
+The engine is deliberately self-contained (stdlib ``ast`` only — no
+third-party linting dependencies) and project-aware: rules do not see one
+file at a time, they see a :class:`Project` of parsed modules, which is what
+lets cross-module contracts (registry reachability, deprecated-symbol use)
+be checked statically.
+
+Pipeline
+--------
+
+1. :func:`scan_paths` walks the target directories, parses every ``*.py``
+   file into a :class:`ModuleInfo` (source, AST, suppression comments), and
+   assembles a :class:`Project`.
+2. Each registered :class:`Rule` runs over the project and yields
+   :class:`Finding` objects.
+3. Suppression comments (``# repro: allow(<rule>) -- <why>``) silence
+   findings on their line (or, for ``allow-file``, their file).  A
+   suppression **must** carry a reason after ``--``; one that does not is
+   itself a finding, as is a suppression that silenced nothing.
+4. A baseline file of grandfathered fingerprints filters what remains (see
+   :mod:`repro.analysis.baseline`).
+5. Anything left fails the run (exit code 1 from the CLI).
+
+Rules are small classes registered in :mod:`repro.analysis.rules`; see
+``docs/static-analysis.md`` for the catalogue and for how to add one.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Report",
+    "scan_paths",
+    "run_rules",
+    "SUPPRESSION_RE",
+    "RULE_SYNTAX_ERROR",
+    "RULE_SUPPRESSION_HYGIENE",
+    "RULE_UNUSED_SUPPRESSION",
+]
+
+#: Engine-level pseudo-rule ids (reported like rule findings, listed in the
+#: catalogue, valid in baselines — but not suppressible, so the suppression
+#: machinery cannot silence complaints about itself).
+RULE_SYNTAX_ERROR = "syntax-error"
+RULE_SUPPRESSION_HYGIENE = "suppression-hygiene"
+RULE_UNUSED_SUPPRESSION = "unused-suppression"
+
+ENGINE_RULE_IDS = (
+    RULE_SYNTAX_ERROR,
+    RULE_SUPPRESSION_HYGIENE,
+    RULE_UNUSED_SUPPRESSION,
+)
+
+#: Matches ``allow(rule-a, rule-b) -- reason`` and ``allow-file(rule) --
+#: reason`` comment forms (prefixed by a hash and the marker word).  The
+#: reason group is optional in the regex so that a missing reason can be
+#: *diagnosed* rather than the comment silently not parsing.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>allow|allow-file)\s*"
+    r"\(\s*(?P<rules>[^)]*?)\s*\)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix-style path relative to the scan root
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro: allow(...)`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    file_scope: bool
+    used: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    rel_path: str  # posix, relative to the scan root
+    source: str
+    lines: List[str]
+    tree: Optional[ast.Module]
+    suppressions: List[Suppression] = field(default_factory=list)
+    syntax_error: Optional[str] = None
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return tuple(self.rel_path.split("/"))
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class Project:
+    """Every module of one analysis run plus run-level options."""
+
+    def __init__(self, modules: Sequence[ModuleInfo], options: Optional[Dict[str, object]] = None) -> None:
+        self.modules: List[ModuleInfo] = list(modules)
+        self.options: Dict[str, object] = dict(options or {})
+        self._by_rel: Dict[str, ModuleInfo] = {m.rel_path: m for m in self.modules}
+
+    def module(self, rel_path: str) -> Optional[ModuleInfo]:
+        return self._by_rel.get(rel_path)
+
+    def modules_under(self, *parts: str) -> Iterator[ModuleInfo]:
+        """Modules whose relative path contains all of ``parts`` as components."""
+        wanted = set(parts)
+        for info in self.modules:
+            if wanted.issubset(info.parts):
+                yield info
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set :attr:`id` / :attr:`description` and implement
+    :meth:`check`.  Rules are stateless; one instance serves every run.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def dotted_name(node: ast.AST) -> Optional[str]:
+        """Render ``a.b.c`` for a Name/Attribute chain, else ``None``."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    @staticmethod
+    def qualname_stack(tree: ast.Module) -> Dict[int, str]:
+        """Map every node id to its enclosing dotted qualname.
+
+        Returns ``{id(node): "Class.method"}`` for every node in ``tree``;
+        module-level nodes map to ``""``.
+        """
+        qualnames: Dict[int, str] = {}
+
+        def visit(node: ast.AST, stack: Tuple[str, ...]) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_stack = stack
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    child_stack = stack + (child.name,)
+                qualnames[id(child)] = ".".join(child_stack)
+                visit(child, child_stack)
+
+        qualnames[id(tree)] = ""
+        visit(tree, ())
+        return qualnames
+
+
+@dataclass
+class Report:
+    """Outcome of one engine run, before output formatting."""
+
+    findings: List[Finding]
+    n_suppressed: int
+    n_baselined: int
+    stale_baseline: List[str]  # fingerprints in the baseline that no longer fire
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+# ----------------------------------------------------------------- scanning
+
+
+def _iter_comments(source: str, lines: Sequence[str]) -> Iterator[Tuple[int, str]]:
+    """``(line, comment_text)`` for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    syntax *written about* inside docstrings — like the examples in this
+    module — from being parsed as live suppressions.  Falls back to a plain
+    line scan when the file does not tokenize (its syntax error is reported
+    separately).
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, text in enumerate(lines, start=1):
+            comment_at = text.find("#")
+            if comment_at >= 0:
+                yield lineno, text[comment_at:]
+
+
+def _parse_suppressions(source: str, lines: Sequence[str]) -> List[Suppression]:
+    suppressions: List[Suppression] = []
+    for lineno, comment in _iter_comments(source, lines):
+        if "repro:" not in comment:
+            continue
+        match = SUPPRESSION_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            token.strip() for token in match.group("rules").split(",") if token.strip()
+        )
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                rules=rules,
+                reason=match.group("reason"),
+                file_scope=match.group("kind") == "allow-file",
+            )
+        )
+    return suppressions
+
+
+def _iter_source_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+def scan_paths(paths: Sequence[Path], options: Optional[Dict[str, object]] = None) -> Project:
+    """Parse every python file under ``paths`` into a :class:`Project`.
+
+    Relative paths are computed against each argument's *parent* when the
+    argument is a package directory (one containing ``__init__.py``), so the
+    package name stays a path component — ``repro/serving/hub.py`` — which is
+    what the rules' path scoping matches on.
+    """
+    modules: List[ModuleInfo] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw).resolve()
+        if root.is_dir() and (root / "__init__.py").exists():
+            base = root.parent
+        elif root.is_file():
+            base = root.parent
+        else:
+            base = root
+        for file_path in _iter_source_files(root):
+            if file_path in seen:
+                continue
+            seen.add(file_path)
+            source = file_path.read_text(encoding="utf-8")
+            lines = source.splitlines()
+            tree: Optional[ast.Module] = None
+            syntax_error: Optional[str] = None
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError as exc:
+                syntax_error = f"{exc.msg} (line {exc.lineno})"
+            modules.append(
+                ModuleInfo(
+                    path=file_path,
+                    rel_path=file_path.relative_to(base).as_posix(),
+                    source=source,
+                    lines=lines,
+                    tree=tree,
+                    suppressions=_parse_suppressions(source, lines),
+                    syntax_error=syntax_error,
+                )
+            )
+    return Project(modules, options)
+
+
+# ------------------------------------------------------------------ running
+
+
+def _engine_findings(project: Project, known_rules: Set[str]) -> List[Finding]:
+    """Findings about the scan itself: syntax errors, malformed suppressions."""
+    findings: List[Finding] = []
+    for info in project.modules:
+        if info.syntax_error is not None:
+            findings.append(
+                Finding(
+                    rule=RULE_SYNTAX_ERROR,
+                    path=info.rel_path,
+                    line=1,
+                    col=0,
+                    message=f"file does not parse: {info.syntax_error}",
+                )
+            )
+        for supp in info.suppressions:
+            if not supp.reason:
+                findings.append(
+                    Finding(
+                        rule=RULE_SUPPRESSION_HYGIENE,
+                        path=info.rel_path,
+                        line=supp.line,
+                        col=0,
+                        message=(
+                            "suppression must carry a written reason: "
+                            "`# repro: allow(<rule>) -- <why>`"
+                        ),
+                    )
+                )
+            if not supp.rules:
+                findings.append(
+                    Finding(
+                        rule=RULE_SUPPRESSION_HYGIENE,
+                        path=info.rel_path,
+                        line=supp.line,
+                        col=0,
+                        message="suppression names no rule: `# repro: allow(<rule>) -- <why>`",
+                    )
+                )
+            for rule_id in supp.rules:
+                if rule_id in ENGINE_RULE_IDS:
+                    findings.append(
+                        Finding(
+                            rule=RULE_SUPPRESSION_HYGIENE,
+                            path=info.rel_path,
+                            line=supp.line,
+                            col=0,
+                            message=f"engine rule {rule_id!r} cannot be suppressed",
+                        )
+                    )
+                elif rule_id not in known_rules:
+                    findings.append(
+                        Finding(
+                            rule=RULE_SUPPRESSION_HYGIENE,
+                            path=info.rel_path,
+                            line=supp.line,
+                            col=0,
+                            message=(
+                                f"suppression names unknown rule {rule_id!r}; "
+                                f"known rules: {', '.join(sorted(known_rules))}"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def _apply_suppressions(
+    project: Project, findings: Iterable[Finding], executed_rules: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Drop findings silenced by a suppression; mark the suppressions used."""
+    kept: List[Finding] = []
+    n_suppressed = 0
+    by_path: Dict[str, ModuleInfo] = {m.rel_path: m for m in project.modules}
+    for finding in findings:
+        info = by_path.get(finding.path)
+        silenced = False
+        if info is not None and finding.rule not in ENGINE_RULE_IDS:
+            for supp in info.suppressions:
+                if finding.rule not in supp.rules:
+                    continue
+                if supp.file_scope or supp.line == finding.line:
+                    supp.used = True
+                    silenced = True
+        if silenced:
+            n_suppressed += 1
+        else:
+            kept.append(finding)
+    # A suppression that silenced nothing is dead weight — or a typo hiding a
+    # real hole.  Only flag it when every rule it names actually ran, so
+    # filtered runs (--rules) do not produce false positives.
+    for info in project.modules:
+        for supp in info.suppressions:
+            if supp.used or not supp.rules or not supp.reason:
+                continue
+            if not set(supp.rules) <= executed_rules:
+                continue
+            kept.append(
+                Finding(
+                    rule=RULE_UNUSED_SUPPRESSION,
+                    path=info.rel_path,
+                    line=supp.line,
+                    col=0,
+                    message=(
+                        "suppression for "
+                        + ", ".join(sorted(supp.rules))
+                        + " silences nothing; delete it"
+                    ),
+                )
+            )
+    return kept, n_suppressed
+
+
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    baseline_fingerprints: Optional[Set[str]] = None,
+) -> Report:
+    """Run ``rules`` over ``project`` and post-process the findings.
+
+    ``baseline_fingerprints`` (see :mod:`repro.analysis.baseline`) removes
+    grandfathered findings; fingerprints that no longer match anything are
+    reported back as stale so the baseline can be pruned.
+    """
+    known = {rule.id for rule in rules}
+    # "Unknown rule" hygiene must check against the *full* catalogue, not the
+    # selected subset — otherwise `--rules X` would flag every suppression
+    # for the rules that merely did not run.  Lazy import: the rules package
+    # imports this module.
+    try:
+        from repro.analysis.rules import rules_by_id
+
+        catalogue = known | set(rules_by_id())
+    except ImportError:  # pragma: no cover - embedded/partial installs
+        catalogue = known
+    findings: List[Finding] = _engine_findings(project, catalogue)
+    for rule in rules:
+        findings.extend(rule.check(project))
+    executed = known | set(ENGINE_RULE_IDS)
+    findings, n_suppressed = _apply_suppressions(project, findings, executed)
+
+    n_baselined = 0
+    stale: List[str] = []
+    if baseline_fingerprints:
+        from repro.analysis.baseline import fingerprint_findings
+
+        fingerprinted = fingerprint_findings(project, findings)
+        kept = []
+        matched: Set[str] = set()
+        for finding, print_ in fingerprinted:
+            if print_ in baseline_fingerprints:
+                matched.add(print_)
+                n_baselined += 1
+            else:
+                kept.append(finding)
+        findings = kept
+        stale = sorted(baseline_fingerprints - matched)
+
+    findings.sort(key=Finding.sort_key)
+    return Report(
+        findings=findings,
+        n_suppressed=n_suppressed,
+        n_baselined=n_baselined,
+        stale_baseline=stale,
+    )

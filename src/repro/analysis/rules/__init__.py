@@ -1,0 +1,54 @@
+"""Rule registry for ``repro.analysis``.
+
+Every rule is a stateless :class:`repro.analysis.engine.Rule` subclass
+instantiated once here.  To add a rule: create a module in this package,
+subclass ``Rule`` with a unique ``id`` and a one-line ``description``,
+implement ``check(project)``, add the instance to :data:`ALL_RULES`, add
+good/bad fixtures under ``tests/fixtures/analysis/``, and document it in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.broad_except import BroadExceptRule
+from repro.analysis.rules.deprecation import DeprecationRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.durability import DurabilityRule
+from repro.analysis.rules.snapshot_contract import SnapshotContractRule
+
+__all__ = ["ALL_RULES", "all_rules", "rules_by_id", "select_rules"]
+
+ALL_RULES: Tuple[Rule, ...] = (
+    DeterminismRule(),
+    DurabilityRule(),
+    SnapshotContractRule(),
+    BroadExceptRule(),
+    DeprecationRule(),
+)
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    return ALL_RULES
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.id: rule for rule in ALL_RULES}
+
+
+def select_rules(ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The rules named by ``ids`` (all of them when ``ids`` is ``None``)."""
+    if ids is None:
+        return list(ALL_RULES)
+    registry = rules_by_id()
+    selected: List[Rule] = []
+    for rule_id in ids:
+        if rule_id not in registry:
+            raise KeyError(
+                f"unknown rule {rule_id!r}; known rules: "
+                + ", ".join(sorted(registry))
+            )
+        selected.append(registry[rule_id])
+    return selected

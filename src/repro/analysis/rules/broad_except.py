@@ -1,0 +1,94 @@
+"""``broad-except`` — a swallowed exception must leave a trace in stats.
+
+``except Exception`` has a legitimate place in a serving system: worker
+loops, sink fan-outs, and shutdown paths must survive arbitrary failures.
+What is *not* legitimate is swallowing the failure invisibly — the operator
+of a degraded cluster has to be able to see the degradation in ``stats()`` /
+``metrics()`` counters (the ``n_sink_failures`` pattern).
+
+The rule flags every handler for ``Exception`` / ``BaseException`` (or a
+bare ``except:``) whose body neither
+
+* re-raises (any ``raise`` statement, including re-wrapping), nor
+* increments a counter — an augmented ``+=`` on a name or attribute that
+  looks like a stat counter (``n_``-prefixed, e.g. ``self._n_sink_failures``
+  or ``self._counters.n_retries``).
+
+Genuinely-defensive handlers that can do neither (best-effort shutdown,
+error *forwarding* loops) carry a line suppression with a written reason —
+the triage is the point: every broad catch is either observable, re-raised,
+or argued for in place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+_COUNTER_RE = re.compile(r"(^|_)n_")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:  # bare except:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD_NAMES:
+            return True
+        if isinstance(candidate, ast.Attribute) and candidate.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _counter_name(target: ast.AST) -> str:
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return ""
+
+
+def _surfaces_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            if _COUNTER_RE.search(_counter_name(node.target)):
+                return True
+    return False
+
+
+class BroadExceptRule(Rule):
+    id = "broad-except"
+    description = (
+        "except Exception must re-raise, increment a stats counter, or "
+        "carry a reasoned suppression"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for info in project.modules:
+            if info.tree is None:
+                continue
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _is_broad(node) or _surfaces_failure(node):
+                    continue
+                caught = "bare except" if node.type is None else "except Exception"
+                yield Finding(
+                    rule=self.id,
+                    path=info.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"{caught} neither re-raises nor increments a stats "
+                        "counter (n_sink_failures-style); the failure is "
+                        "invisible to operators — count it, re-raise it, or "
+                        "suppress with a written reason"
+                    ),
+                )

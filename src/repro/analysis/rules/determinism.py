@@ -1,0 +1,183 @@
+"""``determinism`` — no unseeded RNG or clock reads on replayable paths.
+
+Bit-exact replay (golden batch-vs-scalar equivalence, checkpoint/restore,
+WAL replay, resharding hand-off) requires that detector, core, and stream
+code be a pure function of its inputs and its *seeded* RNG state.  A single
+``random.random()`` or ``time.time()`` on one of those paths silently breaks
+every such suite, usually flakily.
+
+Scope
+-----
+
+* Every module under a ``detectors/``, ``core/``, or ``streams/`` package
+  is fully scoped: all RNG and all clock reads are banned there.
+* Anywhere else, functions named ``update`` / ``update_batch`` /
+  ``update_many`` / ``_update_one`` or containing ``replay`` are scoped too
+  (they sit on the replay path wherever they live).
+* Wall-clock reads (``time.time``, ``datetime.now``-family) are additionally
+  banned in *all* scanned code: a wall-clock value that leaks into persisted
+  state taints replay from wherever it is read.  Monotonic/benchmark clocks
+  (``perf_counter``, ``monotonic``) stay legal outside the scoped paths.
+
+Allowed forms inside the scope: constructing a seeded generator —
+``random.Random(seed)`` / ``np.random.default_rng(seed)`` — because the seed
+makes the stream reproducible.  Legitimate wall-clock *fields* (serving
+timestamps that are metadata, never replayed state) live in
+:data:`WALLCLOCK_ALLOWLIST` with a written reason each.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo, Project, Rule
+
+#: Path components whose modules are fully scoped.
+SCOPED_PACKAGES = frozenset({"detectors", "core", "streams"})
+
+#: Function names that put any function (wherever defined) on the replay path.
+SCOPED_FUNCTION_NAMES = frozenset(
+    {"update", "update_batch", "update_many", "_update_one"}
+)
+
+#: Wall-clock reads banned everywhere (not just in the scope).
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``(rel_path, qualname prefix) -> reason`` — the explicit allowlist for
+#: wall-clock reads that are *metadata by contract*.  Every entry must say
+#: why replay is unaffected.
+WALLCLOCK_ALLOWLIST: Dict[Tuple[str, str], str] = {
+    (
+        "repro/serving/hub.py",
+        "MonitorHub._fire",
+    ): (
+        "DriftAlert.ts is the wall-clock emission stamp the serving contract "
+        "documents (docs/serving.md); WAL replay re-delivers the original "
+        "stamp, so no replayed state depends on this read"
+    ),
+    (
+        "repro/serving/wal.py",
+        "AlertWal._load_or_create_meta",
+    ): (
+        "the WAL meta 'created' field is operator-facing provenance written "
+        "once at log creation; it is never replayed into detector state"
+    ),
+}
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = (
+        "no unseeded RNG or clock reads in detectors/core/streams or on "
+        "update/replay paths; wall-clock reads need an allowlist entry"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for info in project.modules:
+            if info.tree is None:
+                continue
+            yield from self._check_module(info)
+
+    # ----------------------------------------------------------- internals
+
+    def _check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        module_scoped = bool(SCOPED_PACKAGES & set(info.parts))
+        qualnames = self.qualname_stack(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = qualnames.get(id(node), "")
+            scoped = module_scoped or self._function_scoped(qualname)
+            dotted = self.dotted_name(node.func)
+            message = self._diagnose(node, dotted, scoped)
+            if message is None:
+                continue
+            if self._allowlisted(info.rel_path, qualname, dotted):
+                continue
+            yield Finding(
+                rule=self.id,
+                path=info.rel_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=message,
+            )
+
+    @staticmethod
+    def _function_scoped(qualname: str) -> bool:
+        for segment in qualname.split("."):
+            if segment in SCOPED_FUNCTION_NAMES or "replay" in segment:
+                return True
+        return False
+
+    @staticmethod
+    def _allowlisted(rel_path: str, qualname: str, dotted: Optional[str]) -> bool:
+        if dotted is not None and dotted not in WALLCLOCK_CALLS:
+            return False
+        for (allow_path, allow_qual), _reason in WALLCLOCK_ALLOWLIST.items():
+            if rel_path.endswith(allow_path) and qualname.startswith(allow_qual):
+                return True
+        return False
+
+    def _diagnose(
+        self, node: ast.Call, dotted: Optional[str], scoped: bool
+    ) -> Optional[str]:
+        """The violation message for this call, or ``None``."""
+        if dotted is None:
+            return None
+        if dotted in WALLCLOCK_CALLS:
+            return (
+                f"wall-clock read {dotted}() taints replay; persist logical "
+                "positions (n_seen/seq) instead, or add a reasoned "
+                "WALLCLOCK_ALLOWLIST entry for a metadata-only timestamp"
+            )
+        if not scoped:
+            return None
+        head, _, tail = dotted.rpartition(".")
+        if dotted.startswith("time.") or dotted.startswith("datetime."):
+            return (
+                f"clock read {dotted}() on a replayable path; detector and "
+                "stream code must be a pure function of its inputs"
+            )
+        if head in ("random",):
+            if tail in ("Random", "SystemRandom"):
+                if tail == "SystemRandom" or not (node.args or node.keywords):
+                    return (
+                        f"unseeded {dotted}() on a replayable path; construct "
+                        "random.Random(seed) so the stream is reproducible"
+                    )
+                return None
+            return (
+                f"{dotted}() uses the process-global RNG on a replayable "
+                "path; use a seeded random.Random(seed) instance"
+            )
+        if head in ("np.random", "numpy.random"):
+            if tail == "default_rng":
+                if not (node.args or node.keywords):
+                    return (
+                        "unseeded np.random.default_rng() on a replayable "
+                        "path; pass an explicit seed"
+                    )
+                return None
+            return (
+                f"{dotted}() uses numpy's legacy global RNG on a replayable "
+                "path; use np.random.default_rng(seed)"
+            )
+        if dotted == "default_rng" and not (node.args or node.keywords):
+            return (
+                "unseeded default_rng() on a replayable path; pass an "
+                "explicit seed"
+            )
+        return None

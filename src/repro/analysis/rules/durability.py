@@ -1,0 +1,113 @@
+"""``durability`` — serving-layer writes must be crash-safe.
+
+Every byte the serving layer persists is either (a) a checkpoint/manifest,
+which must go through :func:`repro.serving.snapshot.atomic_write_json`
+(tmp + fsync + ``os.replace`` + directory fsync), or (b) an append-only
+record, which must go through the CRC-framed, torn-tail-tolerant WAL framing
+in ``serving/wal.py``.  A raw ``open(path, "w")`` or ``json.dump`` under
+``serving/`` is a crash-window: a power cut mid-write leaves a truncated file
+that the next startup trusts.
+
+The rule flags, in any module under a ``serving/`` package:
+
+* ``open(...)`` / ``*.open(...)`` with a write/append/create mode,
+* ``os.open(...)`` with ``O_WRONLY`` / ``O_RDWR`` / ``O_CREAT`` /
+  ``O_APPEND`` / ``O_TRUNC`` flags,
+* ``json.dump(...)`` (``json.dumps`` is fine — it produces a string),
+* ``tempfile.NamedTemporaryFile`` / ``TemporaryFile`` (writable by default),
+* ``*.write_text(...)`` / ``*.write_bytes(...)``.
+
+The two blessed implementations themselves carry suppressions with reasons
+(``atomic_write_json`` per-site, ``wal.py`` file-wide) — the framework makes
+the primitives *visible*, it does not special-case them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import Finding, ModuleInfo, Project, Rule
+
+_WRITE_MODE_CHARS = set("wax+")
+_OS_OPEN_WRITE_FLAGS = frozenset(
+    {"O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND", "O_TRUNC"}
+)
+_REMEDY = (
+    "; route checkpoints through atomic_write_json() and append-only "
+    "records through the WAL framing in serving/wal.py (docs/serving.md, "
+    "\"Durability & delivery semantics\")"
+)
+
+
+def _string_value(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _call_mode(node: ast.Call, position: int) -> Optional[str]:
+    """The ``mode`` argument of an ``open``-style call, if statically known."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return _string_value(keyword.value)
+    if len(node.args) > position:
+        return _string_value(node.args[position])
+    return None
+
+
+class DurabilityRule(Rule):
+    id = "durability"
+    description = (
+        "raw file writes under serving/ must route through "
+        "atomic_write_json() or the WAL framing"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for info in project.modules:
+            if info.tree is None or "serving" not in info.parts:
+                continue
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                message = self._diagnose(node)
+                if message is None:
+                    continue
+                yield Finding(
+                    rule=self.id,
+                    path=info.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=message + _REMEDY,
+                )
+
+    def _diagnose(self, node: ast.Call) -> Optional[str]:
+        dotted = self.dotted_name(node.func)
+        func = node.func
+        if dotted == "json.dump":
+            return "json.dump() writes a file without atomicity or fsync"
+        if dotted in ("tempfile.NamedTemporaryFile", "tempfile.TemporaryFile") or (
+            isinstance(func, ast.Name)
+            and func.id in ("NamedTemporaryFile", "TemporaryFile")
+        ):
+            return "temporary-file write under serving/"
+        if dotted == "os.open":
+            for arg in ast.walk(node):
+                if isinstance(arg, ast.Attribute) and arg.attr in _OS_OPEN_WRITE_FLAGS:
+                    return f"os.open() with {arg.attr} opens for writing"
+                if isinstance(arg, ast.Name) and arg.id in _OS_OPEN_WRITE_FLAGS:
+                    return f"os.open() with {arg.id} opens for writing"
+            return None
+        is_open_call = (isinstance(func, ast.Name) and func.id == "open") or (
+            isinstance(func, ast.Attribute) and func.attr == "open" and dotted != "os.open"
+        )
+        if is_open_call:
+            # Builtin open(file, mode); Path.open(mode) puts mode first.
+            position = 0 if isinstance(func, ast.Attribute) else 1
+            mode = _call_mode(node, position)
+            if mode is not None and _WRITE_MODE_CHARS & set(mode):
+                return f"open(..., {mode!r}) writes without atomicity or fsync"
+            return None
+        if isinstance(func, ast.Attribute) and func.attr in ("write_text", "write_bytes"):
+            return f"{func.attr}() rewrites a file in place without atomicity"
+        return None

@@ -1,0 +1,193 @@
+"""``snapshot-contract`` — detectors must checkpoint, register, and lock.
+
+Three layers of the same contract:
+
+1. **Pair rule (AST).**  A concrete :class:`DriftDetector` subclass that
+   overrides ``_state_dict`` must override ``_load_state`` too (and vice
+   versa) — one half alone means snapshots that silently restore to a fresh
+   detector, which the round-trip suite only catches *if the detector is
+   registered*.
+2. **Registry rule (AST).**  Every concrete subclass under a ``detectors/``
+   or ``core/`` package must appear in the tuple returned by
+   ``exported_detector_classes()``.  That registry drives the golden
+   batch-vs-scalar equivalence suite, the snapshot round-trip suite, the
+   reset contract, and pickling — an unregistered detector is an untested
+   detector.
+3. **Schema lock (dynamic).**  The committed manifest
+   (``snapshot_schema.lock.json``) records every registered detector's
+   persisted config/state keys under the current
+   ``SNAPSHOT_SCHEMA_VERSION``; the live registry is diffed against it, so
+   key changes without a version bump — and silent detector removals — fail
+   the run.  See :mod:`repro.analysis.schema_lock` for the ``--update-lock``
+   flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleInfo, Project, Rule
+
+_BASE_NAME = "DriftDetector"
+_REGISTRY_FUNCTION = "exported_detector_classes"
+_REGISTRY_PACKAGES = frozenset({"detectors", "core"})
+
+
+def _is_detector_subclass(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        dotted = Rule.dotted_name(base)
+        if dotted is not None and dotted.split(".")[-1] == _BASE_NAME:
+            return True
+    return False
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                dotted = Rule.dotted_name(decorator)
+                if dotted is not None and "abstractmethod" in dotted:
+                    return True
+    return False
+
+
+def _method_names(node: ast.ClassDef) -> Set[str]:
+    return {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _registered_names(project: Project) -> Tuple[Optional[ModuleInfo], Set[str]]:
+    """The registry module and the class names its tuple returns."""
+    for info in project.modules:
+        if info.tree is None:
+            continue
+        for node in ast.walk(info.tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name == _REGISTRY_FUNCTION
+            ):
+                names: Set[str] = set()
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Return) and isinstance(
+                        child.value, (ast.Tuple, ast.List)
+                    ):
+                        for element in child.value.elts:
+                            if isinstance(element, ast.Name):
+                                names.add(element.id)
+                return info, names
+    return None, set()
+
+
+class SnapshotContractRule(Rule):
+    id = "snapshot-contract"
+    description = (
+        "DriftDetector subclasses define both snapshot halves, appear in "
+        "exported_detector_classes(), and match the schema lock"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registry_module, registered = _registered_names(project)
+        class_sites: Dict[str, Tuple[ModuleInfo, int]] = {}
+
+        for info in project.modules:
+            if info.tree is None:
+                continue
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if node.name == _BASE_NAME or not _is_detector_subclass(node):
+                    continue
+                class_sites[node.name] = (info, node.lineno)
+                if node.name.startswith("_") or _is_abstract(node):
+                    continue
+                methods = _method_names(node)
+                has_state = "_state_dict" in methods
+                has_load = "_load_state" in methods
+                if has_state != has_load:
+                    present, missing = (
+                        ("_state_dict", "_load_state")
+                        if has_state
+                        else ("_load_state", "_state_dict")
+                    )
+                    yield Finding(
+                        rule=self.id,
+                        path=info.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{node.name} overrides {present} but not {missing}; "
+                            "snapshots will serialize state the restore path "
+                            "silently drops (or vice versa) — implement both "
+                            "halves together"
+                        ),
+                    )
+                if (
+                    registry_module is not None
+                    and _REGISTRY_PACKAGES & set(info.parts)
+                    and node.name not in registered
+                ):
+                    yield Finding(
+                        rule=self.id,
+                        path=info.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{node.name} is not reachable from "
+                            f"{_REGISTRY_FUNCTION}() "
+                            f"({registry_module.rel_path}); the golden "
+                            "equivalence, snapshot round-trip, reset, and "
+                            "pickling suites are registry-driven and will "
+                            "never cover it — register it"
+                        ),
+                    )
+
+        yield from self._check_schema_lock(project, registry_module, class_sites)
+
+    # ------------------------------------------------------ schema lock
+
+    def _check_schema_lock(
+        self,
+        project: Project,
+        registry_module: Optional[ModuleInfo],
+        class_sites: Dict[str, Tuple[ModuleInfo, int]],
+    ) -> Iterator[Finding]:
+        configured = project.options.get("schema_lock_path")
+        if not configured:
+            return
+        lock_path = Path(str(configured))
+        anchor = registry_module or (project.modules[0] if project.modules else None)
+        if anchor is None:
+            return
+
+        def anchored(detector: str, message: str) -> Finding:
+            info, line = class_sites.get(detector, (anchor, 1))
+            return Finding(
+                rule=self.id,
+                path=info.rel_path,
+                line=line,
+                col=0,
+                message=message,
+            )
+
+        from repro.analysis import schema_lock
+
+        if not lock_path.exists():
+            yield anchored(
+                "*",
+                f"schema lock {lock_path} is missing; generate it with "
+                "`python -m repro.analysis --update-lock` and commit it",
+            )
+            return
+        try:
+            lock = schema_lock.load_lock(lock_path)
+            current = schema_lock.generate_lock()
+        except Exception as exc:  # repro: allow(broad-except) -- any import/parse failure here must become a lint finding (the CI gate), not a crash of the linter itself
+            yield anchored("*", f"schema lock check could not run: {exc}")
+            return
+        for detector, message in schema_lock.diff_lock(lock, current):
+            yield anchored(detector, message)

@@ -1,0 +1,153 @@
+"""Snapshot schema-lock manifest for the ``snapshot-contract`` rule.
+
+The serving layer's crash-safety rests on ``state_dict()`` payloads being
+*stable*: a checkpoint written yesterday must restore bit-exactly today.
+The schema-lock manifest records, per exported detector, the exact set of
+persisted keys (constructor ``config`` keys and mutable ``state`` keys) under
+the current :data:`repro.core.base.SNAPSHOT_SCHEMA_VERSION`.  The
+``snapshot-contract`` rule regenerates this view from the live registry on
+every run and diffs it against the committed manifest, so that
+
+* silently adding/removing/renaming a persisted key,
+* removing a detector from ``exported_detector_classes()`` (which would also
+  silently drop it from every registry-driven test suite), or
+* bumping ``SNAPSHOT_SCHEMA_VERSION`` without refreshing the lock
+
+all fail the lint run.  An *intentional* layout change is a two-line diff:
+bump the schema version (old checkpoints are refused anyway) and run
+``python -m repro.analysis --update-lock`` to commit the new reference.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "LOCK_SCHEMA_VERSION",
+    "default_lock_path",
+    "generate_lock",
+    "load_lock",
+    "write_lock",
+    "diff_lock",
+]
+
+LOCK_SCHEMA_VERSION = 1
+
+
+def default_lock_path() -> Path:
+    """The checked-in manifest shipped next to this module."""
+    return Path(__file__).resolve().parent / "snapshot_schema.lock.json"
+
+
+def generate_lock() -> Dict[str, Any]:
+    """Current per-detector persisted-key sets, from the live registry.
+
+    Imports :mod:`repro.detectors` lazily so that the analysis framework
+    itself stays importable in environments where numpy is unavailable.
+    """
+    from repro.core.base import SNAPSHOT_SCHEMA_VERSION
+    from repro.detectors import exported_detector_classes
+
+    detectors: Dict[str, Dict[str, List[str]]] = {}
+    for cls in exported_detector_classes():
+        snapshot = cls().state_dict()
+        detectors[cls.__name__] = {
+            "config_keys": sorted(snapshot.get("config", {})),
+            "state_keys": sorted(snapshot.get("state", {})),
+        }
+    return {
+        "lock_schema_version": LOCK_SCHEMA_VERSION,
+        "snapshot_schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "detectors": detectors,
+    }
+
+
+def load_lock(path: Path) -> Dict[str, Any]:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    version = document.get("lock_schema_version")
+    if version != LOCK_SCHEMA_VERSION:
+        raise ValueError(
+            f"lock schema version {version!r} is not supported "
+            f"(expected {LOCK_SCHEMA_VERSION}); regenerate with --update-lock"
+        )
+    return document
+
+
+def write_lock(path: Path) -> Dict[str, Any]:
+    document = generate_lock()
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document
+
+
+def diff_lock(lock: Dict[str, Any], current: Dict[str, Any]) -> List[Tuple[str, str]]:
+    """Compare a committed lock against the live view.
+
+    Returns ``(detector_name, message)`` pairs; detector name ``"*"`` marks
+    manifest-level problems.  An empty list means the contract holds.
+    """
+    problems: List[Tuple[str, str]] = []
+    locked_version = lock.get("snapshot_schema_version")
+    live_version = current["snapshot_schema_version"]
+    if locked_version != live_version:
+        problems.append(
+            (
+                "*",
+                f"SNAPSHOT_SCHEMA_VERSION is {live_version} but the schema lock "
+                f"records {locked_version}; run `python -m repro.analysis "
+                "--update-lock` to commit the new layout",
+            )
+        )
+        # Key diffs below a version bump are expected — the version bump is
+        # the sanctioned escape hatch, and --update-lock resets the reference.
+        return problems
+
+    locked = lock.get("detectors", {})
+    live = current["detectors"]
+    for name in sorted(set(locked) - set(live)):
+        problems.append(
+            (
+                name,
+                f"detector {name} is in the schema lock but no longer reachable "
+                "from exported_detector_classes(); deleting a detector (or "
+                "unregistering it, which silently drops it from every "
+                "registry-driven suite) requires updating the lock with "
+                "--update-lock",
+            )
+        )
+    for name in sorted(set(live) - set(locked)):
+        problems.append(
+            (
+                name,
+                f"detector {name} is not in the schema lock; run "
+                "`python -m repro.analysis --update-lock` to record its "
+                "persisted keys",
+            )
+        )
+    for name in sorted(set(live) & set(locked)):
+        for section in ("config_keys", "state_keys"):
+            want = list(locked[name].get(section, []))
+            have = current["detectors"][name][section]
+            if want == have:
+                continue
+            added = sorted(set(have) - set(want))
+            removed = sorted(set(want) - set(have))
+            detail = []
+            if added:
+                detail.append("added " + ", ".join(added))
+            if removed:
+                detail.append("removed " + ", ".join(removed))
+            problems.append(
+                (
+                    name,
+                    f"{name} changed its persisted {section.replace('_', ' ')} "
+                    f"({'; '.join(detail)}) without bumping "
+                    "SNAPSHOT_SCHEMA_VERSION — existing checkpoints would "
+                    "restore against a different layout; bump the version and "
+                    "run --update-lock",
+                )
+            )
+    return problems

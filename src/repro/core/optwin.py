@@ -34,7 +34,7 @@ True
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -547,7 +547,7 @@ class Optwin(DriftDetector):
         }
 
     @classmethod
-    def from_config_dict(cls, config) -> "Optwin":
+    def from_config_dict(cls, config: Mapping[str, Any]) -> "Optwin":
         # eta is an OptwinConfig field but not an Optwin keyword, so the
         # snapshot config is rebuilt through an explicit OptwinConfig.
         kwargs = dict(config)

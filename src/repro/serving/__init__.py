@@ -35,6 +35,8 @@ sharding model, and the wire protocol, and ``examples/live_monitoring.py``
 for the daemon-style usage pattern.
 """
 
+# repro: allow-file(deprecated-symbol) -- route_shard is re-exported here for external backwards compatibility only; internal code routes through route_slot and the manifest-carried slot table (PR 7)
+
 from repro.serving.hub import (
     CHECKPOINT_FILENAME,
     HUB_SCHEMA_VERSION,

@@ -28,7 +28,7 @@ import asyncio
 import contextlib
 import signal
 import sys
-from typing import Union
+from typing import Optional, Sequence, Union
 
 from repro.serving.hub import MonitorHub
 from repro.serving.server import ServingServer
@@ -199,7 +199,7 @@ async def run(args: argparse.Namespace, hub: Union[MonitorHub, ShardedHub]) -> i
             try:
                 path = hub.checkpoint()
                 print(f"CHECKPOINT {path}", flush=True)
-            except Exception as exc:
+            except Exception as exc:  # repro: allow(broad-except) -- shutdown path: the failure is surfaced as CHECKPOINT-FAILED on stderr and the last successful checkpoint is still on disk; crashing here would skip closing healthy shards and sinks
                 # A dead worker, a full disk, a corrupt directory — whatever
                 # the cause, crashing out of shutdown would also skip
                 # closing the healthy shards and the audit sinks.  The last
@@ -209,7 +209,7 @@ async def run(args: argparse.Namespace, hub: Union[MonitorHub, ShardedHub]) -> i
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     hub = build_hub(args)
     try:

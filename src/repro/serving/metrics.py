@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 
 __all__ = ["LatencyWindow", "RateMeter", "percentile"]
 
 
-def percentile(sorted_values, fraction: float) -> float:
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile of an ascending-sorted non-empty sequence."""
     if not 0.0 <= fraction <= 1.0:
         raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
@@ -92,7 +92,9 @@ class RateMeter:
     two-second rate, not a sixty-second average diluted by silence).
     """
 
-    def __init__(self, window: float = 60.0, clock=time.monotonic) -> None:
+    def __init__(
+        self, window: float = 60.0, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         if window <= 0:
             raise ConfigurationError(f"window must be positive, got {window}")
         self._window = float(window)

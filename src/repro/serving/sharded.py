@@ -211,7 +211,7 @@ def _safe_send(conn: Connection, reply: Tuple[str, Any]) -> None:
     """Send a reply, downgrading unpicklable payloads to a ShardError."""
     try:
         conn.send(reply)
-    except Exception as exc:  # pragma: no cover - defensive
+    except Exception as exc:  # pragma: no cover - defensive  # repro: allow(broad-except) -- an unpicklable reply is downgraded to a ShardError reply the parent re-raises; if even that send fails, the worker loop dies and the parent surfaces EOF as a dead shard
         conn.send(("error", ShardError(f"worker reply failed to serialize: {exc!r}")))
 
 
@@ -228,7 +228,7 @@ def _tracker_is_inherited() -> bool:
         from multiprocessing import resource_tracker
 
         return resource_tracker._resource_tracker._fd is not None
-    except Exception:  # pragma: no cover - tracker internals moved
+    except Exception:  # pragma: no cover - tracker internals moved  # repro: allow(broad-except) -- probes private resource_tracker internals; False is the safe answer (the spurious registration is then revoked explicitly in _worker_attach_shm)
         return False
 
 
@@ -252,7 +252,7 @@ def _worker_attach_shm(
     for stale_name in list(cache):
         try:
             cache.pop(stale_name).close()
-        except Exception:  # pragma: no cover - view still referenced
+        except Exception:  # pragma: no cover - view still referenced  # repro: allow(broad-except) -- retiring a superseded segment view; at worst an fd lingers until worker exit, no data path depends on the close
             pass
     block = _shared_memory.SharedMemory(name=name)
     if not tracker_inherited:
@@ -260,7 +260,7 @@ def _worker_attach_shm(
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(block._name, "shared_memory")
-        except Exception:  # pragma: no cover - tracker API differences
+        except Exception:  # pragma: no cover - tracker API differences  # repro: allow(broad-except) -- best-effort revocation of a bookkeeping entry across python-version tracker APIs; failure merely re-allows the double-unlink warning the revocation exists to silence
             pass
     cache[name] = block
     return block
@@ -310,7 +310,7 @@ def _shard_worker_main(
             wal_dir=wal_dir,
             wal_fsync=wal_fsync,
         )
-    except BaseException as exc:
+    except BaseException as exc:  # repro: allow(broad-except) -- worker-hub construction failed; the exception is forwarded verbatim to the parent (which re-raises it at spawn) and the worker exits
         _safe_send(conn, ("error", exc))
         return
 
@@ -391,7 +391,7 @@ def _shard_worker_main(
                 break
             else:
                 raise ShardError(f"unknown worker op {op!r}")
-        except Exception as exc:
+        except Exception as exc:  # repro: allow(broad-except) -- the worker op loop forwards every failure to the parent as an ('error', exc) reply; _call/_fan_out re-raise it in the caller's process, so nothing is swallowed
             _safe_send(conn, ("error", exc))
         else:
             _safe_send(conn, ("ok", result))
@@ -399,7 +399,7 @@ def _shard_worker_main(
     for block in shm_cache.values():
         try:
             block.close()
-        except Exception:  # pragma: no cover - view still referenced
+        except Exception:  # pragma: no cover - view still referenced  # repro: allow(broad-except) -- worker-exit cleanup of attached views; the parent owns and unlinks the segments, so a failed close leaks nothing past process exit
             pass
     conn.close()
 
@@ -539,6 +539,12 @@ class ShardedHub:
         #: lifetime eviction count of those retired workers.
         self._parked_alerts: List[DriftAlert] = []
         self._parked_dropped = 0
+        #: Best-effort failures an operator must be able to see without
+        #: grepping logs: reshard cleanup/rollback steps that could not
+        #: complete (recoverable duplicates until respawn_dead_shards), and
+        #: shm-transport downgrades to the pickle path.
+        self._n_cleanup_failures = 0
+        self._n_transport_fallbacks = 0
         #: Test seam: called with a stage name at every reshard phase
         #: boundary so crash-injection tests can kill workers mid-protocol.
         self._reshard_test_hook: Optional[Callable[[str], None]] = None
@@ -898,7 +904,7 @@ class ShardedHub:
                 conn.send(("stop", ()))
                 if conn.poll(self._STOP_REPLY_TIMEOUT):
                     conn.recv()
-            except Exception:
+            except Exception:  # repro: allow(broad-except) -- best-effort graceful stop; the escalation ladder below (join, terminate, kill) reaps the worker whatever happened to the pipe
                 pass
         if process is not None:
             process.join(timeout=self._STOP_REPLY_TIMEOUT)
@@ -923,7 +929,7 @@ class ShardedHub:
                 continue
             try:
                 self._conns[index].send(("stop", ()))
-            except Exception:
+            except Exception:  # repro: allow(broad-except) -- a worker whose pipe refuses the stop op is already dead or wedged; the join/terminate/kill ladder below reaps it regardless
                 continue
             stopping.append(index)
         for index in stopping:
@@ -931,7 +937,7 @@ class ShardedHub:
             try:
                 if self._conns[index].poll(self._STOP_REPLY_TIMEOUT):
                     self._conns[index].recv()
-            except Exception:
+            except Exception:  # repro: allow(broad-except) -- shutdown drain of the stop reply; a broken pipe here means the worker already exited, which is the goal
                 pass
         self._closed = True
         for index, process in enumerate(self._processes):
@@ -1056,7 +1062,7 @@ class ShardedHub:
                 )
                 error.__cause__ = exc
                 dead_error = dead_error or error
-            except Exception as exc:
+            except Exception as exc:  # repro: allow(broad-except) -- caller_error is re-raised below, after the shards already sent to are drained; catching here prevents pipe desync, it does not swallow
                 # The *payload* failed to serialize (e.g. a generator event
                 # chunk the pickler rejects before anything hits the pipe) —
                 # a caller error, not a dead shard.  Stop sending, but still
@@ -1103,7 +1109,7 @@ class ShardedHub:
         for method in (block.close, block.unlink):
             try:
                 method()
-            except Exception:  # pragma: no cover - already gone
+            except Exception:  # pragma: no cover - already gone  # repro: allow(broad-except) -- releasing a segment that may already be closed/unlinked (worker crash, double release); there is nothing left to surface
                 pass
 
     def _shm_block(self, index: int, nbytes: int) -> Any:
@@ -1146,6 +1152,7 @@ class ShardedHub:
         try:
             block = self._shm_block(index, total * 8)
         except Exception:
+            self._n_transport_fallbacks += 1
             logger.warning(
                 "cannot allocate a shared-memory segment; falling back to "
                 "the pickle transport",
@@ -1325,6 +1332,8 @@ class ShardedHub:
             ),
             "n_shards": self._n_shards,
             "n_alive_shards": self._n_shards - len(self.dead_shards()),
+            "n_cleanup_failures": self._n_cleanup_failures,
+            "n_transport_fallbacks": self._n_transport_fallbacks,
         }
 
     @property
@@ -1356,6 +1365,8 @@ class ShardedHub:
                 m["n_replay_suppressed"] for m in shard_metrics
             ),
             "transport": self._transport,
+            "n_cleanup_failures": self._n_cleanup_failures,
+            "n_transport_fallbacks": self._n_transport_fallbacks,
             "shards": shard_metrics,
         }
 
@@ -1658,6 +1669,7 @@ class ShardedHub:
             try:
                 self._call(source, "forget_monitors", keys)
             except Exception as exc:
+                self._n_cleanup_failures += 1
                 logger.warning("reshard cleanup: shard %d forget failed", source)
                 cleanup_error = cleanup_error or exc
         for index in range(n_shards, old_n):
@@ -1666,6 +1678,7 @@ class ShardedHub:
                 self._parked_alerts.extend(parked)
                 self._parked_dropped += dropped
             except Exception as exc:
+                self._n_cleanup_failures += 1
                 logger.warning(
                     "reshard cleanup: could not drain retiring shard %d", index
                 )
@@ -1680,6 +1693,7 @@ class ShardedHub:
             try:
                 self._write_manifest(self._broadcast("checkpoint"))
             except Exception as exc:
+                self._n_cleanup_failures += 1
                 cleanup_error = exc
         if cleanup_error is not None:
             raise ShardError(
@@ -1714,6 +1728,7 @@ class ShardedHub:
             try:
                 self._call(target, "forget_monitors", keys)
             except Exception:
+                self._n_cleanup_failures += 1
                 logger.warning(
                     "reshard abort: could not roll back imports on shard %d",
                     target,
@@ -1727,6 +1742,7 @@ class ShardedHub:
             try:
                 self._write_manifest(baseline_reports)
             except Exception:
+                self._n_cleanup_failures += 1
                 logger.warning(
                     "reshard abort: could not clear the manifest intent record"
                 )

@@ -241,7 +241,7 @@ class JsonlAuditSink(AlertSink):
     def __init__(self, path: str, fsync: bool = False) -> None:
         self._path = path
         self._fsync = bool(fsync)
-        self._handle = open(path, "a", encoding="utf-8")
+        self._handle = open(path, "a", encoding="utf-8")  # repro: allow(durability) -- append-only audit log, documented at-least-once: readers tolerate a torn trailing line and fsync is opt-in (fsync=True); the WAL, not this sink, is the delivery guarantee
         self._n_emitted = 0
 
     @property
@@ -404,7 +404,7 @@ class WebhookSink(AlertSink):
                 continue
             try:
                 self._deliver(alert)
-            except Exception:  # pragma: no cover - defensive
+            except Exception:  # pragma: no cover - defensive  # repro: allow(broad-except) -- guards the worker thread against bugs in _deliver itself; real delivery failures are already counted per cause (n_failed/n_retries/n_dead_lettered) inside _deliver
                 logger.exception("webhook delivery loop error")
             finally:
                 self._queue.task_done()
@@ -437,7 +437,7 @@ class WebhookSink(AlertSink):
                     pass
             try:
                 self._transport(self._url, payload, self._timeout)
-            except Exception as exc:
+            except Exception as exc:  # repro: allow(broad-except) -- every failed attempt retries with capped backoff; when the loop ends the failure is counted (n_failed, consecutive_failures) and the alert is dead-lettered with its reason
                 error = exc
                 continue
             with self._lock:
@@ -467,7 +467,7 @@ class WebhookSink(AlertSink):
                 return
             try:
                 if self._dead_letter_handle is None:
-                    self._dead_letter_handle = open(
+                    self._dead_letter_handle = open(  # repro: allow(durability) -- the dead-letter JSONL is the best-effort record of last resort on the failure path; demanding atomicity here would add failure modes to failure handling
                         self._dead_letter_path, "a", encoding="utf-8"
                     )
                 record = alert.to_dict()

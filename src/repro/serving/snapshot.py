@@ -25,7 +25,7 @@ import math
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Mapping, Type, Union
+from typing import Any, Dict, Mapping, Optional, Type, Union
 
 from repro.core.base import SNAPSHOT_SCHEMA_VERSION, DriftDetector
 from repro.detectors import exported_detector_classes
@@ -115,7 +115,9 @@ def resolve_detector_class(name: str) -> Type[DriftDetector]:
     return cls
 
 
-def build_detector(name: str, params: Mapping[str, Any] = None) -> DriftDetector:
+def build_detector(
+    name: str, params: Optional[Mapping[str, Any]] = None
+) -> DriftDetector:
     """Construct a fresh detector from a registry name and constructor kwargs."""
     cls = resolve_detector_class(name)
     try:
@@ -174,7 +176,7 @@ def atomic_write_json(path: Union[str, Path], document: Any) -> Path:
     from repro.serving.wal import fsync_directory
 
     path = Path(path)
-    handle = tempfile.NamedTemporaryFile(
+    handle = tempfile.NamedTemporaryFile(  # repro: allow(durability) -- this IS atomic_write_json: the temp file is fsynced below, os.replace()d into place, and the directory fsync makes the rename itself durable
         "w",
         dir=str(path.parent),
         prefix=path.name + ".",
@@ -184,7 +186,7 @@ def atomic_write_json(path: Union[str, Path], document: Any) -> Path:
     )
     try:
         with handle:
-            json.dump(document, handle, sort_keys=True, allow_nan=False)
+            json.dump(document, handle, sort_keys=True, allow_nan=False)  # repro: allow(durability) -- writes the temp file inside the atomic_write_json protocol; fsync + rename + directory fsync follow
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(handle.name, path)

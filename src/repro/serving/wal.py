@@ -56,6 +56,8 @@ point of the recovery test matrix.
 
 from __future__ import annotations
 
+# repro: allow-file(durability) -- wal.py IS the WAL framing layer the durability rule routes other serving code to: CRC32-framed appends, torn-tail truncation on open, and the explicit fsync policy here are the durability primitive itself
+
 import json
 import logging
 import os
@@ -65,7 +67,7 @@ import time
 import zlib
 from collections import deque
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, IO, Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError, SnapshotError
 from repro.serving.metrics import LatencyWindow
@@ -104,7 +106,7 @@ _FSYNC_MODES = ("always", "batch", "off")
 _MonitorKey = Tuple[str, str]
 
 
-def flush_handle(handle, fsync: bool) -> None:
+def flush_handle(handle: IO[Any], fsync: bool) -> None:
     """Flush a writable file handle, optionally through to the platter.
 
     The one flush helper shared by the WAL and :class:`JsonlAuditSink`'s
@@ -224,7 +226,7 @@ class _Failpoint:
             else:
                 logger.warning("ignoring malformed %s=%r", FAILPOINT_ENV, spec)
 
-    def maybe_fire(self, n_alert_appends: int, handle) -> None:
+    def maybe_fire(self, n_alert_appends: int, handle: IO[Any]) -> None:
         if (
             self.kill_after_alert is not None
             and n_alert_appends >= self.kill_after_alert

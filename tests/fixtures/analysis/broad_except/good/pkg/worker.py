@@ -1,0 +1,24 @@
+"""Broad handlers that each leave a trace: counter, re-raise, or reason."""
+
+
+class Worker:
+    def __init__(self):
+        self._n_failures = 0
+
+    def run(self, job):
+        try:
+            job()
+        except Exception:
+            self._n_failures += 1
+
+    def call(self, job):
+        try:
+            return job()
+        except Exception as exc:
+            raise RuntimeError("job failed") from exc
+
+    def close(self, transport):
+        try:
+            transport.close()
+        except Exception:  # repro: allow(broad-except) -- best-effort close on the shutdown path; the transport is gone either way and there is no stats object left to count into
+            pass

@@ -1,0 +1,7 @@
+"""Internal caller still importing and using the deprecated symbol."""
+
+from pkg.legacy import old_route
+
+
+def place(key, n):
+    return old_route(key, n)

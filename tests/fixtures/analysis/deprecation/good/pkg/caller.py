@@ -1,0 +1,7 @@
+"""Internal caller migrated to the replacement symbol."""
+
+from pkg.legacy import new_route
+
+
+def place(key, table):
+    return new_route(key, table)

@@ -1,0 +1,14 @@
+"""Module defining a deprecated symbol (and legitimately touching it)."""
+
+
+def old_route(key, n):
+    """Route a key the pre-slot-table way.
+
+    .. deprecated:: 0.9
+       Use :func:`new_route`; the slot table owns placement now.
+    """
+    return hash(key) % n
+
+
+def new_route(key, table):
+    return table[hash(key) % len(table)]

@@ -1,0 +1,23 @@
+"""Scoped module (under ``detectors/``) that violates determinism."""
+
+import random
+import time
+
+import numpy as np
+
+
+def decide(threshold):
+    # Global-RNG draw inside a detectors/ package.
+    return random.random() < threshold
+
+
+def stamp():
+    # Wall-clock read (banned everywhere, doubly so here).
+    return time.time()
+
+
+def make_rng():
+    # Unseeded generators: both the stdlib and numpy forms.
+    a = random.Random()
+    b = np.random.default_rng()
+    return a, b

@@ -1,0 +1,16 @@
+"""Scoped module that stays a pure function of inputs + seeded RNG."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    # Seeded constructions are the sanctioned forms.
+    a = random.Random(seed)
+    b = np.random.default_rng(seed)
+    return a, b
+
+
+def decide(rng, threshold):
+    return rng.random() < threshold

@@ -1,0 +1,14 @@
+"""Unscoped module: monotonic clocks and seeded RNG are fine here."""
+
+import random
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def jitter(seed):
+    return random.Random(seed).random()

@@ -1,0 +1,27 @@
+"""Serving-layer writes with crash windows the durability rule must flag."""
+
+import json
+import os
+import tempfile
+
+
+def save_checkpoint(path, document):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def append_record(path, line):
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def rewrite_note(path, text):
+    path.write_text(text, encoding="utf-8")
+
+
+def raw_create(path):
+    return os.open(str(path), os.O_WRONLY | os.O_CREAT)
+
+
+def scratch():
+    return tempfile.NamedTemporaryFile("w", delete=False)

@@ -1,0 +1,18 @@
+"""Serving-layer module whose file I/O is read-only or string-producing."""
+
+import json
+import os
+
+
+def load_checkpoint(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def render(document):
+    # json.dumps produces a string; nothing touches disk.
+    return json.dumps(document, sort_keys=True)
+
+
+def read_raw(path):
+    return os.open(str(path), os.O_RDONLY)

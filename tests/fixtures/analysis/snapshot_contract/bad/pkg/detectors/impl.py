@@ -1,0 +1,24 @@
+"""Detector subclasses violating the snapshot contract."""
+
+from pkg.detectors.base import DriftDetector
+
+
+class HalfBaked(DriftDetector):
+    """Overrides one snapshot half only."""
+
+    def _state_dict(self):
+        return {"cursor": 0}
+
+
+class Orphan(DriftDetector):
+    """Both halves, but never registered."""
+
+    def _state_dict(self):
+        return {"cursor": 0}
+
+    def _load_state(self, state):
+        pass
+
+
+def exported_detector_classes():
+    return (HalfBaked,)

@@ -1,0 +1,244 @@
+"""Engine-level tests for ``repro.analysis``: suppressions, baselines, CLI.
+
+Rule behaviour is covered fixture-by-fixture in ``test_analysis_rules.py``;
+here the subject is the machinery around the rules — suppression parsing and
+hygiene, baseline fingerprints, syntax-error reporting, and the CLI's exit
+codes and JSON output.  Files are written to ``tmp_path`` so no deliberately
+broken source needs to live in the repository.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULE_SUPPRESSION_HYGIENE,
+    RULE_SYNTAX_ERROR,
+    RULE_UNUSED_SUPPRESSION,
+    load_baseline,
+    run_rules,
+    scan_paths,
+    select_rules,
+    write_baseline,
+)
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "analysis"
+
+#: A minimal broad-except violation used throughout.
+_VIOLATION = """\
+def run(job):
+    try:
+        job()
+    except Exception:{comment}
+        pass
+"""
+
+
+def _project(tmp_path: Path, source: str, name: str = "mod.py"):
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return scan_paths([target])
+
+
+def _report(tmp_path: Path, source: str, rule_ids=("broad-except",)):
+    project = _project(tmp_path, source)
+    return run_rules(project, select_rules(list(rule_ids)))
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def test_line_suppression_with_reason_silences_the_finding(tmp_path):
+    report = _report(
+        tmp_path,
+        _VIOLATION.format(
+            comment="  # repro: allow(broad-except) -- fixture: best effort"
+        ),
+    )
+    assert report.clean and report.n_suppressed == 1
+
+
+def test_file_suppression_silences_every_line(tmp_path):
+    body = _VIOLATION.format(comment="")
+    source = (
+        "# repro: allow-file(broad-except) -- fixture: whole file is defensive\n"
+        + body
+        + "\n\n"
+        + body.replace("run", "run2")
+    )
+    report = _report(tmp_path, source)
+    assert report.clean and report.n_suppressed == 2
+
+
+def test_suppression_without_reason_is_itself_a_finding(tmp_path):
+    report = _report(
+        tmp_path, _VIOLATION.format(comment="  # repro: allow(broad-except)")
+    )
+    hygiene = [f for f in report.findings if f.rule == RULE_SUPPRESSION_HYGIENE]
+    assert len(hygiene) == 1
+    assert "reason" in hygiene[0].message
+
+
+def test_suppression_naming_unknown_rule_is_flagged(tmp_path):
+    report = _report(
+        tmp_path,
+        _VIOLATION.format(comment="  # repro: allow(no-such-rule) -- why"),
+    )
+    assert any(
+        f.rule == RULE_SUPPRESSION_HYGIENE and "unknown rule" in f.message
+        for f in report.findings
+    )
+    # And the underlying violation still fires: the typo silenced nothing.
+    assert any(f.rule == "broad-except" for f in report.findings)
+
+
+def test_engine_rules_cannot_be_suppressed(tmp_path):
+    report = _report(
+        tmp_path,
+        "x = 1  # repro: allow(syntax-error) -- trying to silence the engine\n",
+    )
+    assert any(
+        f.rule == RULE_SUPPRESSION_HYGIENE and "cannot be suppressed" in f.message
+        for f in report.findings
+    )
+
+
+def test_unused_suppression_is_flagged(tmp_path):
+    report = _report(
+        tmp_path, "x = 1  # repro: allow(broad-except) -- nothing to silence\n"
+    )
+    assert [f.rule for f in report.findings] == [RULE_UNUSED_SUPPRESSION]
+
+
+def test_unused_suppression_not_flagged_when_its_rule_did_not_run(tmp_path):
+    # --rules filtering must not call suppressions for unexecuted rules dead.
+    report = _report(
+        tmp_path,
+        "x = 1  # repro: allow(determinism) -- covers a rule not run here\n",
+        rule_ids=("broad-except",),
+    )
+    assert report.clean
+
+
+def test_suppression_syntax_inside_docstring_is_not_parsed(tmp_path):
+    source = (
+        '"""Docs quoting the form ``# repro: allow(broad-except) -- why``."""\n'
+        "x = 1\n"
+    )
+    report = _report(tmp_path, source)
+    assert report.clean, [f.to_dict() for f in report.findings]
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    report = _report(tmp_path, "def broken(:\n    pass\n")
+    assert [f.rule for f in report.findings] == [RULE_SYNTAX_ERROR]
+
+
+# --------------------------------------------------------------- baselines
+
+
+def test_baseline_fingerprints_survive_line_shifts(tmp_path):
+    source = _VIOLATION.format(comment="")
+    project = _project(tmp_path, source)
+    rules = select_rules(["broad-except"])
+    report = run_rules(project, rules)
+    assert len(report.findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    assert write_baseline(baseline_path, project, report.findings) == 1
+
+    # Shift every line down; the fingerprint keys on the line *text*.
+    shifted = _project(tmp_path, "# a new leading comment\n\n" + source)
+    rerun = run_rules(shifted, rules, load_baseline(baseline_path))
+    assert rerun.clean
+    assert rerun.n_baselined == 1
+    assert rerun.stale_baseline == []
+
+
+def test_fixed_finding_turns_its_baseline_entry_stale(tmp_path):
+    source = _VIOLATION.format(comment="")
+    project = _project(tmp_path, source)
+    rules = select_rules(["broad-except"])
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, project, run_rules(project, rules).findings)
+
+    fixed = _project(
+        tmp_path, source.replace("except Exception:", "except ValueError:")
+    )
+    rerun = run_rules(fixed, rules, load_baseline(baseline_path))
+    assert rerun.clean
+    assert len(rerun.stale_baseline) == 1
+
+
+def test_baseline_rejects_unknown_schema_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema_version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def _cli(*argv):
+    return main([str(arg) for arg in argv])
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    good = FIXTURES / "broad_except" / "good" / "pkg"
+    assert _cli(good, "--no-baseline", "--no-lock") == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_exits_one_on_findings(capsys):
+    bad = FIXTURES / "broad_except" / "bad" / "pkg"
+    assert _cli(bad, "--no-baseline", "--no-lock") == 1
+    out = capsys.readouterr().out
+    assert "[broad-except]" in out
+
+
+def test_cli_json_output_is_machine_readable(capsys):
+    bad = FIXTURES / "durability" / "bad" / "pkg"
+    assert _cli(bad, "--no-baseline", "--no-lock", "--format", "json") == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"]["n_findings"] == len(document["findings"])
+    first = document["findings"][0]
+    assert {"rule", "path", "line", "col", "message"} <= set(first)
+
+
+def test_cli_exits_two_on_unknown_rule(capsys):
+    good = FIXTURES / "broad_except" / "good" / "pkg"
+    assert _cli(good, "--rules", "no-such-rule") == 2
+    assert "no-such-rule" in capsys.readouterr().err
+
+
+def test_cli_exits_two_on_missing_path(capsys):
+    assert _cli("/no/such/path", "--no-baseline", "--no-lock") == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_update_baseline_then_clean_run(tmp_path, capsys):
+    bad = FIXTURES / "broad_except" / "bad" / "pkg"
+    baseline = tmp_path / "baseline.json"
+    assert _cli(bad, "--baseline", baseline, "--update-baseline", "--no-lock") == 0
+    capsys.readouterr()
+    assert _cli(bad, "--baseline", baseline, "--no-lock") == 0
+    assert "3 baselined" in capsys.readouterr().out
+
+
+def test_cli_list_rules_names_the_full_catalogue(capsys):
+    assert _cli("--list-rules") == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "determinism",
+        "durability",
+        "snapshot-contract",
+        "broad-except",
+        "deprecated-symbol",
+        "syntax-error",
+    ):
+        assert rule_id in out

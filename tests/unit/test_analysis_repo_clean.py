@@ -1,0 +1,133 @@
+"""Meta-tests: the linter passes on the repository it ships in, and the
+schema-lock manifest actually catches the drift it exists to catch.
+
+The first test is the one CI's ``lint`` job re-runs as a command; keeping it
+in the suite too means ``pytest`` alone reproduces a lint failure, with the
+offending findings in the assertion message.  The tamper tests doctor a copy
+of the committed lock and assert the ``snapshot-contract`` rule turns each
+class of drift — removed detector, unregistered detector, changed persisted
+keys, stale schema version — into findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    default_baseline_path,
+    default_lock_path,
+    load_baseline,
+    run_rules,
+    scan_paths,
+    select_rules,
+)
+
+REPRO_PACKAGE = Path(repro.__file__).resolve().parent
+
+
+@pytest.fixture(scope="module")
+def repo_project():
+    return scan_paths([REPRO_PACKAGE])
+
+
+def test_repo_is_clean_against_committed_baseline(repo_project):
+    repo_project.options["schema_lock_path"] = str(default_lock_path())
+    report = run_rules(
+        repo_project, select_rules(), load_baseline(default_baseline_path())
+    )
+    assert report.clean, "\n".join(
+        f"{f.path}:{f.line}: {f.message} [{f.rule}]" for f in report.findings
+    )
+    assert report.stale_baseline == [], (
+        "baseline entries no longer fire; prune with --update-baseline: "
+        f"{report.stale_baseline}"
+    )
+
+
+def test_every_suppression_in_the_repo_carries_a_reason(repo_project):
+    missing = [
+        (info.rel_path, supp.line)
+        for info in repo_project.modules
+        for supp in info.suppressions
+        if not supp.reason
+    ]
+    assert missing == []
+
+
+# ------------------------------------------------------------- lock tamper
+
+
+def _contract_findings(repo_project, lock_document, tmp_path):
+    doctored = tmp_path / "doctored.lock.json"
+    doctored.write_text(json.dumps(lock_document), encoding="utf-8")
+    repo_project.options["schema_lock_path"] = str(doctored)
+    try:
+        report = run_rules(repo_project, select_rules(["snapshot-contract"]))
+    finally:
+        repo_project.options["schema_lock_path"] = str(default_lock_path())
+    return report.findings
+
+
+def _committed_lock():
+    return json.loads(default_lock_path().read_text(encoding="utf-8"))
+
+
+def test_committed_lock_matches_the_live_registry(repo_project, tmp_path):
+    assert _contract_findings(repo_project, _committed_lock(), tmp_path) == []
+
+
+def test_detector_removed_from_registry_is_caught(repo_project, tmp_path):
+    # A detector present in the lock but gone from the live registry is what
+    # an accidental unregistration looks like; fake one by adding a phantom
+    # entry to the lock.
+    lock = _committed_lock()
+    lock["detectors"]["PhantomDetector"] = {
+        "config_keys": ["x"],
+        "state_keys": ["y"],
+    }
+    findings = _contract_findings(repo_project, lock, tmp_path)
+    assert any(
+        "PhantomDetector" in f.message and "no longer reachable" in f.message
+        for f in findings
+    )
+
+
+def test_unlocked_detector_is_caught(repo_project, tmp_path):
+    lock = _committed_lock()
+    name, _ = sorted(lock["detectors"].items())[0]
+    del lock["detectors"][name]
+    findings = _contract_findings(repo_project, lock, tmp_path)
+    assert any(
+        name in f.message and "not in the schema lock" in f.message
+        for f in findings
+    )
+
+
+def test_changed_state_keys_without_version_bump_is_caught(repo_project, tmp_path):
+    lock = _committed_lock()
+    name = sorted(lock["detectors"])[0]
+    lock["detectors"][name]["state_keys"] = sorted(
+        lock["detectors"][name]["state_keys"] + ["bogus_key"]
+    )
+    findings = _contract_findings(repo_project, lock, tmp_path)
+    messages = [f.message for f in findings if name in f.message]
+    assert any(
+        "changed its persisted state keys" in m and "bogus_key" in m
+        for m in messages
+    )
+    # The finding anchors at the detector's class definition, not a generic
+    # location, so the operator lands on the code that drifted.
+    anchored = [f for f in findings if name in f.message]
+    assert all(f.path.endswith(".py") and f.line > 1 for f in anchored)
+
+
+def test_schema_version_bump_requires_update_lock(repo_project, tmp_path):
+    lock = _committed_lock()
+    lock["snapshot_schema_version"] = lock["snapshot_schema_version"] + 1
+    findings = _contract_findings(repo_project, lock, tmp_path)
+    assert len(findings) == 1
+    assert "--update-lock" in findings[0].message
