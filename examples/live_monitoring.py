@@ -118,6 +118,7 @@ def main() -> None:
     print(f"\ncheckpoint written to {path}; resume verified.")
 
     reshard_act()
+    observability_act()
 
 
 def reshard_act() -> None:
@@ -168,6 +169,60 @@ def reshard_act() -> None:
         )
     finally:
         cluster.close()
+
+
+def observability_act() -> None:
+    """Trace an ingest, scrape the hub as Prometheus text, read the journal.
+
+    The server exposes the same three surfaces over the wire (``--trace-dir``
+    + the ``trace`` op, ``--metrics-port`` + the ``metrics_prom`` op, and the
+    ``events`` op) — see docs/observability.md.
+    """
+    from repro.obs.journal import EventJournal
+    from repro.obs.prom import hub_exposition
+    from repro.obs.trace import Tracer, write_chrome_trace
+
+    stream = MultiConceptDriftStream(
+        [
+            SeaGenerator(classification_function=1, noise_fraction=0.05, seed=1),
+            SeaGenerator(classification_function=3, noise_fraction=0.05, seed=2),
+        ],
+        drift_positions=[2_000],
+        seed=4,
+    )
+    learner = NaiveBayes(schema=stream.schema, n_classes=stream.n_classes)
+    errors = []
+    for instance in stream.take(4_000):
+        errors.append(1.0 if learner.predict_one(instance) != instance.y else 0.0)
+        learner.learn_one(instance)
+
+    hub = MonitorHub(
+        tracer=Tracer(sample_rate=1.0),  # production would sample, say, 1%
+        journal=EventJournal(),
+    )
+    hub.register(TENANT, "sea-optwin", "OPTWIN", {"w_max": 5_000})
+    hub.register(TENANT, "sea-ddm", "DDM")
+    hub.ingest([(TENANT, m, errors) for m in ("sea-optwin", "sea-ddm")])
+
+    # Every n_* counter, latency summary, and per-detector-class update-time
+    # histogram, in the text format any Prometheus-compatible scraper reads.
+    exposition = hub_exposition(hub)
+    print("\nPrometheus exposition (cost-attribution lines):")
+    for line in exposition.splitlines():
+        if line.startswith("repro_monitor_update_seconds_total"):
+            print(f"  {line}")
+
+    # The sampled ingest became a span tree; export it for Perfetto.
+    trace_path = Path(tempfile.mkdtemp(prefix="live-monitoring-obs-")) / (
+        "trace.json"
+    )
+    spans = hub.drain_trace()
+    write_chrome_trace(trace_path, spans)
+    print(
+        f"{len(spans)} spans ({', '.join(sorted({s['name'] for s in spans}))}) "
+        f"-> {trace_path}\n  (open at https://ui.perfetto.dev)"
+    )
+    hub.close()
 
 
 if __name__ == "__main__":

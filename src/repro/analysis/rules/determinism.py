@@ -75,6 +75,14 @@ WALLCLOCK_ALLOWLIST: Dict[Tuple[str, str], str] = {
         "the WAL meta 'created' field is operator-facing provenance written "
         "once at log creation; it is never replayed into detector state"
     ),
+    (
+        "repro/obs/journal.py",
+        "EventJournal.record",
+    ): (
+        "journal events are operator-facing forensics correlated with logs "
+        "and external monitoring ('what happened at 14:03'); they are never "
+        "replayed into detector state"
+    ),
 }
 
 

@@ -1,0 +1,42 @@
+"""Observability for the serving stack — tracing, Prometheus, event journal.
+
+Three stdlib-only building blocks, wired through :mod:`repro.serving`:
+
+* :class:`~repro.obs.trace.Tracer` — sampled structured spans over the full
+  event path (server decode → hub ingest → shard fan-out → per-monitor
+  ``update_batch`` → sink emit → WAL commit), exportable as Chrome
+  ``trace_event`` JSON that opens directly in Perfetto;
+* :mod:`repro.obs.prom` — Prometheus text exposition (format 0.0.4) mirroring
+  every hub counter, rate, and latency window, plus per-detector-class
+  update-time histograms and top-K slowest-monitor attribution;
+* :class:`~repro.obs.journal.EventJournal` — a bounded ring of structured
+  operational events (shard respawns, reshard phases, breaker trips, WAL
+  rotations…), the "what happened before it died" black box.
+
+See ``docs/observability.md`` for the full model.
+"""
+
+from repro.obs.httpd import MetricsServer
+from repro.obs.journal import EventJournal
+from repro.obs.prom import Histogram, UpdateTimings, hub_exposition, metric_name
+from repro.obs.trace import (
+    SpanHandle,
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "EventJournal",
+    "Histogram",
+    "MetricsServer",
+    "SpanHandle",
+    "TraceContext",
+    "Tracer",
+    "UpdateTimings",
+    "chrome_trace",
+    "hub_exposition",
+    "metric_name",
+    "write_chrome_trace",
+]

@@ -1,0 +1,136 @@
+"""Tiny asyncio HTTP endpoint serving the Prometheus exposition.
+
+A deliberately minimal single-purpose server — ``GET /metrics`` returns the
+text exposition, everything else is 404 — so the serving process exposes a
+scrape target without pulling an HTTP framework into the stdlib-only stack.
+It runs on the same event loop as the TCP serving front-end; rendering the
+exposition is a hub-dict walk, cheap enough to do inline per scrape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["MetricsServer"]
+
+logger = logging.getLogger(__name__)
+
+#: The exposition content type scrapers negotiate for (format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Upper bound of one request head (line + headers) — scrape requests are
+#: tiny; anything larger is not a scraper.
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+class MetricsServer:
+    """Serve ``GET /metrics`` from a render callback.
+
+    Parameters
+    ----------
+    render:
+        Zero-argument callable returning the exposition text (typically
+        ``lambda: hub_exposition(hub)``); called once per scrape.
+    host, port:
+        Listen address; port ``0`` binds an ephemeral port (read
+        :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._n_scrapes = 0
+        self._n_render_failures = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (the requested one until :meth:`start` runs)."""
+        if self._server is not None and self._server.sockets:
+            return int(self._server.sockets[0].getsockname()[1])
+        return self._requested_port
+
+    @property
+    def n_scrapes(self) -> int:
+        return self._n_scrapes
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "n_scrapes": self._n_scrapes,
+            "n_render_failures": self._n_render_failures,
+        }
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self._requested_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            consumed = len(request_line)
+            # Drain the headers; scrapers send no body on GET.
+            while consumed < _MAX_REQUEST_BYTES:
+                line = await reader.readline()
+                consumed += len(line)
+                if not line.strip():
+                    break
+            parts = request_line.split()
+            if len(parts) < 2 or parts[0] != b"GET":
+                await self._respond(writer, 405, "method not allowed\n")
+                return
+            path = parts[1].split(b"?", 1)[0]
+            if path not in (b"/metrics", b"/metrics/"):
+                await self._respond(writer, 404, "try /metrics\n")
+                return
+            try:
+                body = self._render()
+            except Exception:
+                # A failing render must 500 the scrape, not kill the endpoint.
+                self._n_render_failures += 1
+                logger.exception("metrics exposition render failed")
+                await self._respond(writer, 500, "exposition render failed\n")
+                return
+            self._n_scrapes += 1
+            await self._respond(writer, 200, body, content_type=CONTENT_TYPE)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}.get(
+            status, "Internal Server Error"
+        )
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("ascii") + payload)
+        await writer.drain()

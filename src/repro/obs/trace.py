@@ -1,0 +1,344 @@
+"""Structured tracing for the serving stack.
+
+A :class:`Tracer` records lightweight spans into a bounded ring.  Sampling is
+a *root* decision: :meth:`Tracer.sample_root` opens a new trace for every
+N-th request (deterministic counter, not RNG — the ``determinism`` lint rule
+bans unseeded randomness, and a counter makes CI traces reproducible), and
+every child span created under a sampled root is recorded unconditionally.
+A tracer built with ``sample_rate=0`` (the default) never opens a root and
+:meth:`start_span` under a ``None`` parent returns ``None``, so the
+instrumented call sites cost one predicate each when tracing is off —
+``benchmarks/bench_obs_overhead.py`` pins the overhead.
+
+Spans cross process boundaries as ``(trace_id, span_id)`` context tuples
+(the sharded hub appends one to its fan-out pipe messages); each worker owns
+its own tracer and stitches its spans under the propagated parent.  All
+timestamps come from the tracer's clock — ``time.monotonic`` by default,
+which on Linux reads the system-wide ``CLOCK_MONOTONIC``, so parent and
+worker spans share an epoch without clock translation.
+
+Finished spans are plain picklable dicts; :func:`chrome_trace` converts a
+batch of them (from any number of processes) into Chrome ``trace_event``
+JSON that loads directly in Perfetto / ``chrome://tracing``, with flow
+arrows linking cross-process parent→child edges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Tracer",
+    "SpanHandle",
+    "TraceContext",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: What a span propagates across a process boundary: ``(trace_id, span_id)``.
+TraceContext = Tuple[str, str]
+
+#: Anything accepted as a span parent: a live handle, a propagated context
+#: tuple (lists survive JSON round-trips), or ``None`` (no active trace).
+ParentLike = Union["SpanHandle", TraceContext, Sequence[str], None]
+
+
+class SpanHandle:
+    """One open span; call :meth:`end` (or use as a context manager)."""
+
+    __slots__ = (
+        "_tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "args",
+        "start",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        args: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.args = args
+        self.start = tracer._clock()
+        self._done = False
+
+    def context(self) -> TraceContext:
+        """The ``(trace_id, span_id)`` pair a child in another process needs."""
+        return (self.trace_id, self.span_id)
+
+    def add(self, **args: Any) -> None:
+        """Attach extra key/value annotations to the span."""
+        self.args.update(args)
+
+    def end(self) -> None:
+        """Close the span and commit it to the tracer's ring (idempotent)."""
+        if self._done:
+            return
+        self._done = True
+        self._tracer._finish(self)
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.end()
+
+
+class Tracer:
+    """Sampling span recorder with a bounded ring of finished spans.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of roots to trace, in ``[0, 1]``.  ``0`` disables tracing
+        entirely (the zero-cost default); ``1`` traces every root; a rate
+        ``r`` in between traces every ``round(1/r)``-th root, starting with
+        the first (so a smoke test at 1% still produces one trace
+        immediately).
+    capacity:
+        Ring size of finished spans; older spans fall off.
+    clock:
+        Monotonic time source (seconds).  The default ``time.monotonic``
+        shares an epoch across processes on Linux, aligning parent and
+        worker spans in one exported trace.
+    process:
+        Human-readable name of the owning process (``"hub"``,
+        ``"shard-00"``…) — becomes the Perfetto process label and the
+        uniqueness prefix of generated ids.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 0.0,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+        process: str = "hub",
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._interval = 0 if sample_rate <= 0.0 else max(1, round(1.0 / sample_rate))
+        self._sample_rate = float(sample_rate)
+        self._clock = clock
+        self.process = str(process)
+        self._pid = os.getpid()
+        self._n_roots = 0
+        self._n_sampled = 0
+        self._n_finished = 0
+        self._seq = 0
+        self._spans: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer can ever open a root span."""
+        return self._interval > 0
+
+    @property
+    def sample_rate(self) -> float:
+        return self._sample_rate
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{self.process}:{self._seq:x}"
+
+    def sample_root(self, name: str, **args: Any) -> Optional[SpanHandle]:
+        """Open a new trace's root span, or ``None`` when not sampled."""
+        if self._interval == 0:
+            return None
+        self._n_roots += 1
+        if (self._n_roots - 1) % self._interval != 0:
+            return None
+        self._n_sampled += 1
+        trace_id = f"{self.process}:t{self._n_sampled:x}"
+        return SpanHandle(self, trace_id, self._next_id(), None, name, args)
+
+    def start_span(
+        self, name: str, parent: ParentLike, **args: Any
+    ) -> Optional[SpanHandle]:
+        """Open a child span under ``parent``; ``None`` parent → ``None``.
+
+        The chainable no-op on a ``None`` parent is what makes call sites
+        unconditional: ``span = tracer.start_span("x", parent)`` followed by
+        ``if span: span.end()`` costs nothing when no trace is active.  A
+        propagated context tuple is honoured regardless of this tracer's own
+        sample rate — sampling is the root's decision, and a worker must not
+        drop spans of a trace its parent already committed to.
+        """
+        if parent is None:
+            return None
+        if isinstance(parent, SpanHandle):
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = str(parent[0]), str(parent[1])
+        return SpanHandle(self, trace_id, self._next_id(), parent_id, name, args)
+
+    def begin(self, name: str, parent: ParentLike = None, **args: Any) -> Optional[SpanHandle]:
+        """Child span under ``parent`` when given, else a sampled root.
+
+        The single entry point for call sites that serve both as trace
+        entry (library use — sample a root) and as continuation (a front-end
+        already opened the root and handed its context down).
+        """
+        if parent is not None:
+            return self.start_span(name, parent, **args)
+        return self.sample_root(name, **args)
+
+    def _finish(self, span: SpanHandle) -> None:
+        end = self._clock()
+        self._n_finished += 1
+        self._spans.append(
+            {
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "process": self.process,
+                "pid": self._pid,
+                "ts": span.start,
+                "dur": max(end - span.start, 0.0),
+                "args": dict(span.args),
+            }
+        )
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """Snapshot of the retained finished spans (oldest first)."""
+        return list(self._spans)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear the retained finished spans."""
+        drained = list(self._spans)
+        self._spans.clear()
+        return drained
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the ``metrics`` surfaces (all ``n_*`` are lifetime)."""
+        return {
+            "enabled": self.enabled,
+            "sample_rate": self._sample_rate,
+            "process": self.process,
+            "n_trace_roots": self._n_roots,
+            "n_trace_sampled": self._n_sampled,
+            "n_trace_spans": self._n_finished,
+            "n_trace_retained": len(self._spans),
+        }
+
+
+def chrome_trace(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert finished spans (from any mix of processes) to Chrome JSON.
+
+    Emits one ``"X"`` (complete) event per span with microsecond
+    timestamps, ``"M"`` process-name metadata per pid, and ``"s"``/``"f"``
+    flow arrows for every parent→child edge that crosses a process — the
+    shape Perfetto renders as linked tracks per process.
+    """
+    events: List[Dict[str, Any]] = []
+    names_by_pid: Dict[int, str] = {}
+    by_span_id: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        by_span_id[str(span["span_id"])] = span
+        names_by_pid.setdefault(int(span["pid"]), str(span["process"]))
+    for pid, process in sorted(names_by_pid.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+    flow_id = 0
+    for span in spans:
+        pid = int(span["pid"])
+        ts = float(span["ts"]) * 1e6
+        dur = max(float(span["dur"]) * 1e6, 0.001)
+        events.append(
+            {
+                "ph": "X",
+                "name": str(span["name"]),
+                "cat": "serving",
+                "pid": pid,
+                "tid": pid,
+                "ts": ts,
+                "dur": dur,
+                "args": {
+                    "trace_id": span["trace_id"],
+                    "span_id": span["span_id"],
+                    "parent_id": span["parent_id"],
+                    **span.get("args", {}),
+                },
+            }
+        )
+        parent = by_span_id.get(str(span.get("parent_id")))
+        if parent is None or int(parent["pid"]) == pid:
+            continue
+        flow_id += 1
+        events.append(
+            {
+                "ph": "s",
+                "name": "fan_out",
+                "cat": "serving",
+                "id": flow_id,
+                "pid": int(parent["pid"]),
+                "tid": int(parent["pid"]),
+                "ts": float(parent["ts"]) * 1e6,
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "name": "fan_out",
+                "cat": "serving",
+                "id": flow_id,
+                "pid": pid,
+                "tid": pid,
+                "ts": ts,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], spans: Sequence[Dict[str, Any]]
+) -> Path:
+    """Write spans as a Chrome ``trace_event`` JSON file; return its path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(chrome_trace(spans), separators=(",", ":")), encoding="utf-8"
+    )
+    return target

@@ -28,8 +28,13 @@ import asyncio
 import contextlib
 import signal
 import sys
+from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro.obs.httpd import MetricsServer
+from repro.obs.journal import EventJournal
+from repro.obs.prom import hub_exposition
+from repro.obs.trace import Tracer, write_chrome_trace
 from repro.serving.hub import MonitorHub
 from repro.serving.server import ServingServer
 from repro.serving.sharded import ShardedHub
@@ -121,6 +126,40 @@ def build_parser() -> argparse.ArgumentParser:
         "server defaults to 60s so one wedged worker cannot freeze every "
         "connection forever; 0 waits forever",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the Prometheus text exposition on GET /metrics at this "
+        "port (0 = ephemeral; a METRICS line on stdout reports the bound "
+        "port); sharded clusters merge per-shard series under shard labels",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="sample this fraction of ingest requests into the tracer "
+        "(0 disables tracing, 1 traces everything; sharded fan-outs carry "
+        "the trace into every worker)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write drained traces as Chrome trace_event JSON files into "
+        "this directory (the 'trace' wire op dumps and clears; a final dump "
+        "happens at shutdown) — open them at https://ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--journal-jsonl",
+        default=None,
+        metavar="PATH",
+        help="mirror the hub's operational event journal (shard respawns, "
+        "reshard stages, WAL rotations, slow flushes, ...) to this "
+        "JSON-lines file",
+    )
     return parser
 
 
@@ -130,6 +169,8 @@ def build_hub(args: argparse.Namespace) -> Union[MonitorHub, ShardedHub]:
     Called *before* the event loop starts so shard workers never fork from a
     process that already owns a running loop.
     """
+    tracer = Tracer(sample_rate=args.trace_sample, process="hub")
+    journal = EventJournal(capacity=512, jsonl_path=args.journal_jsonl)
     if args.shards > 0:
         # The server dispatches hub ops inline on its event loop, so an
         # unbounded wait on one hung worker would freeze every connection;
@@ -150,13 +191,21 @@ def build_hub(args: argparse.Namespace) -> Union[MonitorHub, ShardedHub]:
             webhook_dead_letter=args.webhook_dead_letter,
             request_timeout=timeout,
             transport=args.transport,
+            tracer=tracer,
+            journal=journal,
         )
     sinks = []
     if args.audit_log:
         sinks.append(JsonlAuditSink(args.audit_log))
     if args.webhook:
         sinks.append(
-            WebhookSink(args.webhook, dead_letter_path=args.webhook_dead_letter)
+            WebhookSink(
+                args.webhook,
+                dead_letter_path=args.webhook_dead_letter,
+                on_breaker_open=lambda info: journal.record(
+                    "webhook_breaker_open", **info
+                ),
+            )
         )
     # The server attaches its alert queue after construction, so WAL replay
     # is deferred (wal_auto_replay=False); ServingServer triggers it once
@@ -168,12 +217,21 @@ def build_hub(args: argparse.Namespace) -> Union[MonitorHub, ShardedHub]:
         wal_dir=args.wal_dir,
         wal_fsync=args.wal_fsync,
         wal_auto_replay=False,
+        tracer=tracer,
+        journal=journal,
     )
 
 
 async def run(args: argparse.Namespace, hub: Union[MonitorHub, ShardedHub]) -> int:
-    server = ServingServer(hub, host=args.host, port=args.port)
+    server = ServingServer(hub, host=args.host, port=args.port, trace_dir=args.trace_dir)
     await server.start()
+
+    metrics_server: Optional[MetricsServer] = None
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            lambda: hub_exposition(hub), host=args.host, port=args.metrics_port
+        )
+        await metrics_server.start()
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -187,6 +245,11 @@ async def run(args: argparse.Namespace, hub: Union[MonitorHub, ShardedHub]) -> i
         f"monitors={len(hub)} events={hub.n_events}",
         flush=True,
     )
+    if metrics_server is not None:
+        print(
+            f"METRICS host={args.host} port={metrics_server.port}",
+            flush=True,
+        )
     serve_task = asyncio.ensure_future(server.serve_forever())
     try:
         await stop.wait()
@@ -195,6 +258,15 @@ async def run(args: argparse.Namespace, hub: Union[MonitorHub, ShardedHub]) -> i
         with contextlib.suppress(asyncio.CancelledError):
             await serve_task
         await server.stop()
+        if metrics_server is not None:
+            await metrics_server.stop()
+        if args.trace_dir:
+            # Flush whatever the tracer still holds so a sampled session
+            # always leaves at least one loadable dump behind.
+            spans = hub.drain_trace()
+            if spans:
+                final = Path(args.trace_dir) / "trace-final.json"
+                print(f"TRACE {write_chrome_trace(final, spans)}", flush=True)
         if args.checkpoint_dir:
             try:
                 path = hub.checkpoint()

@@ -59,6 +59,9 @@ import numpy as np
 
 from repro.core.base import BatchResult, DriftDetector, as_value_array
 from repro.exceptions import ConfigurationError, SnapshotError
+from repro.obs.journal import EventJournal
+from repro.obs.prom import UpdateTimings
+from repro.obs.trace import SpanHandle, TraceContext, Tracer
 from repro.serving.metrics import LatencyWindow, RateMeter
 from repro.serving.sinks import AlertSink, DriftAlert
 from repro.serving.snapshot import (
@@ -130,6 +133,7 @@ class _MonitorEntry:
         "group_key",
         "in_warning",
         "alert_seq",
+        "timing_recorder",
     )
 
     def __init__(
@@ -149,6 +153,8 @@ class _MonitorEntry:
         #: (1-based; 0 = never alerted).  Deterministic: a restored monitor
         #: re-fed the same elements re-assigns the same numbers.
         self.alert_seq = alert_seq
+        #: Lazily-bound per-monitor update-timing handle (hub instrumentation).
+        self.timing_recorder: Optional[Any] = None
 
 
 def _coalesce(parts: List[Any]) -> "np.ndarray":
@@ -218,6 +224,23 @@ class MonitorHub:
         construction (the library default).  Front-ends that attach sinks
         *after* construction (the TCP server's alert queue) pass ``False``
         and call :meth:`replay_wal` once their sinks are in place.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer`; defaults to a disabled one
+        (``sample_rate=0``), so tracing costs one predicate per call site
+        until a front-end opts in.
+    journal:
+        An :class:`~repro.obs.journal.EventJournal` shared with the
+        front-end; defaults to a private bounded ring (the hub always
+        journals — WAL rotations, slow flushes — so the black box exists
+        before anyone configures observability).
+    slow_flush_ms:
+        Journal a ``slow_flush`` event whenever an ``ingest``/``observe``
+        flush takes at least this many milliseconds (``None`` disables).
+    instrument:
+        Record per-detector-class update-time histograms and per-monitor
+        cost attribution (:class:`~repro.obs.prom.UpdateTimings`).  On by
+        default; ``False`` is the measured-baseline seam of
+        ``benchmarks/bench_obs_overhead.py``.
     """
 
     def __init__(
@@ -231,6 +254,10 @@ class MonitorHub:
         wal_segment_bytes: int = 4 * 1024 * 1024,
         wal_retain_segments: int = 8,
         wal_auto_replay: bool = True,
+        tracer: Optional[Tracer] = None,
+        journal: Optional[EventJournal] = None,
+        slow_flush_ms: Optional[float] = None,
+        instrument: bool = True,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ConfigurationError(
@@ -264,6 +291,23 @@ class MonitorHub:
         self._n_wal_replayed = 0
         self._flush_latency = LatencyWindow(1024)
         self._ingest_rate = RateMeter(window=60.0)
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._owns_journal = journal is None
+        self._journal = journal if journal is not None else EventJournal(capacity=256)
+        if slow_flush_ms is not None and slow_flush_ms <= 0:
+            raise ConfigurationError(
+                f"slow_flush_ms must be positive, got {slow_flush_ms}"
+            )
+        self._slow_flush_ms = slow_flush_ms
+        self._timings: Optional[UpdateTimings] = (
+            UpdateTimings() if instrument else None
+        )
+        #: Timings parked by :meth:`set_instrumented` so a pause/resume
+        #: cycle keeps its accumulated attribution.
+        self._paused_timings: Optional[UpdateTimings] = None
+        #: Span of the flush in progress, so deep call sites (sink emits)
+        #: can hang children off it without threading a parameter through.
+        self._active_span: Optional[SpanHandle] = None
         if resume and self._checkpoint_dir is not None:
             path = self._checkpoint_dir / CHECKPOINT_FILENAME
             if path.is_file():
@@ -276,6 +320,7 @@ class MonitorHub:
                 fsync=wal_fsync,
                 segment_bytes=wal_segment_bytes,
                 retain_segments=wal_retain_segments,
+                on_rotate=self._on_wal_rotate,
             )
             if resume:
                 self._wal_replay_pending = True
@@ -469,13 +514,26 @@ class MonitorHub:
         tenant: str,
         monitor_id: str,
         values: Union[float, Sequence[float]],
+        trace_ctx: Optional[TraceContext] = None,
     ) -> ObserveResult:
         """Feed one monitor a value or chunk of values (oldest first)."""
         entry = self._entry(tenant, monitor_id)
+        span = self._tracer.begin(
+            "hub.observe", trace_ctx, tenant=entry.tenant, monitor=entry.monitor_id
+        )
         started = time.perf_counter()
-        result = self._feed(entry, values)
-        self._commit_wal()
-        self._flush_latency.add(time.perf_counter() - started)
+        self._active_span = span
+        try:
+            result = self._feed(entry, values, span)
+            self._commit_wal(span)
+        finally:
+            self._active_span = None
+        elapsed = time.perf_counter() - started
+        self._flush_latency.add(elapsed)
+        if span is not None:
+            span.add(n=result.n_processed)
+            span.end()
+        self._note_slow_flush(elapsed, 1)
         self._maybe_checkpoint()
         return result
 
@@ -484,6 +542,7 @@ class MonitorHub:
         tenant: str,
         monitor_id: str,
         values: Union[float, Sequence[float]],
+        trace_ctx: Optional[TraceContext] = None,
     ) -> Tuple[ObserveResult, Dict[str, Any]]:
         """Feed one monitor and return ``(outcome, per-monitor stats)``.
 
@@ -491,21 +550,28 @@ class MonitorHub:
         response; on a sharded hub the pair costs a single worker round-trip
         instead of two.
         """
-        outcome = self.observe(tenant, monitor_id, values)
+        outcome = self.observe(tenant, monitor_id, values, trace_ctx=trace_ctx)
         return outcome, self.stats(tenant, monitor_id)
 
-    def ingest(self, events: Iterable[Event]) -> List[ObserveResult]:
+    def ingest(
+        self,
+        events: Iterable[Event],
+        trace_ctx: Optional[TraceContext] = None,
+    ) -> List[ObserveResult]:
         """Feed an interleaved batch of events through the vectorised paths.
 
         Events for the same monitor keep their relative order; each monitor's
         buffered values are flushed with a single ``update_batch`` call, and
         monitors flush group by group so same-configured detectors run
         consecutively.  Returns one :class:`ObserveResult` per monitor that
-        received data, in flush order.
+        received data, in flush order.  ``trace_ctx`` stitches this flush
+        under a front-end's span (a sharded fan-out, the TCP server's
+        request span); without one the hub's own tracer samples a root.
         """
         # Buffer whole payloads (scalars or chunks) per monitor and coalesce
         # once at flush time — per-element Python conversion here would cost
         # more than the vectorised detector work it feeds.
+        span = self._tracer.begin("hub.ingest", trace_ctx)
         started = time.perf_counter()
         buffers: Dict[_MonitorKey, List[Any]] = {}
         for tenant, monitor_id, payload in events:
@@ -516,27 +582,74 @@ class MonitorHub:
                 )
             buffers.setdefault(key, []).append(payload)
         results: List[ObserveResult] = []
-        for keys in self._groups.values():
-            for key in keys:
-                parts = buffers.get(key)
-                if parts:
-                    results.append(
-                        self._feed(self._entries[key], _coalesce(parts))
-                    )
-        self._commit_wal()
-        self._flush_latency.add(time.perf_counter() - started)
+        self._active_span = span
+        try:
+            for keys in self._groups.values():
+                for key in keys:
+                    parts = buffers.get(key)
+                    if parts:
+                        results.append(
+                            self._feed(self._entries[key], _coalesce(parts), span)
+                        )
+            self._commit_wal(span)
+        finally:
+            self._active_span = None
+        elapsed = time.perf_counter() - started
+        self._flush_latency.add(elapsed)
+        if span is not None:
+            span.add(
+                n_monitors=len(results),
+                n_events=sum(outcome.n_processed for outcome in results),
+            )
+            span.end()
+        self._note_slow_flush(elapsed, len(results))
         self._maybe_checkpoint()
         return results
 
     def _feed(
-        self, entry: _MonitorEntry, values: Union[float, Sequence[float]]
+        self,
+        entry: _MonitorEntry,
+        values: Union[float, Sequence[float]],
+        span: Optional[SpanHandle] = None,
     ) -> ObserveResult:
         # as_value_array accepts bare real scalars (incl. numpy scalars) and
         # 0-d arrays directly, yielding a one-element chunk.
         chunk = as_value_array(values)
         detector = entry.detector
         offset = detector.n_seen
-        batch = detector.update_batch(chunk)
+        # Gated so the unsampled path never pays for the kwargs dict — this
+        # runs once per monitor per flush, the hottest instrumented site.
+        child = None
+        if span is not None:
+            child = self._tracer.start_span(
+                "monitor.update_batch",
+                span,
+                tenant=entry.tenant,
+                monitor=entry.monitor_id,
+                detector=type(detector).__name__,
+                n=int(chunk.shape[0]),
+            )
+        if self._timings is not None:
+            recorder = entry.timing_recorder
+            if recorder is None:
+                recorder = entry.timing_recorder = self._timings.recorder(
+                    type(detector).__name__, entry.tenant, entry.monitor_id
+                )
+            # tick() counts every call but elects only a sample of them for
+            # the clock reads + histogram insert — the unsampled path is one
+            # increment, keeping instrumented ingest inside its <2% budget.
+            if recorder.tick():
+                update_started = time.perf_counter()
+                batch = detector.update_batch(chunk)
+                recorder.record(
+                    time.perf_counter() - update_started, batch.n_processed
+                )
+            else:
+                batch = detector.update_batch(chunk)
+        else:
+            batch = detector.update_batch(chunk)
+        if child is not None:
+            child.end()
         self._n_events += batch.n_processed
         self._events_since_checkpoint += batch.n_processed
         self._ingest_rate.add(batch.n_processed)
@@ -547,9 +660,27 @@ class MonitorHub:
             )
         return ObserveResult(entry.tenant, entry.monitor_id, offset, batch)
 
-    def _commit_wal(self) -> None:
+    def _commit_wal(self, span: Optional[SpanHandle] = None) -> None:
         if self._wal is not None:
+            child = self._tracer.start_span("wal.commit", span)
             self._wal.commit()
+            if child is not None:
+                child.end()
+
+    def _note_slow_flush(self, elapsed: float, n_monitors: int) -> None:
+        if self._slow_flush_ms is None:
+            return
+        ms = elapsed * 1000.0
+        if ms >= self._slow_flush_ms:
+            self._journal.record(
+                "slow_flush",
+                ms=round(ms, 3),
+                threshold_ms=self._slow_flush_ms,
+                n_monitors=n_monitors,
+            )
+
+    def _on_wal_rotate(self, info: Dict[str, Any]) -> None:
+        self._journal.record("wal_rotate", **info)
 
     def _fire_alerts(
         self, entry: _MonitorEntry, batch: BatchResult, offset: int
@@ -632,6 +763,9 @@ class MonitorHub:
         remaining sinks still receive the alert.
         """
         for sink in self._sinks:
+            child = self._tracer.start_span(
+                "sink.emit", self._active_span, sink=type(sink).__name__
+            )
             try:
                 sink.emit(alert)
             except Exception:
@@ -646,6 +780,9 @@ class MonitorHub:
                     alert.tenant,
                     alert.monitor_id,
                 )
+            finally:
+                if child is not None:
+                    child.end()
 
     # ------------------------------------------------------------ WAL replay
 
@@ -828,7 +965,56 @@ class MonitorHub:
                 {"sink": type(sink).__name__, **sink.stats()}
                 for sink in self._sinks
             ],
+            "detector_update": (
+                self._timings.snapshot() if self._timings is not None else None
+            ),
+            "trace": self._tracer.stats(),
         }
+
+    # --------------------------------------------------------- observability
+
+    @property
+    def tracer(self) -> Tracer:
+        """The hub's span recorder (disabled unless configured otherwise)."""
+        return self._tracer
+
+    @property
+    def journal(self) -> EventJournal:
+        """The hub's operational event journal (always on, bounded)."""
+        return self._journal
+
+    def drain_trace(self) -> List[Dict[str, Any]]:
+        """Return and clear the tracer's finished spans (the ``trace`` op)."""
+        return self._tracer.drain()
+
+    def journal_events(
+        self, limit: Optional[int] = None, kind: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Recent operational events, oldest first (the ``events`` op)."""
+        return self._journal.events(limit=limit, kind=kind)
+
+    def set_instrumented(self, enabled: bool) -> None:
+        """Pause or resume per-update timing instrumentation at runtime.
+
+        Pausing stops the clock reads on the ingest hot path but keeps the
+        accumulated cost attribution, so a later resume continues the same
+        histograms and counters.  A hub built with ``instrument=False``
+        starts timing from zero on its first resume.
+        """
+        if enabled:
+            if self._timings is None:
+                self._timings = self._paused_timings
+                self._paused_timings = None
+                if self._timings is None:
+                    self._timings = UpdateTimings()
+                    # Cached recorders feed rows owned by a previous
+                    # UpdateTimings; drop them so _feed re-registers each
+                    # monitor against the new one.
+                    for entry in self._entries.values():
+                        entry.timing_recorder = None
+        elif self._timings is not None:
+            self._paused_timings = self._timings
+            self._timings = None
 
     # ------------------------------------------------------- checkpointing
 
@@ -931,8 +1117,10 @@ class MonitorHub:
             raise SnapshotError(f"corrupt hub checkpoint {path}: {exc}") from exc
 
     def close(self) -> None:
-        """Close the WAL and all attached sinks."""
+        """Close the WAL, all attached sinks, and the hub-owned journal."""
         if self._wal is not None:
             self._wal.close()
         for sink in self._sinks:
             sink.close()
+        if self._owns_journal:
+            self._journal.close()

@@ -29,6 +29,8 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile of an ascending-sorted non-empty sequence."""
     if not 0.0 <= fraction <= 1.0:
         raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    if not sorted_values:
+        raise ConfigurationError("percentile of an empty sequence is undefined")
     index = round(fraction * (len(sorted_values) - 1))
     return float(sorted_values[index])
 
@@ -37,8 +39,10 @@ class LatencyWindow:
     """Rolling window of the most recent durations, in seconds.
 
     ``summary_ms()`` reports count/mean/p50/p95/p99/max in milliseconds over
-    the retained window (an empty window reports zeros with ``count=0``) —
-    the shape the ``metrics`` op serialises directly.
+    the retained window (an empty window reports zeros with ``count=0``),
+    plus the lifetime ``n_total`` — the shape the ``metrics`` op serialises
+    directly.  ``count`` is the number of samples the percentiles actually
+    cover; ``n_total`` keeps counting after old samples fall out of the ring.
     """
 
     def __init__(self, maxlen: int = 512) -> None:
@@ -65,6 +69,7 @@ class LatencyWindow:
         if not self._durations:
             return {
                 "count": 0,
+                "n_total": self._n_total,
                 "mean": 0.0,
                 "p50": 0.0,
                 "p95": 0.0,
@@ -74,7 +79,8 @@ class LatencyWindow:
         ordered = sorted(self._durations)
         scale = 1000.0
         return {
-            "count": self._n_total,
+            "count": len(ordered),
+            "n_total": self._n_total,
             "mean": round(scale * sum(ordered) / len(ordered), 4),
             "p50": round(scale * percentile(ordered, 0.50), 4),
             "p95": round(scale * percentile(ordered, 0.95), 4),

@@ -21,6 +21,9 @@ Supported operations::
     {"op": "alerts_history", "tenant": "t", "monitor": "m",
      "since": 1e9, "until": 2e9, "limit": 100}   # WAL-backed, all optional
     {"op": "metrics"}                    # rates, latency percentiles, WAL/sinks
+    {"op": "metrics_prom"}               # Prometheus text exposition
+    {"op": "trace"}                      # drain spans as Chrome trace JSON
+    {"op": "events", "kind": "slow_flush", "limit": 100}   # journal, all optional
     {"op": "snapshot"}                   # checkpoint the hub now
 
 ``observe`` responds with lifetime stream positions (``drifts`` /
@@ -39,10 +42,13 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
 
 from repro.core.base import DriftDetector
 from repro.exceptions import ReproError
+from repro.obs.prom import hub_exposition
+from repro.obs.trace import chrome_trace, write_chrome_trace
 from repro.serving.hub import MonitorHub
 from repro.serving.sinks import QueueSink
 
@@ -74,14 +80,24 @@ class ServingServer:
     host, port:
         Listen address.  Port ``0`` binds an ephemeral port; read the actual
         one from :attr:`port` after :meth:`start`.
+    trace_dir:
+        When set, every ``trace`` op also writes the drained spans to a
+        numbered Chrome ``trace_event`` JSON file in this directory
+        (``trace-0001.json``, ...) — drop it on https://ui.perfetto.dev.
     """
 
     def __init__(
-        self, hub: MonitorHub, host: str = "127.0.0.1", port: int = 7737
+        self,
+        hub: MonitorHub,
+        host: str = "127.0.0.1",
+        port: int = 7737,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self._hub = hub
         self._host = host
         self._requested_port = port
+        self._trace_dir = Path(trace_dir) if trace_dir else None
+        self._n_trace_dumps = 0
         if hasattr(hub, "drain_alerts"):
             # Sharded hub: alerts buffer inside the shard workers.
             self._alert_queue: Optional[QueueSink] = None
@@ -225,12 +241,47 @@ class ServingServer:
             }
         if op == "metrics":
             return {"ok": True, "metrics": self._hub.metrics()}
+        if op == "metrics_prom":
+            return {"ok": True, "exposition": hub_exposition(self._hub)}
+        if op == "trace":
+            return self._op_trace()
+        if op == "events":
+            limit = request.get("limit")
+            return {
+                "ok": True,
+                "events": self._hub.journal_events(
+                    limit=int(limit) if limit is not None else None,
+                    kind=request.get("kind"),
+                ),
+            }
         if op == "snapshot":
             path = self._hub.checkpoint()
             return {"ok": True, "checkpoint": str(path)}
         if op == "reshard":
             return self._op_reshard(request)
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _op_trace(self) -> Dict[str, Any]:
+        """Drain all finished spans as a Chrome ``trace_event`` document.
+
+        On a sharded hub the drain covers the parent and every live worker,
+        so one response holds the whole fan-out.  Destructive (the rings
+        clear); with a ``trace_dir`` the document is also written to a
+        numbered file for offline Perfetto sessions.
+        """
+        spans = self._hub.drain_trace()
+        document = chrome_trace(spans)
+        path: Optional[str] = None
+        if self._trace_dir is not None and spans:
+            self._n_trace_dumps += 1
+            target = self._trace_dir / f"trace-{self._n_trace_dumps:04d}.json"
+            path = str(write_chrome_trace(target, spans))
+        return {
+            "ok": True,
+            "n_spans": len(spans),
+            "trace": document,
+            "path": path,
+        }
 
     def _op_reshard(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Live-migrate a sharded hub to a new worker count.
@@ -278,7 +329,15 @@ class ServingServer:
         ``observe`` requests serialize on the event loop.
         """
         events = _op_ingest_events(request.get("events"))
-        results = self._hub.ingest(events)
+        span = self._hub.tracer.begin("server.ingest", n_events=len(events))
+        try:
+            results = self._hub.ingest(
+                events,
+                trace_ctx=span.context() if span is not None else None,
+            )
+        finally:
+            if span is not None:
+                span.end()
         return {
             "ok": True,
             "results": [

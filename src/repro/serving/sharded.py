@@ -72,6 +72,8 @@ import numpy as np
 
 from repro.core.base import DriftDetector, as_value_array
 from repro.exceptions import ConfigurationError, ShardError, SnapshotError
+from repro.obs.journal import EventJournal
+from repro.obs.trace import TraceContext, Tracer
 from repro.serving.hub import Event, MonitorHub, ObserveResult
 from repro.serving.sinks import AlertSink, DriftAlert, JsonlAuditSink, QueueSink, WebhookSink
 from repro.serving.snapshot import atomic_write_json
@@ -291,6 +293,12 @@ def _shard_worker_main(
     # the parent has written its final checkpoint.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
+        # The worker's tracer never opens roots of its own (sample_rate=0):
+        # sampling is the parent's decision, and a propagated trace context
+        # in an ingest payload makes child spans record regardless.  The
+        # process label is what Perfetto shows as this worker's track.
+        journal = EventJournal(capacity=256)
+        tracer = Tracer(sample_rate=0.0, process=_shard_dirname(index))
         # Sinks are built *before* the hub so they are constructor-provided
         # and the resume-time WAL replay re-delivers the post-checkpoint
         # alert tail into them (a sink attached afterwards would miss it).
@@ -300,7 +308,13 @@ def _shard_worker_main(
             sinks.append(JsonlAuditSink(audit_log))
         if webhook is not None:
             sinks.append(
-                WebhookSink(webhook, dead_letter_path=webhook_dead_letter)
+                WebhookSink(
+                    webhook,
+                    dead_letter_path=webhook_dead_letter,
+                    on_breaker_open=lambda info: journal.record(
+                        "webhook_breaker_open", **info
+                    ),
+                )
             )
         hub = MonitorHub(
             checkpoint_dir=checkpoint_dir,
@@ -309,6 +323,8 @@ def _shard_worker_main(
             resume=resume,
             wal_dir=wal_dir,
             wal_fsync=wal_fsync,
+            tracer=tracer,
+            journal=journal,
         )
     except BaseException as exc:  # repro: allow(broad-except) -- worker-hub construction failed; the exception is forwarded verbatim to the parent (which re-raises it at spawn) and the worker exits
         _safe_send(conn, ("error", exc))
@@ -323,9 +339,13 @@ def _shard_worker_main(
             break
         try:
             if op == "ingest":
-                result: Any = hub.ingest(payload[0])
+                # Payload is (events,) or (events, trace_ctx) — positional
+                # forwarding matches MonitorHub.ingest's signature.
+                result: Any = hub.ingest(*payload)
             elif op == "ingest_shm":
-                name, total, entries = payload
+                name, total, entries, ctx = (
+                    payload if len(payload) == 4 else (*payload, None)
+                )
                 block = _worker_attach_shm(name, shm_cache, tracker_inherited)
                 values = np.ndarray(
                     (total,), dtype=np.float64, buffer=block.buf
@@ -334,7 +354,8 @@ def _shard_worker_main(
                     [
                         (tenant, monitor_id, values[offset : offset + length])
                         for tenant, monitor_id, offset, length in entries
-                    ]
+                    ],
+                    trace_ctx=ctx,
                 )
             elif op == "observe":
                 result = hub.observe(*payload)
@@ -365,7 +386,11 @@ def _shard_worker_main(
             elif op == "forget_monitors":
                 result = hub.forget_monitors(payload[0])
             elif op == "metrics":
-                result = hub.metrics()
+                result = {"shard": index, **hub.metrics()}
+            elif op == "trace_drain":
+                result = hub.drain_trace()
+            elif op == "events":
+                result = hub.journal_events(*payload)
             elif op == "alerts_history":
                 result = hub.alerts_history(**payload[0])
             elif op == "checkpoint":
@@ -396,6 +421,7 @@ def _shard_worker_main(
         else:
             _safe_send(conn, ("ok", result))
     hub.close()
+    journal.close()
     for block in shm_cache.values():
         try:
             block.close()
@@ -474,6 +500,18 @@ class ShardedHub:
         automatic fallback when shared memory is unavailable).  The two are
         bit-identical in outcome — ``benchmarks/bench_serving_sharded.py``
         measures the gap.
+    tracer:
+        The parent-side :class:`~repro.obs.trace.Tracer` (defaults to a
+        disabled one).  When it samples an ingest, the span's trace context
+        rides the fan-out messages — over both transports — and each
+        worker's spans stitch underneath it; :meth:`drain_trace` merges the
+        spans of every process into one exportable batch.
+    journal:
+        The parent-side :class:`~repro.obs.journal.EventJournal`; defaults
+        to a private bounded ring.  Cluster-level operational events land
+        here (shard respawns, reshard phase transitions, transport
+        fallbacks, timeout kills, cleanup failures); each worker hub keeps
+        its own journal and :meth:`journal_events` merges them by time.
     """
 
     def __init__(
@@ -491,6 +529,8 @@ class ShardedHub:
         start_method: Optional[str] = None,
         request_timeout: Optional[float] = None,
         transport: str = "shm",
+        tracer: Optional[Tracer] = None,
+        journal: Optional[EventJournal] = None,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
@@ -529,6 +569,11 @@ class ShardedHub:
             )
             transport = "pickle"
         self._transport = transport
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._owns_journal = journal is None
+        self._journal = (
+            journal if journal is not None else EventJournal(capacity=512)
+        )
         self._shm_blocks: Dict[int, Any] = {}
         self._context = multiprocessing.get_context(start_method)
         self._closed = False
@@ -957,6 +1002,8 @@ class ShardedHub:
                 conn.close()
         for index in list(self._shm_blocks):
             self._release_shm_block(index)
+        if self._owns_journal:
+            self._journal.close()
 
     def __enter__(self) -> "ShardedHub":
         return self
@@ -987,6 +1034,11 @@ class ShardedHub:
                 )
                 process.kill()
                 process.join(timeout=5)
+            self._journal.record(
+                "worker_timeout_killed",
+                shard=index,
+                timeout_s=self._request_timeout,
+            )
             raise ShardError(
                 f"shard {index} worker did not reply within "
                 f"{self._request_timeout}s and was killed; "
@@ -1131,7 +1183,10 @@ class ShardedHub:
         return block
 
     def _shm_message(
-        self, index: int, shard_events: List[Event]
+        self,
+        index: int,
+        shard_events: List[Event],
+        ctx: Optional[TraceContext] = None,
     ) -> Optional[Tuple[str, Tuple[Any, ...]]]:
         """Stage one shard's batch in shared memory; descriptor message.
 
@@ -1153,6 +1208,7 @@ class ShardedHub:
             block = self._shm_block(index, total * 8)
         except Exception:
             self._n_transport_fallbacks += 1
+            self._journal.record("transport_fallback", shard=index)
             logger.warning(
                 "cannot allocate a shared-memory segment; falling back to "
                 "the pickle transport",
@@ -1168,7 +1224,7 @@ class ShardedHub:
             staged[offset : offset + length] = values
             entries.append((tenant, monitor_id, offset, length))
             offset += length
-        return ("ingest_shm", (block.name, total, entries))
+        return ("ingest_shm", (block.name, total, entries, ctx))
 
     # ---------------------------------------------------------- registration
 
@@ -1246,21 +1302,61 @@ class ShardedHub:
     # ------------------------------------------------------------- ingestion
 
     def observe(
-        self, tenant: str, monitor_id: str, values: Any
+        self,
+        tenant: str,
+        monitor_id: str,
+        values: Any,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> ObserveResult:
         """Feed one monitor a value or chunk of values (oldest first)."""
         key, shard = self._shard_for(tenant, monitor_id)
-        return self._call(shard, "observe", key[0], key[1], values)
+        span = self._tracer.begin(
+            "hub.route", trace_ctx, tenant=key[0], monitor=key[1], shard=shard
+        )
+        try:
+            return self._call(
+                shard,
+                "observe",
+                key[0],
+                key[1],
+                values,
+                span.context() if span is not None else None,
+            )
+        finally:
+            if span is not None:
+                span.end()
 
     def observe_with_stats(
-        self, tenant: str, monitor_id: str, values: Any
+        self,
+        tenant: str,
+        monitor_id: str,
+        values: Any,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> Tuple[ObserveResult, Dict[str, Any]]:
         """Feed one monitor and return ``(outcome, per-monitor stats)`` in a
         single worker round-trip (the server's ``observe`` op)."""
         key, shard = self._shard_for(tenant, monitor_id)
-        return self._call(shard, "observe_stats", key[0], key[1], values)
+        span = self._tracer.begin(
+            "hub.route", trace_ctx, tenant=key[0], monitor=key[1], shard=shard
+        )
+        try:
+            return self._call(
+                shard,
+                "observe_stats",
+                key[0],
+                key[1],
+                values,
+                span.context() if span is not None else None,
+            )
+        finally:
+            if span is not None:
+                span.end()
 
-    def ingest(self, events: Iterable[Event]) -> List[ObserveResult]:
+    def ingest(
+        self,
+        events: Iterable[Event],
+        trace_ctx: Optional[TraceContext] = None,
+    ) -> List[ObserveResult]:
         """Fan an interleaved event batch out as one message per shard.
 
         Events for the same monitor keep their relative order inside their
@@ -1273,27 +1369,44 @@ class ShardedHub:
         shared-memory segment and only ``(segment, offsets)`` descriptors
         cross the pipe; the worker reads the floats zero-copy.  Payloads the
         float conversion rejects raise here, before anything is sent.
+
+        When the parent tracer samples this batch (or ``trace_ctx`` hands an
+        already-open trace down), the span's context rides every shard's
+        message — descriptor and pickle path alike — so the workers' spans
+        stitch under one trace across processes.
         """
-        per_shard: Dict[int, List[Event]] = {}
-        for tenant, monitor_id, payload in events:
-            key, shard = self._shard_for(tenant, monitor_id)
-            per_shard.setdefault(shard, []).append((key[0], key[1], payload))
-        if not per_shard:
-            return []
-        indices = sorted(per_shard)
-        messages: List[Tuple[str, Tuple[Any, ...]]] = []
-        for index in indices:
-            message = None
-            if self._transport == "shm":
-                message = self._shm_message(index, per_shard[index])
-            if message is None:
-                message = ("ingest", (per_shard[index],))
-            messages.append(message)
-        replies = self._fan_out(indices, messages)
-        results: List[ObserveResult] = []
-        for reply in replies:
-            results.extend(reply)
-        return results
+        span = self._tracer.begin("hub.fan_out", trace_ctx)
+        try:
+            per_shard: Dict[int, List[Event]] = {}
+            for tenant, monitor_id, payload in events:
+                key, shard = self._shard_for(tenant, monitor_id)
+                per_shard.setdefault(shard, []).append((key[0], key[1], payload))
+            if not per_shard:
+                return []
+            ctx = span.context() if span is not None else None
+            indices = sorted(per_shard)
+            messages: List[Tuple[str, Tuple[Any, ...]]] = []
+            for index in indices:
+                message = None
+                if self._transport == "shm":
+                    message = self._shm_message(index, per_shard[index], ctx)
+                if message is None:
+                    message = ("ingest", (per_shard[index], ctx))
+                messages.append(message)
+            replies = self._fan_out(indices, messages)
+            results: List[ObserveResult] = []
+            for reply in replies:
+                results.extend(reply)
+            if span is not None:
+                span.add(
+                    n_shards=len(indices),
+                    n_monitors=len(results),
+                    n_events=sum(outcome.n_processed for outcome in results),
+                )
+            return results
+        finally:
+            if span is not None:
+                span.end()
 
     # ----------------------------------------------------------------- stats
 
@@ -1367,8 +1480,54 @@ class ShardedHub:
             "transport": self._transport,
             "n_cleanup_failures": self._n_cleanup_failures,
             "n_transport_fallbacks": self._n_transport_fallbacks,
+            "trace": self._tracer.stats(),
             "shards": shard_metrics,
         }
+
+    # --------------------------------------------------------- observability
+
+    @property
+    def tracer(self) -> Tracer:
+        """The parent-side span recorder (workers own their own tracers)."""
+        return self._tracer
+
+    @property
+    def journal(self) -> EventJournal:
+        """The parent-side operational event journal."""
+        return self._journal
+
+    def drain_trace(self) -> List[Dict[str, Any]]:
+        """Drain the parent's and every live worker's finished spans.
+
+        One batch covering all processes — ``time.monotonic`` shares an
+        epoch across them on Linux, so the spans merge without clock
+        translation.  Dead shards contribute nothing (their ring died with
+        the worker).
+        """
+        spans = self._tracer.drain()
+        for shard_spans in self._broadcast("trace_drain", tolerate_dead=True):
+            spans.extend(shard_spans)
+        return spans
+
+    def journal_events(
+        self, limit: Optional[int] = None, kind: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Parent and worker journal events merged by timestamp, oldest first.
+
+        ``limit`` keeps the newest events after the merge.  Worker events
+        carry whatever ``shard``/context fields their recorder attached;
+        dead shards' retained events are gone with the worker (mirror the
+        journals to JSONL for a durable record).
+        """
+        events = self._journal.events(kind=kind)
+        for shard_events in self._broadcast(
+            "events", None, kind, tolerate_dead=True
+        ):
+            events.extend(shard_events)
+        events.sort(key=lambda event: event.get("ts", 0.0))
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
 
     def alerts_history(
         self,
@@ -1509,9 +1668,15 @@ class ShardedHub:
     # ------------------------------------------------------------ resharding
 
     def _reshard_stage(self, stage: str) -> None:
+        self._journal.record("reshard_stage", stage=stage)
         hook = self._reshard_test_hook
         if hook is not None:
             hook(stage)
+
+    def _note_cleanup_failure(self, what: str, **fields: Any) -> None:
+        """Count and journal one best-effort cleanup step that failed."""
+        self._n_cleanup_failures += 1
+        self._journal.record("cleanup_failure", what=what, **fields)
 
     def reshard(self, n_shards: int) -> Dict[str, Any]:
         """Live-migrate the cluster to ``n_shards`` workers; return a summary.
@@ -1668,8 +1833,8 @@ class ShardedHub:
                 continue  # the whole worker retires below
             try:
                 self._call(source, "forget_monitors", keys)
-            except Exception as exc:
-                self._n_cleanup_failures += 1
+            except Exception as exc:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; the first failure is re-raised as ShardError after the remaining cleanup steps run
+                self._note_cleanup_failure("reshard_forget", shard=source)
                 logger.warning("reshard cleanup: shard %d forget failed", source)
                 cleanup_error = cleanup_error or exc
         for index in range(n_shards, old_n):
@@ -1677,8 +1842,8 @@ class ShardedHub:
                 parked, dropped = self._call(index, "alerts")
                 self._parked_alerts.extend(parked)
                 self._parked_dropped += dropped
-            except Exception as exc:
-                self._n_cleanup_failures += 1
+            except Exception as exc:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; the first failure is re-raised as ShardError after the remaining cleanup steps run
+                self._note_cleanup_failure("retiring_shard_drain", shard=index)
                 logger.warning(
                     "reshard cleanup: could not drain retiring shard %d", index
                 )
@@ -1692,8 +1857,8 @@ class ShardedHub:
         if self._checkpoint_dir is not None and cleanup_error is None:
             try:
                 self._write_manifest(self._broadcast("checkpoint"))
-            except Exception as exc:
-                self._n_cleanup_failures += 1
+            except Exception as exc:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; re-raised as ShardError below with a recovery hint
+                self._note_cleanup_failure("post_reshard_checkpoint")
                 cleanup_error = exc
         if cleanup_error is not None:
             raise ShardError(
@@ -1727,8 +1892,8 @@ class ShardedHub:
                 continue  # the whole worker is discarded below
             try:
                 self._call(target, "forget_monitors", keys)
-            except Exception:
-                self._n_cleanup_failures += 1
+            except Exception:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; best-effort rollback, the old layout never stopped being authoritative
+                self._note_cleanup_failure("abort_rollback_imports", shard=target)
                 logger.warning(
                     "reshard abort: could not roll back imports on shard %d",
                     target,
@@ -1741,8 +1906,8 @@ class ShardedHub:
         if baseline_reports is not None:
             try:
                 self._write_manifest(baseline_reports)
-            except Exception:
-                self._n_cleanup_failures += 1
+            except Exception:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; a lingering intent record is recognised and finished on the next resume
+                self._note_cleanup_failure("abort_clear_intent")
                 logger.warning(
                     "reshard abort: could not clear the manifest intent record"
                 )
@@ -1787,6 +1952,7 @@ class ShardedHub:
         logger.warning("respawning shard %d from its checkpoint", index)
         self._spawn(index, resume=True)
         self._adopt_shard_monitors(index)
+        self._journal.record("shard_respawn", shard=index)
 
     def respawn_dead_shards(self) -> List[int]:
         """Respawn every dead shard; return the indices that were restarted."""

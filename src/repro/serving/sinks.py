@@ -316,6 +316,11 @@ class WebhookSink(AlertSink):
     ``transport`` is injectable for tests: a callable ``(url,
     payload_bytes, timeout)`` that raises on failure.  The default POSTs
     JSON via ``urllib.request``.
+
+    ``on_breaker_open`` is an optional callback fired (from the worker
+    thread) each time the breaker transitions closed → open, with
+    ``{"url", "consecutive_failures", "reset_seconds"}`` — the hub wires
+    this into its event journal.  It must be thread-safe and non-raising.
     """
 
     def __init__(
@@ -333,6 +338,7 @@ class WebhookSink(AlertSink):
         transport: Optional[Callable[[str, bytes, float], None]] = None,
         rng: Optional[random.Random] = None,
         clock: Callable[[], float] = time.monotonic,
+        on_breaker_open: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         from repro.exceptions import ConfigurationError
 
@@ -360,6 +366,7 @@ class WebhookSink(AlertSink):
         self._timeout = timeout
         self._dead_letter_path = dead_letter_path
         self._transport = transport or _http_post_json
+        self._on_breaker_open = on_breaker_open
         self._rng = rng or random.Random()
         self._clock = clock
         self._queue: "queue.Queue[DriftAlert]" = queue.Queue(maxsize=queue_size)
@@ -445,6 +452,7 @@ class WebhookSink(AlertSink):
                 self._counters.consecutive_failures = 0
                 self._circuit_open_until = None
             return
+        opened = False
         with self._lock:
             self._counters.n_failed += 1
             self._counters.consecutive_failures += 1
@@ -452,7 +460,17 @@ class WebhookSink(AlertSink):
             if self._counters.consecutive_failures >= self._breaker_threshold:
                 if self._circuit_open_until is None:
                     self._counters.n_circuit_opens += 1
+                    opened = True
                 self._circuit_open_until = self._clock() + self._breaker_reset
+            consecutive = self._counters.consecutive_failures
+        if opened and self._on_breaker_open is not None:
+            self._on_breaker_open(
+                {
+                    "url": self._url,
+                    "consecutive_failures": consecutive,
+                    "reset_seconds": self._breaker_reset,
+                }
+            )
         self._dead_letter(alert, "retries-exhausted", error)
 
     def _dead_letter(

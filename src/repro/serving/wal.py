@@ -67,7 +67,18 @@ import time
 import zlib
 from collections import deque
 from pathlib import Path
-from typing import TYPE_CHECKING, IO, Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    IO,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.exceptions import ConfigurationError, SnapshotError
 from repro.serving.metrics import LatencyWindow
@@ -255,6 +266,11 @@ class AlertWal:
     retain_segments:
         :meth:`prune` keeps at most this many segments; older ones are the
         alert history that expires first.
+    on_rotate:
+        Optional callback invoked after each segment rotation with
+        ``{"segment_index", "previous_segment"}`` — the hub journals these
+        so an operator can correlate WAL growth with ingest load.  Must not
+        raise (it runs on the commit path).
     """
 
     def __init__(
@@ -263,6 +279,7 @@ class AlertWal:
         fsync: str = "batch",
         segment_bytes: int = 4 * 1024 * 1024,
         retain_segments: int = 8,
+        on_rotate: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if fsync not in _FSYNC_MODES:
             raise ConfigurationError(
@@ -280,6 +297,7 @@ class AlertWal:
         self._fsync_mode = fsync
         self._segment_bytes = segment_bytes
         self._retain_segments = retain_segments
+        self._on_rotate = on_rotate
         self._directory.mkdir(parents=True, exist_ok=True)
         self._meta = self._load_or_create_meta()
         self._watermarks: Dict[_MonitorKey, int] = {}
@@ -436,12 +454,17 @@ class AlertWal:
             return
         flush_handle(self._handle, fsync=self._fsync_mode != "off")
         self._handle.close()
+        previous = _segment_name(self._segment_index)
         self._segment_index += 1
         self._segment_path = self._directory / _segment_name(self._segment_index)
         self._handle = open(self._segment_path, "ab")
         self._segment_size = 0
         self._dirty = False
         fsync_directory(self._directory)
+        if self._on_rotate is not None:
+            self._on_rotate(
+                {"segment_index": self._segment_index, "previous_segment": previous}
+            )
 
     def prune(self) -> int:
         """Drop the oldest segments beyond ``retain_segments``; return count.

@@ -1,0 +1,217 @@
+"""Integration tests of the observability stack on a live sharded server.
+
+One CLI server process (``--shards 2 --metrics-port 0 --trace-sample 1.0
+--trace-dir … --journal-jsonl …``) is exercised end to end:
+
+* the Prometheus endpoint serves a parseable exposition with merged totals
+  plus per-shard labelled series and per-detector-class histograms;
+* the ``metrics_prom`` wire op returns the same exposition over the JSON
+  protocol;
+* a sampled ingest produces one trace whose spans cover the server process
+  *and both shard worker processes*, parent-linked back to the server root,
+  and the ``trace`` op dumps it as Chrome JSON into ``--trace-dir``;
+* the ``events`` wire op returns the operational journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+
+from tests.integration.test_serving_server import (
+    REPO_ROOT,
+    _Client,
+    _stop_server,
+    sea_error_stream,
+)
+
+MONITORS = [
+    ("acme", "checkout", "OPTWIN"),
+    ("acme", "search", "DDM"),
+    ("globex", "fraud", "ECDD"),
+    ("globex", "payments", "DDM"),
+]
+
+
+def _start_obs_server(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serving",
+            "--port",
+            "0",
+            "--shards",
+            "2",
+            "--metrics-port",
+            "0",
+            "--trace-sample",
+            "1.0",
+            "--trace-dir",
+            str(tmp_path / "traces"),
+            "--journal-jsonl",
+            str(tmp_path / "journal.jsonl"),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    ready = process.stdout.readline()
+    assert ready.startswith("READY "), f"unexpected startup line: {ready!r}"
+    port = int(dict(part.split("=") for part in ready.split()[1:])["port"])
+    metrics_line = process.stdout.readline()
+    assert metrics_line.startswith("METRICS "), repr(metrics_line)
+    metrics_port = int(
+        dict(part.split("=") for part in metrics_line.split()[1:])["port"]
+    )
+    return process, port, metrics_port
+
+
+def _parse_exposition(text):
+    """Validate format 0.0.4 structure; return {sample_line} and {family: type}."""
+    families = {}
+    samples = []
+    current = None
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            current = line.split()[2]
+        elif line.startswith("# TYPE "):
+            fields = line.split()
+            assert fields[2] == current, line
+            assert fields[3] in ("counter", "gauge", "summary", "histogram", "untyped")
+            families[current] = fields[3]
+        elif line:
+            name, _, value = line.rpartition(" ")
+            float(value)  # every sample value must parse
+            assert name, line
+            samples.append(line)
+    return families, samples
+
+
+def test_sharded_server_observability_end_to_end(tmp_path):
+    errors = sea_error_stream()
+    process, port, metrics_port = _start_obs_server(tmp_path)
+    try:
+        client = _Client(port)
+        for tenant, monitor_id, detector in MONITORS:
+            response = client.rpc(
+                {
+                    "op": "register",
+                    "tenant": tenant,
+                    "monitor": monitor_id,
+                    "detector": detector,
+                    "params": {"w_max": 2000} if detector == "OPTWIN" else None,
+                }
+            )
+            assert response["ok"], response
+
+        # One sampled ingest fanning out to both shards.
+        events = [
+            [tenant, monitor_id, errors[:500]]
+            for tenant, monitor_id, _ in MONITORS
+        ]
+        response = client.rpc({"op": "ingest", "events": events})
+        assert response["ok"], response
+
+        # --- Prometheus endpoint ------------------------------------------
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{metrics_port}/metrics", timeout=30
+        ) as scrape:
+            assert scrape.status == 200
+            assert scrape.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            exposition = scrape.read().decode("utf-8")
+        families, samples = _parse_exposition(exposition)
+        assert families["repro_hub_n_events"] == "counter"
+        assert "repro_hub_n_events 2000" in samples
+        # Per-shard series for both live shards, merged histograms on top.
+        for shard in ("0", "1"):
+            assert any(
+                line.startswith(f'repro_shard_n_events{{shard="{shard}"}}')
+                for line in samples
+            ), shard
+        assert families["repro_detector_update_seconds"] == "histogram"
+        for detector in ("Optwin", "Ddm", "Ecdd"):
+            assert any(
+                f'detector="{detector}"' in line
+                for line in samples
+                if line.startswith("repro_detector_update_seconds_bucket")
+            ), detector
+        assert any(
+            line.startswith("repro_monitor_update_seconds_total") for line in samples
+        )
+        # 404 everywhere else.
+        try:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/other", timeout=30
+            )
+            raise AssertionError("expected HTTP 404")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+
+        # --- metrics_prom wire op -----------------------------------------
+        over_wire = client.rpc({"op": "metrics_prom"})
+        assert over_wire["ok"]
+        wire_families, _ = _parse_exposition(over_wire["exposition"])
+        assert wire_families.keys() == families.keys()
+
+        # --- trace op: spans from the server AND both workers -------------
+        response = client.rpc({"op": "trace"})
+        assert response["ok"] and response["n_spans"] > 0
+        trace_events = response["trace"]["traceEvents"]
+        complete = [e for e in trace_events if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        assert {"server.ingest", "hub.fan_out", "hub.ingest"} <= names
+        # Three distinct processes: the server plus two shard workers.
+        server_pid = process.pid
+        pids = {e["pid"] for e in complete}
+        assert server_pid in pids and len(pids) >= 3
+        worker_span_pids = {
+            e["pid"] for e in complete if e["name"] == "hub.ingest"
+        }
+        assert len(worker_span_pids) == 2 and server_pid not in worker_span_pids
+        # Every worker-side span links back into the sampled trace: its
+        # parent chain reaches the server's root span.
+        by_id = {e["args"]["span_id"]: e for e in complete}
+        root = next(e for e in complete if e["name"] == "server.ingest")
+        assert root["args"]["parent_id"] is None
+        for event in complete:
+            node = event
+            for _ in range(10):
+                parent_id = node["args"]["parent_id"]
+                if parent_id is None:
+                    break
+                node = by_id[parent_id]
+            assert node["args"]["span_id"] == root["args"]["span_id"], event["name"]
+        # Cross-process flow arrows present for the fan-out edges.
+        assert any(e["ph"] == "s" for e in trace_events)
+        assert any(e.get("bp") == "e" for e in trace_events if e["ph"] == "f")
+        # The dump landed in --trace-dir and is the same document.
+        assert response["path"] is not None
+        dumped = json.loads((tmp_path / "traces" / "trace-0001.json").read_text())
+        assert dumped["traceEvents"] == trace_events
+        # Drained: an immediate second call returns no spans and no file.
+        again = client.rpc({"op": "trace"})
+        assert again["ok"] and again["path"] is None
+
+        # --- events wire op ------------------------------------------------
+        respawned = client.rpc({"op": "events"})
+        assert respawned["ok"]
+        assert isinstance(respawned["events"], list)
+
+        client.close()
+    finally:
+        _stop_server(process)
+
+    # The journal mirror survived the process.
+    mirror = (tmp_path / "journal.jsonl").read_text()
+    for line in mirror.splitlines():
+        json.loads(line)

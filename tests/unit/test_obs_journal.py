@@ -1,0 +1,104 @@
+"""Unit tests of :mod:`repro.obs.journal` — the bounded flight recorder."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.journal import EventJournal
+
+
+def test_record_and_query():
+    journal = EventJournal()
+    journal.record("shard_respawn", shard=3)
+    journal.record("reshard_stage", stage="intent")
+    journal.record("shard_respawn", shard=1)
+
+    events = journal.events()
+    assert [e["kind"] for e in events] == [
+        "shard_respawn",
+        "reshard_stage",
+        "shard_respawn",
+    ]
+    assert all("ts" in e for e in events)
+    assert [e["shard"] for e in journal.events(kind="shard_respawn")] == [3, 1]
+    # limit keeps the newest events.
+    assert [e["kind"] for e in journal.events(limit=1)] == ["shard_respawn"]
+    assert journal.counts() == {"shard_respawn": 2, "reshard_stage": 1}
+    stats = journal.stats()
+    assert stats["n_journal_events"] == 3
+    assert stats["n_journal_retained"] == 3
+    assert stats["n_mirror_failures"] == 0
+
+
+def test_ring_is_bounded_but_counts_are_lifetime():
+    journal = EventJournal(capacity=2)
+    for index in range(5):
+        journal.record("tick", index=index)
+    assert [e["index"] for e in journal.events()] == [3, 4]
+    assert journal.counts()["tick"] == 5
+    assert journal.stats()["n_journal_retained"] == 2
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        EventJournal(capacity=0)
+
+
+def test_events_returns_copies():
+    journal = EventJournal()
+    journal.record("tick")
+    journal.events()[0]["kind"] = "mutated"
+    assert journal.events()[0]["kind"] == "tick"
+
+
+def test_jsonl_mirror_persists_the_full_history(tmp_path):
+    path = tmp_path / "nested" / "journal.jsonl"
+    journal = EventJournal(capacity=2, jsonl_path=path)
+    for index in range(4):
+        journal.record("tick", index=index)
+    journal.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    # The ring dropped the oldest two; the mirror kept everything.
+    assert [line["index"] for line in lines] == [0, 1, 2, 3]
+    assert all(line["kind"] == "tick" for line in lines)
+
+
+def test_mirror_failure_is_counted_not_raised(tmp_path):
+    journal = EventJournal(jsonl_path=tmp_path / "journal.jsonl")
+    journal._fh.close()  # simulate the mirror dying underneath the journal
+    event = journal.record("tick")
+    assert event["kind"] == "tick"
+    assert journal.stats()["n_mirror_failures"] == 1
+    assert len(journal.events()) == 1  # the ring still has it
+    journal._fh = None
+    journal.close()
+
+
+def test_record_is_thread_safe():
+    journal = EventJournal(capacity=10_000)
+    n_threads, per_thread = 8, 250
+
+    def worker(index):
+        for _ in range(per_thread):
+            journal.record(f"kind-{index}")
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert journal.stats()["n_journal_events"] == n_threads * per_thread
+    assert sum(journal.counts().values()) == n_threads * per_thread
+
+
+def test_close_is_idempotent(tmp_path):
+    journal = EventJournal(jsonl_path=tmp_path / "journal.jsonl")
+    journal.record("tick")
+    journal.close()
+    journal.close()

@@ -1,0 +1,238 @@
+"""Unit tests of :mod:`repro.obs.prom` — the Prometheus text exposition.
+
+The load-bearing test is the registry-driven coverage invariant: every
+``n_*`` counter a hub's ``stats()`` / ``metrics()`` dicts expose must appear
+in the exposition *without this module enumerating it by hand* — a counter
+added in a future PR is exported (and scraped) automatically or this test
+fails naming it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.prom import Histogram, UpdateTimings, hub_exposition, metric_name
+from repro.serving import MonitorHub, ShardedHub
+from repro.serving.sinks import JsonlAuditSink
+
+
+def _counter_keys(mapping):
+    """The ``n_*`` numeric keys of one stats/metrics dict (non-recursive)."""
+    return sorted(
+        key
+        for key, value in mapping.items()
+        if key.startswith("n_")
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    )
+
+
+def _busy_hub(tmp_path):
+    hub = MonitorHub(
+        wal_dir=tmp_path / "wal",
+        sinks=[JsonlAuditSink(tmp_path / "alerts.jsonl")],
+    )
+    hub.register("acme", "checkout", "DDM")
+    hub.register("acme", "search", "ECDD")
+    hub.ingest(
+        [
+            ("acme", "checkout", [0.0, 1.0] * 60),
+            ("acme", "search", [1.0, 0.0] * 60),
+        ]
+    )
+    return hub
+
+
+def test_every_hub_counter_appears_in_the_exposition(tmp_path):
+    """Registry-driven coverage: stats() ∪ metrics() ∪ trace ∪ wal ∪ sinks."""
+    hub = _busy_hub(tmp_path)
+    try:
+        exposition = hub_exposition(hub)
+        metrics = hub.metrics()
+        covered = []
+        for key in _counter_keys(hub.stats()) + _counter_keys(metrics):
+            covered.append((metric_name(key), key))
+        for key in _counter_keys(metrics["trace"]):
+            covered.append((metric_name(key), key))
+        for key in _counter_keys(metrics["wal"]):
+            covered.append((f"repro_wal_{key}", key))
+        assert metrics["sinks"], "fixture must exercise at least one sink"
+        for sink in metrics["sinks"]:
+            for key in _counter_keys(sink):
+                covered.append((f"repro_sink_{key}", key))
+        for key in _counter_keys(hub.journal.stats()):
+            covered.append((metric_name(key), key))
+        assert covered
+        missing = [
+            key for name, key in covered if f"\n{name}" not in f"\n{exposition}"
+        ]
+        assert not missing, f"counters absent from the exposition: {missing}"
+    finally:
+        hub.close()
+
+
+def test_sharded_exposition_merges_per_shard_series():
+    with ShardedHub(2) as hub:
+        hub.register("acme", "checkout", "DDM")
+        hub.register("globex", "payments", "ECDD")
+        assert hub.shard_of("acme", "checkout") != hub.shard_of("globex", "payments")
+        hub.ingest(
+            [
+                ("acme", "checkout", [0.0, 1.0] * 60),
+                ("globex", "payments", [1.0, 0.0] * 60),
+            ]
+        )
+        exposition = hub_exposition(hub)
+        metrics = hub.metrics()
+        # Merged totals plus one labelled series per live shard, for every
+        # per-shard counter the workers report.
+        for shard_metrics in metrics["shards"]:
+            label = shard_metrics["shard"]
+            for key in _counter_keys(shard_metrics):
+                assert f'repro_shard_{key}{{shard="{label}"}}' in exposition, key
+        assert "repro_hub_n_events 240" in exposition
+        assert 'repro_shard_n_events{shard="0"} 120' in exposition
+        assert 'repro_shard_n_events{shard="1"} 120' in exposition
+        # Per-detector-class histograms merged across both shards.
+        assert (
+            'repro_detector_update_seconds_bucket{detector="Ddm",le="+Inf"} 1'
+            in exposition
+        )
+        assert (
+            'repro_detector_update_seconds_bucket{detector="Ecdd",le="+Inf"} 1'
+            in exposition
+        )
+        # Top-K attribution names both monitors with their shard-side cost.
+        assert 'repro_monitor_update_seconds_total{tenant="acme"' in exposition
+        assert 'repro_monitor_update_seconds_total{tenant="globex"' in exposition
+
+
+def test_exposition_families_are_contiguous_blocks(tmp_path):
+    """The text format requires one block per family — per-shard re-emission
+    must not interleave HELP/TYPE headers with foreign samples."""
+    with ShardedHub(2) as hub:
+        hub.register("acme", "checkout", "DDM")
+        hub.ingest([("acme", "checkout", [0.0, 1.0] * 30)])
+        exposition = hub_exposition(hub)
+    seen = set()
+    current = None
+    for line in exposition.splitlines():
+        if line.startswith("# HELP "):
+            family = line.split()[2]
+            assert family not in seen, f"family {family} split into two blocks"
+            seen.add(family)
+            current = family
+        elif line.startswith("# TYPE "):
+            assert line.split()[2] == current
+        elif line:
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in seen:
+                    base = name[: -len(suffix)]
+                    break
+            assert base == current, f"sample {name} outside its family block"
+
+
+def test_latency_summary_counts_are_not_conflated(tmp_path):
+    """`_count` is the lifetime n_total; the retained window size is its own
+    gauge (the PR-fixed count/n_total conflation, pinned at the wire)."""
+    hub = _busy_hub(tmp_path)
+    try:
+        for _ in range(3):
+            hub.ingest([("acme", "checkout", [0.0, 1.0])])
+        exposition = hub_exposition(hub)
+        flush = hub.metrics()["flush_latency_ms"]
+        assert f"repro_hub_flush_latency_ms_count {flush['n_total']}" in exposition
+        assert f"repro_hub_flush_latency_ms_window {flush['count']}" in exposition
+        assert 'repro_hub_flush_latency_ms{quantile="0.95"}' in exposition
+    finally:
+        hub.close()
+
+
+# --------------------------------------------------------------- instruments
+
+
+def test_histogram_observe_snapshot_merge():
+    first = Histogram(buckets=[0.1, 1.0])
+    second = Histogram(buckets=[0.1, 1.0])
+    for value in (0.05, 0.5, 5.0):
+        first.observe(value)
+    second.observe(0.01)
+    snapshot = first.snapshot()
+    assert snapshot["buckets"] == [[0.1, 1], [1.0, 2]]
+    assert snapshot["count"] == 3
+    assert snapshot["sum"] == pytest.approx(5.55)
+    merged = Histogram.merge_snapshots([snapshot, second.snapshot()])
+    assert merged["buckets"] == [[0.1, 2], [1.0, 3]]
+    assert merged["count"] == 4
+    assert merged["sum"] == pytest.approx(5.56)
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ConfigurationError):
+        Histogram(buckets=[1.0, 0.5])
+    with pytest.raises(ConfigurationError):
+        Histogram(buckets=[1.0, 1.0])
+
+
+def test_update_timings_attribution_ranks_by_cumulative_seconds():
+    timings = UpdateTimings(top_k=2)
+    timings.observe("Ddm", "acme", "fast", 0.001, 100)
+    for _ in range(3):
+        timings.observe("Optwin", "acme", "slow", 0.5, 500)
+    timings.observe("Ddm", "globex", "medium", 0.1, 200)
+    snapshot = timings.snapshot()
+    assert [row["monitor_id"] for row in snapshot["monitors"]] == ["slow", "medium"]
+    slow = snapshot["monitors"][0]
+    assert slow["n_updates"] == 3 and slow["n_values"] == 1500
+    assert slow["seconds"] == pytest.approx(1.5)
+    assert set(snapshot["classes"]) == {"Ddm", "Optwin"}
+    assert snapshot["classes"]["Ddm"]["count"] == 2
+
+    merged = UpdateTimings.merge_snapshots([snapshot, snapshot], top_k=3)
+    assert merged["classes"]["Ddm"]["count"] == 4
+    assert [row["monitor_id"] for row in merged["monitors"]] == [
+        "slow",
+        "slow",
+        "medium",
+    ]
+
+
+def test_update_timings_rejects_bad_top_k():
+    with pytest.raises(ConfigurationError):
+        UpdateTimings(top_k=0)
+
+
+def test_set_instrumented_pauses_and_resumes_attribution():
+    hub = MonitorHub()
+    hub.register("acme", "checkout", "DDM")
+    chunk = [0.0, 1.0] * 40
+    hub.ingest([("acme", "checkout", chunk)])
+    assert hub.metrics()["detector_update"]["monitors"][0]["n_updates"] == 1
+
+    hub.set_instrumented(False)  # paused: no attribution, hot path untimed
+    hub.ingest([("acme", "checkout", chunk)])
+    assert hub.metrics()["detector_update"] is None
+
+    hub.set_instrumented(True)  # resumed: the same accumulation continues
+    hub.ingest([("acme", "checkout", chunk)])
+    row = hub.metrics()["detector_update"]["monitors"][0]
+    assert row["n_updates"] == 2
+    assert row["n_values"] == 2 * len(chunk)
+    hub.close()
+
+
+def test_set_instrumented_starts_fresh_on_an_uninstrumented_hub():
+    hub = MonitorHub(instrument=False)
+    hub.register("acme", "checkout", "DDM")
+    chunk = [0.0, 1.0] * 40
+    hub.ingest([("acme", "checkout", chunk)])
+    assert hub.metrics()["detector_update"] is None
+
+    hub.set_instrumented(True)
+    hub.ingest([("acme", "checkout", chunk)])
+    row = hub.metrics()["detector_update"]["monitors"][0]
+    assert row["n_updates"] == 1 and row["n_values"] == len(chunk)
+    hub.close()

@@ -1,0 +1,171 @@
+"""Unit tests of :mod:`repro.obs.trace`.
+
+Covers the sampling contract (deterministic counter, roots only), the
+zero-cost disabled path, cross-process context propagation, the bounded
+span ring, and the Chrome ``trace_event`` export (complete events, process
+metadata, cross-process flow arrows).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.trace import Tracer, chrome_trace, write_chrome_trace
+
+
+def _fake_clock(start=100.0, step=0.25):
+    state = {"t": start}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+def test_disabled_tracer_never_opens_roots():
+    tracer = Tracer()  # sample_rate=0 is the default
+    assert not tracer.enabled
+    for _ in range(10):
+        assert tracer.sample_root("server.ingest") is None
+        assert tracer.begin("server.ingest") is None
+    # No parent, no trace: the chainable no-op keeps call sites branch-free.
+    assert tracer.start_span("child", None) is None
+    stats = tracer.stats()
+    assert stats["n_trace_roots"] == 0
+    assert stats["n_trace_spans"] == 0
+
+
+def test_sampling_is_a_deterministic_counter():
+    tracer = Tracer(sample_rate=0.25)
+    sampled = [tracer.sample_root("r") is not None for _ in range(8)]
+    # Every round(1/0.25)=4th root, starting with the FIRST — a smoke test
+    # at a low rate still produces a trace immediately.
+    assert sampled == [True, False, False, False, True, False, False, False]
+    stats = tracer.stats()
+    assert stats["n_trace_roots"] == 8
+    assert stats["n_trace_sampled"] == 2
+
+
+def test_rate_one_samples_everything():
+    tracer = Tracer(sample_rate=1.0)
+    assert all(tracer.sample_root("r") is not None for _ in range(5))
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_invalid_sample_rate_rejected(rate):
+    with pytest.raises(ConfigurationError):
+        Tracer(sample_rate=rate)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        Tracer(capacity=0)
+
+
+def test_span_tree_records_parent_links():
+    tracer = Tracer(sample_rate=1.0, clock=_fake_clock())
+    root = tracer.sample_root("server.ingest", n_events=3)
+    child = tracer.start_span("hub.fan_out", root)
+    grandchild = tracer.start_span("monitor.update_batch", child, detector="Ddm")
+    grandchild.end()
+    child.end()
+    root.add(n_monitors=2)
+    root.end()
+
+    spans = tracer.spans()
+    assert [s["name"] for s in spans] == [
+        "monitor.update_batch",
+        "hub.fan_out",
+        "server.ingest",
+    ]
+    by_name = {s["name"]: s for s in spans}
+    assert by_name["server.ingest"]["parent_id"] is None
+    assert by_name["hub.fan_out"]["parent_id"] == by_name["server.ingest"]["span_id"]
+    assert (
+        by_name["monitor.update_batch"]["parent_id"]
+        == by_name["hub.fan_out"]["span_id"]
+    )
+    # One trace id throughout; annotations survive.
+    assert len({s["trace_id"] for s in spans}) == 1
+    assert by_name["server.ingest"]["args"] == {"n_events": 3, "n_monitors": 2}
+    assert all(s["dur"] > 0 for s in spans)
+
+
+def test_propagated_context_overrides_local_sampling():
+    """A worker tracer at rate 0 must still record under a propagated root —
+    sampling is the root's decision, not the worker's."""
+    parent = Tracer(sample_rate=1.0, process="hub")
+    worker = Tracer(sample_rate=0.0, process="shard-00")
+    root = parent.sample_root("hub.fan_out")
+    ctx = root.context()
+    # The tuple shape survives a JSON round-trip (lists are accepted too).
+    ctx = json.loads(json.dumps(ctx))
+    span = worker.begin("hub.ingest", ctx)
+    assert span is not None
+    span.end()
+    root.end()
+    (recorded,) = worker.spans()
+    assert recorded["trace_id"] == root.trace_id
+    assert recorded["parent_id"] == root.span_id
+    assert recorded["process"] == "shard-00"
+
+
+def test_span_handle_is_a_context_manager_and_end_is_idempotent():
+    tracer = Tracer(sample_rate=1.0)
+    with tracer.sample_root("r") as span:
+        pass
+    span.end()  # second end is a no-op
+    assert len(tracer.spans()) == 1
+
+
+def test_ring_is_bounded_and_drain_clears():
+    tracer = Tracer(sample_rate=1.0, capacity=4)
+    for index in range(10):
+        tracer.sample_root(f"r{index}").end()
+    assert [s["name"] for s in tracer.spans()] == ["r6", "r7", "r8", "r9"]
+    assert tracer.stats()["n_trace_spans"] == 10
+    assert tracer.stats()["n_trace_retained"] == 4
+    drained = tracer.drain()
+    assert len(drained) == 4
+    assert tracer.spans() == []
+    assert tracer.stats()["n_trace_retained"] == 0
+
+
+def test_chrome_trace_shape_and_flow_arrows():
+    parent = Tracer(sample_rate=1.0, process="hub", clock=_fake_clock())
+    worker = Tracer(sample_rate=0.0, process="shard-01", clock=_fake_clock())
+    worker._pid = parent._pid + 1  # simulate the separate worker process
+    root = parent.sample_root("hub.fan_out")
+    child = worker.start_span("hub.ingest", root.context())
+    local = parent.start_span("wal.commit", root)
+    local.end()
+    child.end()
+    root.end()
+
+    document = chrome_trace(parent.drain() + worker.drain())
+    events = document["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    flows = [e for e in events if e["ph"] in ("s", "f")]
+    assert {m["args"]["name"] for m in metadata} == {"hub", "shard-01"}
+    assert {e["name"] for e in complete} == {"hub.fan_out", "hub.ingest", "wal.commit"}
+    # Timestamps are microseconds and durations strictly positive.
+    assert all(e["dur"] > 0 for e in complete)
+    # Exactly one cross-process edge (hub.fan_out -> worker hub.ingest);
+    # the same-process wal.commit edge draws no arrow.
+    assert [e["ph"] for e in flows] == ["s", "f"]
+    assert flows[0]["pid"] != flows[1]["pid"]
+    assert flows[1]["bp"] == "e"
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    tracer = Tracer(sample_rate=1.0)
+    tracer.sample_root("r").end()
+    target = write_chrome_trace(tmp_path / "nested" / "trace.json", tracer.drain())
+    loaded = json.loads(target.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+    assert any(e["ph"] == "X" for e in loaded["traceEvents"])
