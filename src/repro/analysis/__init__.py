@@ -11,7 +11,20 @@ the repository only defends with golden tests after the fact:
   schema-lock manifest;
 * **broad-except** — swallowed exceptions surface in stats counters or carry
   a written justification;
-* **deprecated-symbol** — internal callers keep off deprecated symbols.
+* **deprecated-symbol** — internal callers keep off deprecated symbols;
+* **async-blocking** — no blocking I/O (fsync, pipe recv, hub ops, sleep)
+  reachable from an ``async def`` without executor offload;
+* **resource-leak** — acquired files/pipes/shared-memory/executors are
+  released on *every* CFG path, exception edges included;
+* **fork-safety** — ``multiprocessing`` worker entrypoints never touch
+  inherited module-level RNGs, locks, or file handles.
+
+The last three are control-flow-aware: they reason over per-function CFGs
+(:mod:`repro.analysis.cfg`) and a gen/kill fixpoint
+(:mod:`repro.analysis.dataflow`) rather than single AST nodes.  A separate
+engine-level check diffs the serving dispatch against the committed
+``wire_protocol.lock.json`` (:mod:`repro.analysis.wire_lock`) so protocol
+drift fails lint until sanctioned with ``--update-wire-lock``.
 
 Suppressions require a reason (``# repro: allow(<rule>) -- <why>``),
 grandfathered findings live in a checked-in baseline, and the CLI exits
@@ -24,10 +37,13 @@ from repro.analysis.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.analysis.cfg import CFG, build_cfg, function_cfgs
+from repro.analysis.dataflow import FixpointResult, run_forward
 from repro.analysis.engine import (
     RULE_SUPPRESSION_HYGIENE,
     RULE_SYNTAX_ERROR,
     RULE_UNUSED_SUPPRESSION,
+    RULE_WIRE_PROTOCOL,
     Finding,
     ModuleInfo,
     Project,
@@ -45,8 +61,20 @@ from repro.analysis.schema_lock import (
     load_lock,
     write_lock,
 )
+from repro.analysis.wire_lock import (
+    default_wire_lock_path,
+    diff_wire_lock,
+    generate_wire_lock,
+    load_wire_lock,
+    write_wire_lock,
+)
 
 __all__ = [
+    "CFG",
+    "build_cfg",
+    "function_cfgs",
+    "FixpointResult",
+    "run_forward",
     "Finding",
     "ModuleInfo",
     "Project",
@@ -58,6 +86,7 @@ __all__ = [
     "RULE_SYNTAX_ERROR",
     "RULE_SUPPRESSION_HYGIENE",
     "RULE_UNUSED_SUPPRESSION",
+    "RULE_WIRE_PROTOCOL",
     "ALL_RULES",
     "all_rules",
     "rules_by_id",
@@ -70,4 +99,9 @@ __all__ = [
     "load_lock",
     "write_lock",
     "diff_lock",
+    "default_wire_lock_path",
+    "generate_wire_lock",
+    "load_wire_lock",
+    "write_wire_lock",
+    "diff_wire_lock",
 ]

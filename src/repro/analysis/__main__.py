@@ -14,6 +14,8 @@ Common invocations::
     python -m repro.analysis --update-baseline        # re-record debt
     python -m repro.analysis --update-lock            # commit a new snapshot
                                                       # schema layout
+    python -m repro.analysis --update-wire-lock       # commit a new wire-
+                                                      # protocol op catalogue
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis import baseline as baseline_mod
-from repro.analysis import schema_lock
+from repro.analysis import schema_lock, wire_lock
 from repro.analysis.engine import ENGINE_RULE_IDS, Report, run_rules, scan_paths
 from repro.analysis.rules import all_rules, rules_by_id, select_rules
 
@@ -39,7 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="AST-based invariant linter (determinism, durability, "
-        "snapshot-contract, broad-except, deprecated-symbol).",
+        "snapshot-contract, broad-except, deprecated-symbol, async-blocking, "
+        "resource-leak, fork-safety, plus the wire-protocol lock check).",
     )
     parser.add_argument(
         "paths",
@@ -92,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate the schema-lock manifest from the live detector "
         "registry and exit (the sanctioned flow after a "
         "SNAPSHOT_SCHEMA_VERSION bump)",
+    )
+    parser.add_argument(
+        "--wire-lock",
+        type=Path,
+        default=None,
+        help="wire-protocol lock manifest diffed against the serving "
+        "dispatch (default: the committed "
+        "src/repro/analysis/wire_protocol.lock.json)",
+    )
+    parser.add_argument(
+        "--no-wire-lock",
+        action="store_true",
+        help="skip the wire-protocol lock check (fixture/offline runs)",
+    )
+    parser.add_argument(
+        "--update-wire-lock",
+        action="store_true",
+        help="re-extract the op catalogue from the scanned server dispatch, "
+        "rewrite the wire lock, and exit (the sanctioned flow after an "
+        "intentional protocol change)",
     )
     parser.add_argument(
         "--list-rules",
@@ -182,8 +205,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ):
         lock_path = args.lock or schema_lock.default_lock_path()
         options["schema_lock_path"] = str(lock_path)
+    if not args.no_wire_lock:
+        wire_path = args.wire_lock or wire_lock.default_wire_lock_path()
+        options["wire_lock_path"] = str(wire_path)
 
     project = scan_paths(paths, options)
+
+    if args.update_wire_lock:
+        wire_path = args.wire_lock or wire_lock.default_wire_lock_path()
+        try:
+            document = wire_lock.write_wire_lock(wire_path, project)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {wire_path} ({len(document['ops'])} ops)")
+        return 0
 
     baseline_path = args.baseline or baseline_mod.default_baseline_path()
     fingerprints = None

@@ -1,0 +1,412 @@
+"""Intra-procedural control-flow graphs over stdlib ``ast``.
+
+The per-node matchers in :mod:`repro.analysis.rules` see one AST node at a
+time; the serving stack's nastier bugs — a ``SharedMemory`` segment leaked on
+an exception path, a pipe connection closed on the happy path only — are
+*path* properties.  This module builds the graphs those rules reason over:
+one :class:`CFG` per function, one basic block per statement, with explicit
+edges for branches, loops, ``try``/``except``/``finally`` routing, ``with``,
+and the abrupt exits (``return`` / ``raise`` / ``break`` / ``continue``).
+
+Model
+-----
+
+* Every statement is its own block (blocks are cheap at this scale, and
+  statement granularity is what exception edges need: *any* statement may
+  raise, and the state before that statement is what flows to the handler).
+* Three synthetic blocks: ``entry``, ``exit`` (normal returns and implicit
+  function end) and ``raise`` (the exceptional exit — an exception escaping
+  the function).
+* Every statement block gets an ``exception`` edge to the innermost
+  enclosing handler chain (or the ``raise`` exit), so analyses see the
+  "this line blew up" path.
+* ``finally`` bodies are built **once**; every route into them (normal
+  completion, caught/uncaught exception, ``break``/``continue``/``return``
+  passing through) enters the same blocks, and the finally's exits fan back
+  out to each pending continuation.  This merges paths — a sound
+  over-approximation for the forward may-analyses built on top
+  (:mod:`repro.analysis.dataflow`).
+* Nested ``def`` / ``class`` statements are opaque single blocks; their
+  bodies get their own CFGs via :func:`function_cfgs`.
+* ``match`` statements (Python 3.10+) fan out one edge per case; the
+  subject block stays in the fall-through frontier unless a wildcard case
+  exists.
+
+Edge kinds: ``normal``, ``exception`` (implicit may-raise), ``raise``
+(explicit raise statements), ``return``, ``break``, ``continue``, ``back``
+(loop back-edge).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "Block",
+    "CFG",
+    "EXCEPTIONAL_KINDS",
+    "build_cfg",
+    "function_cfgs",
+]
+
+#: Edge kinds that model an exception in flight.  Dataflow treats these
+#: specially: the source block's *gen* never happened (the statement did not
+#: complete), but its *kill* is honoured (a release attempt counts).
+EXCEPTIONAL_KINDS = frozenset({"exception", "raise"})
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+# ``ast.Match`` only exists on Python 3.10+; the builder degrades to "no
+# match statements can appear" on 3.9, where the syntax does not parse.
+_MATCH = getattr(ast, "Match", None)
+_MATCH_AS = getattr(ast, "MatchAs", None)
+
+
+@dataclass
+class Block:
+    """One CFG node: a single statement, or a synthetic entry/exit."""
+
+    id: int
+    label: str
+    node: Optional[ast.AST] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block({self.id}, {self.label!r})"
+
+
+class CFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, func: Optional[_FuncNode] = None) -> None:
+        self.func = func
+        self.blocks: Dict[int, Block] = {}
+        self.edges: Set[Tuple[int, int, str]] = set()
+        self.entry: int = -1
+        self.exit: int = -1
+        self.raise_exit: int = -1
+        self._by_node: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- queries
+
+    def successors(self, block_id: int) -> Iterator[Tuple[int, str]]:
+        for src, dst, kind in self.edges:
+            if src == block_id:
+                yield dst, kind
+
+    def predecessors(self, block_id: int) -> Iterator[Tuple[int, str]]:
+        for src, dst, kind in self.edges:
+            if dst == block_id:
+                yield src, kind
+
+    def block_of(self, node: ast.AST) -> Optional[Block]:
+        """The block holding ``node`` (by identity), if any."""
+        block_id = self._by_node.get(id(node))
+        return self.blocks[block_id] if block_id is not None else None
+
+    def labeled_edges(self) -> Set[Tuple[str, str, str]]:
+        """``{(src_label, dst_label, kind)}`` — what the tests assert on."""
+        return {
+            (self.blocks[src].label, self.blocks[dst].label, kind)
+            for src, dst, kind in self.edges
+        }
+
+    def statement_blocks(self) -> Iterator[Block]:
+        """Every non-synthetic block, in id (construction) order."""
+        for block_id in sorted(self.blocks):
+            block = self.blocks[block_id]
+            if block.node is not None:
+                yield block
+
+
+# ---------------------------------------------------------------- frames
+#
+# The builder threads a stack of frames describing what an abrupt exit from
+# the current statement must route through: loops intercept break/continue,
+# try bodies intercept exceptions, finally bodies intercept everything.
+
+
+@dataclass
+class _LoopFrame:
+    header: int
+    breaks: List[Tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class _TryFrame:
+    handler_entries: List[int]
+    catches_all: bool
+
+
+@dataclass
+class _FinallyFrame:
+    incoming: List[Tuple[int, str]] = field(default_factory=list)
+    continuations: Set[str] = field(default_factory=set)
+
+
+_Frame = Union[_LoopFrame, _TryFrame, _FinallyFrame]
+_Frontier = List[Tuple[int, str]]
+
+
+class _Builder:
+    def __init__(self, func: Optional[_FuncNode]) -> None:
+        self.cfg = CFG(func)
+        self._next_id = 0
+        self.cfg.entry = self._synthetic("entry")
+        self.cfg.exit = self._synthetic("exit")
+        self.cfg.raise_exit = self._synthetic("raise")
+
+    # ----------------------------------------------------------- plumbing
+
+    def _synthetic(self, label: str) -> int:
+        block_id = self._next_id
+        self._next_id += 1
+        self.cfg.blocks[block_id] = Block(block_id, label)
+        return block_id
+
+    def _block(self, node: ast.AST, label: Optional[str] = None) -> int:
+        block_id = self._next_id
+        self._next_id += 1
+        if label is None:
+            label = f"{type(node).__name__}@{getattr(node, 'lineno', 0)}"
+        self.cfg.blocks[block_id] = Block(block_id, label, node)
+        self.cfg._by_node[id(node)] = block_id
+        return block_id
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        self.cfg.edges.add((src, dst, kind))
+
+    def _connect(
+        self, pairs: Sequence[Tuple[int, str]], dst: int, kind: Optional[str] = None
+    ) -> None:
+        for src, pair_kind in pairs:
+            self._edge(src, dst, kind if kind is not None else pair_kind)
+
+    def _route(self, blocks: Sequence[int], kind: str, frames: List[_Frame]) -> None:
+        """Send an abrupt exit through the enclosing frames to its target."""
+        exceptional = kind in EXCEPTIONAL_KINDS
+        for frame in reversed(frames):
+            if isinstance(frame, _FinallyFrame):
+                frame.incoming.extend((block, kind) for block in blocks)
+                # Exceptions re-dispatch as `raise` beyond the finally.
+                frame.continuations.add("raise" if exceptional else kind)
+                return
+            if isinstance(frame, _LoopFrame) and kind in ("break", "continue"):
+                if kind == "continue":
+                    for block in blocks:
+                        self._edge(block, frame.header, "continue")
+                else:
+                    frame.breaks.extend((block, "break") for block in blocks)
+                return
+            if isinstance(frame, _TryFrame) and exceptional:
+                for block in blocks:
+                    for handler in frame.handler_entries:
+                        self._edge(block, handler, kind)
+                if frame.catches_all:
+                    return
+                # An unmatched exception keeps propagating outward.
+        if exceptional:
+            for block in blocks:
+                self._edge(block, self.cfg.raise_exit, kind)
+        elif kind == "return":
+            for block in blocks:
+                self._edge(block, self.cfg.exit, "return")
+        # break/continue outside a loop: dead syntax, drop silently.
+
+    def _may_raise(self, block: int, frames: List[_Frame]) -> None:
+        self._route([block], "exception", frames)
+
+    # ------------------------------------------------------------ statements
+
+    def process(
+        self, stmts: Sequence[ast.stmt], preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        """Build blocks for ``stmts``; return the fall-through frontier."""
+        for stmt in stmts:
+            preds = self._statement(stmt, preds, frames)
+        return preds
+
+    def _statement(
+        self, stmt: ast.stmt, preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        if isinstance(stmt, ast.If):
+            return self._stmt_if(stmt, preds, frames)
+        if isinstance(stmt, (ast.While,)):
+            return self._stmt_while(stmt, preds, frames)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._stmt_for(stmt, preds, frames)
+        if isinstance(stmt, ast.Try):
+            return self._stmt_try(stmt, preds, frames)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._stmt_with(stmt, preds, frames)
+        if _MATCH is not None and isinstance(stmt, _MATCH):
+            return self._stmt_match(stmt, preds, frames)
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            return self._stmt_abrupt(stmt, preds, frames)
+        # Simple statement (incl. nested def/class, which stay opaque).
+        block = self._block(stmt)
+        self._connect(preds, block)
+        self._may_raise(block, frames)
+        return [(block, "normal")]
+
+    def _stmt_abrupt(
+        self, stmt: ast.stmt, preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        block = self._block(stmt)
+        self._connect(preds, block)
+        if isinstance(stmt, ast.Return):
+            self._may_raise(block, frames)  # the returned expression may raise
+            self._route([block], "return", frames)
+        elif isinstance(stmt, ast.Raise):
+            self._route([block], "raise", frames)
+        elif isinstance(stmt, ast.Break):
+            self._route([block], "break", frames)
+        else:
+            self._route([block], "continue", frames)
+        return []
+
+    def _stmt_if(
+        self, stmt: ast.If, preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        header = self._block(stmt)
+        self._connect(preds, header)
+        self._may_raise(header, frames)
+        body_out = self.process(stmt.body, [(header, "normal")], frames)
+        if stmt.orelse:
+            else_out = self.process(stmt.orelse, [(header, "normal")], frames)
+        else:
+            else_out = [(header, "normal")]
+        return body_out + else_out
+
+    def _stmt_while(
+        self, stmt: ast.While, preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        header = self._block(stmt)
+        self._connect(preds, header)
+        self._may_raise(header, frames)
+        loop = _LoopFrame(header)
+        body_out = self.process(stmt.body, [(header, "normal")], frames + [loop])
+        self._connect(body_out, header, kind="back")
+        if stmt.orelse:
+            frontier = self.process(stmt.orelse, [(header, "normal")], frames)
+        else:
+            frontier = [(header, "normal")]
+        return frontier + loop.breaks
+
+    def _stmt_for(
+        self, stmt: Union[ast.For, ast.AsyncFor], preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        header = self._block(stmt)
+        self._connect(preds, header)
+        self._may_raise(header, frames)
+        loop = _LoopFrame(header)
+        body_out = self.process(stmt.body, [(header, "normal")], frames + [loop])
+        self._connect(body_out, header, kind="back")
+        if stmt.orelse:
+            # The else body runs on normal exhaustion, never after a break.
+            frontier = self.process(stmt.orelse, [(header, "normal")], frames)
+        else:
+            frontier = [(header, "normal")]
+        return frontier + loop.breaks
+
+    def _stmt_with(
+        self,
+        stmt: Union[ast.With, ast.AsyncWith],
+        preds: _Frontier,
+        frames: List[_Frame],
+    ) -> _Frontier:
+        header = self._block(stmt)
+        self._connect(preds, header)
+        self._may_raise(header, frames)
+        return self.process(stmt.body, [(header, "normal")], frames)
+
+    def _stmt_try(
+        self, stmt: ast.Try, preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        fin: Optional[_FinallyFrame] = _FinallyFrame() if stmt.finalbody else None
+        frames_fin = frames + [fin] if fin is not None else frames
+
+        handler_entries = [
+            self._block(handler, label=f"except@{handler.lineno}")
+            for handler in stmt.handlers
+        ]
+        # `except Exception` counts as catching everything: the escapes it
+        # misses (KeyboardInterrupt, SystemExit) tear the process down, and
+        # modelling them would force `except BaseException` on every
+        # cleanup-and-reraise site for no operational gain.
+        catches_all = any(
+            handler.type is None
+            or (
+                isinstance(handler.type, ast.Name)
+                and handler.type.id in ("BaseException", "Exception")
+            )
+            for handler in stmt.handlers
+        )
+        try_frame = _TryFrame(handler_entries, catches_all)
+
+        body_out = self.process(stmt.body, preds, frames_fin + [try_frame])
+        if stmt.orelse:
+            body_out = self.process(stmt.orelse, body_out, frames_fin)
+
+        handler_out: _Frontier = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_out += self.process(handler.body, [(entry, "normal")], frames_fin)
+
+        normal_out = body_out + handler_out
+        if fin is None:
+            return normal_out
+
+        fin.incoming.extend(normal_out)
+        if normal_out:
+            fin.continuations.add("normal")
+        fin_out = self.process(stmt.finalbody, fin.incoming, frames)
+        frontier: _Frontier = []
+        fin_blocks = [block for block, _ in fin_out]
+        for continuation in sorted(fin.continuations):
+            if continuation == "normal":
+                frontier += fin_out
+            else:
+                self._route(fin_blocks, continuation, frames)
+        return frontier
+
+    def _stmt_match(
+        self, stmt: ast.stmt, preds: _Frontier, frames: List[_Frame]
+    ) -> _Frontier:
+        header = self._block(stmt)
+        self._connect(preds, header)
+        self._may_raise(header, frames)
+        frontier: _Frontier = []
+        has_wildcard = False
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            if (
+                _MATCH_AS is not None
+                and isinstance(case.pattern, _MATCH_AS)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                has_wildcard = True
+            frontier += self.process(case.body, [(header, "normal")], frames)
+        if not has_wildcard:
+            frontier.append((header, "normal"))
+        return frontier
+
+
+def build_cfg(node: Union[_FuncNode, ast.Module]) -> CFG:
+    """Build the CFG of one function (or module) body.
+
+    Nested function and class definitions stay opaque single blocks — call
+    :func:`function_cfgs` to get a CFG per function in a module.
+    """
+    func = node if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) else None
+    builder = _Builder(func)
+    frontier = builder.process(node.body, [(builder.cfg.entry, "normal")], [])
+    builder._connect(frontier, builder.cfg.exit, kind="normal")
+    return builder.cfg
+
+
+def function_cfgs(tree: ast.Module) -> Iterator[Tuple[_FuncNode, CFG]]:
+    """``(function_node, cfg)`` for every def/async def in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, build_cfg(node)

@@ -1,0 +1,81 @@
+"""Forward gen/kill dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A deliberately small fixpoint engine: facts are opaque hashable tokens,
+blocks carry a *gen* set (facts born here) and a *kill* set (facts
+discharged here), and the analysis propagates the may-union forward until
+nothing changes.  That is exactly the shape the ``resource-leak`` rule
+needs — a fact is "resource ``x`` acquired at line N is still open" — and
+small enough to read in one sitting.
+
+Exceptional edges get the asymmetric treatment that makes leak analysis
+honest:
+
+* the source block's **gen never happened** — an exception inside
+  ``f = open(p)`` means ``f`` was never bound;
+* the source block's **kill is honoured** — ``f.close()`` raising still
+  counts as a release attempt (whether the OS freed the handle is beyond
+  static analysis, and treating a failed close as a leak would force
+  every ``finally`` close into its own nested try).
+
+So a ``normal`` edge carries ``(in - kill) | gen`` and an ``exception`` /
+``raise`` edge carries ``in - kill``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Mapping, Set
+
+from repro.analysis.cfg import CFG, EXCEPTIONAL_KINDS
+
+__all__ = ["FixpointResult", "run_forward"]
+
+Fact = Hashable
+
+
+@dataclass
+class FixpointResult:
+    """Per-block fact sets at the fixpoint."""
+
+    in_states: Dict[int, FrozenSet[Fact]]
+    out_states: Dict[int, FrozenSet[Fact]]
+
+    def at_entry_of(self, block_id: int) -> FrozenSet[Fact]:
+        return self.in_states.get(block_id, frozenset())
+
+
+def run_forward(
+    cfg: CFG,
+    gen: Mapping[int, Set[Fact]],
+    kill: Mapping[int, Set[Fact]],
+    entry_state: FrozenSet[Fact] = frozenset(),
+) -> FixpointResult:
+    """Propagate ``gen``/``kill`` facts forward to a fixpoint.
+
+    ``gen`` and ``kill`` map block ids to fact sets; blocks absent from
+    either map contribute nothing.  The join is set union (may-analysis).
+    Termination: states only grow and the fact universe is finite.
+    """
+    empty: Set[Fact] = set()
+    in_states: Dict[int, Set[Fact]] = {block_id: set() for block_id in cfg.blocks}
+    in_states[cfg.entry] = set(entry_state)
+
+    def out_of(block_id: int, exceptional: bool) -> Set[Fact]:
+        state = in_states[block_id] - set(kill.get(block_id, empty))
+        if not exceptional:
+            state |= set(gen.get(block_id, empty))
+        return state
+
+    worklist = set(cfg.blocks)
+    while worklist:
+        block_id = worklist.pop()
+        for dst, edge_kind in cfg.successors(block_id):
+            flowed = out_of(block_id, edge_kind in EXCEPTIONAL_KINDS)
+            if not flowed <= in_states[dst]:
+                in_states[dst] |= flowed
+                worklist.add(dst)
+
+    return FixpointResult(
+        in_states={bid: frozenset(state) for bid, state in in_states.items()},
+        out_states={bid: frozenset(out_of(bid, False)) for bid in cfg.blocks},
+    )

@@ -49,19 +49,24 @@ __all__ = [
     "RULE_SYNTAX_ERROR",
     "RULE_SUPPRESSION_HYGIENE",
     "RULE_UNUSED_SUPPRESSION",
+    "RULE_WIRE_PROTOCOL",
 ]
 
 #: Engine-level pseudo-rule ids (reported like rule findings, listed in the
 #: catalogue, valid in baselines — but not suppressible, so the suppression
-#: machinery cannot silence complaints about itself).
+#: machinery cannot silence complaints about itself).  ``wire-protocol``
+#: lives here too: protocol drift is sanctioned by ``--update-wire-lock``,
+#: never by a comment.
 RULE_SYNTAX_ERROR = "syntax-error"
 RULE_SUPPRESSION_HYGIENE = "suppression-hygiene"
 RULE_UNUSED_SUPPRESSION = "unused-suppression"
+RULE_WIRE_PROTOCOL = "wire-protocol"
 
 ENGINE_RULE_IDS = (
     RULE_SYNTAX_ERROR,
     RULE_SUPPRESSION_HYGIENE,
     RULE_UNUSED_SUPPRESSION,
+    RULE_WIRE_PROTOCOL,
 )
 
 #: Matches ``allow(rule-a, rule-b) -- reason`` and ``allow-file(rule) --
@@ -451,6 +456,13 @@ def run_rules(
     findings: List[Finding] = _engine_findings(project, catalogue)
     for rule in rules:
         findings.extend(rule.check(project))
+    wire_lock_path = project.options.get("wire_lock_path")
+    if wire_lock_path:
+        # Engine-level like the suppression checks: wire-protocol drift is
+        # sanctioned with --update-wire-lock, not silenced with a comment.
+        from repro.analysis.wire_lock import wire_findings
+
+        findings.extend(wire_findings(project, Path(str(wire_lock_path))))
     executed = known | set(ENGINE_RULE_IDS)
     findings, n_suppressed = _apply_suppressions(project, findings, executed)
 

@@ -13,10 +13,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.broad_except import BroadExceptRule
 from repro.analysis.rules.deprecation import DeprecationRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.durability import DurabilityRule
+from repro.analysis.rules.fork_safety import ForkSafetyRule
+from repro.analysis.rules.resource_leak import ResourceLeakRule
 from repro.analysis.rules.snapshot_contract import SnapshotContractRule
 
 __all__ = ["ALL_RULES", "all_rules", "rules_by_id", "select_rules"]
@@ -27,6 +30,9 @@ ALL_RULES: Tuple[Rule, ...] = (
     SnapshotContractRule(),
     BroadExceptRule(),
     DeprecationRule(),
+    AsyncBlockingRule(),
+    ResourceLeakRule(),
+    ForkSafetyRule(),
 )
 
 

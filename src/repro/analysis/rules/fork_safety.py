@@ -1,0 +1,229 @@
+"""``fork-safety`` — worker entrypoints must not touch inherited state.
+
+``ShardedHub`` fans detectors out to ``multiprocessing`` workers.  On a
+``fork`` start method the child inherits the parent's module globals by
+*copy*: a module-level RNG keeps the parent's stream position (every worker
+draws the same "random" numbers), an inherited ``threading.Lock`` may be
+permanently held by a parent thread that does not exist in the child, and
+an inherited file handle shares its OS-level offset and buffers with the
+parent — concurrent writes interleave or double-flush.
+
+Scope
+-----
+
+Worker entrypoints are found statically inside ``serving/`` modules: any
+function passed as the ``target=`` of a ``Process(...)`` call, plus any
+module-level function named ``*_worker_main``.  The rule walks the
+entrypoint and every same-module function it (transitively) calls, and
+flags:
+
+* process-global RNG use — ``random.random()``, ``np.random.*`` — or reads
+  of a module-level RNG instance; workers must construct their own seeded
+  ``random.Random(seed)`` / ``default_rng(seed)``;
+* reads of module-level names bound to ``threading`` synchronisation
+  primitives;
+* reads of module-level names bound to file handles, sockets, or pipe
+  connections created at import time.
+
+State a worker must share with its parent travels explicitly through the
+entrypoint's *arguments* (the pipe connection ``_shard_worker_main``
+receives is exactly that pattern), never through inherited globals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.engine import Finding, ModuleInfo, Project, Rule
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Call-name last components that create a lock-like primitive.
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event", "Barrier"}
+)
+
+#: Call-name last components that create an OS-level handle.
+_HANDLE_FACTORIES = frozenset(
+    {"open", "socket", "socketpair", "create_connection", "Pipe", "Queue"}
+)
+
+#: Call-name last components that create an RNG instance.
+_RNG_FACTORIES = frozenset({"Random", "default_rng", "RandomState", "SystemRandom"})
+
+#: Dotted-call prefixes that hit the process-global RNG.
+_GLOBAL_RNG_PREFIXES = ("random.", "np.random.", "numpy.random.")
+
+
+class ForkSafetyRule(Rule):
+    id = "fork-safety"
+    description = (
+        "multiprocessing worker entrypoints must not use inherited "
+        "module-level RNG, locks, or parent file handles"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for info in project.modules_under("serving"):
+            if info.tree is None:
+                continue
+            yield from self._check_module(info)
+
+    # ----------------------------------------------------------- internals
+
+    def _check_module(self, info: ModuleInfo) -> Iterator[Finding]:
+        tree = info.tree
+        functions: Dict[str, _FuncNode] = {
+            node.name: node
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        entrypoints = self._entrypoints(tree, functions)
+        if not entrypoints:
+            return
+        risky = self._risky_globals(tree)
+
+        # Transitive same-module call closure from the entrypoints.
+        reached: Dict[str, str] = {name: name for name in entrypoints}
+        worklist = list(entrypoints)
+        while worklist:
+            name = worklist.pop()
+            for node in _own_nodes(functions[name]):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in functions
+                    and node.func.id not in reached
+                ):
+                    reached[node.func.id] = reached[name]
+                    worklist.append(node.func.id)
+
+        for name in sorted(reached):
+            entry = reached[name]
+            func = functions[name]
+            local_names = _bound_names(func)
+            for node in _own_nodes(func):
+                message = self._diagnose(node, risky, local_names, entry)
+                if message is not None:
+                    yield Finding(
+                        rule=self.id,
+                        path=info.rel_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=message,
+                    )
+
+    @staticmethod
+    def _entrypoints(tree: ast.Module, functions: Dict[str, _FuncNode]) -> Set[str]:
+        entrypoints = {
+            name for name in functions if name.endswith("_worker_main")
+        }
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = Rule.dotted_name(node.func)
+            if dotted is None or dotted.rsplit(".", 1)[-1] != "Process":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                target = keyword.value
+                if isinstance(target, ast.Name) and target.id in functions:
+                    entrypoints.add(target.id)
+        return entrypoints
+
+    @staticmethod
+    def _risky_globals(tree: ast.Module) -> Dict[str, str]:
+        """Module-level ``name -> category`` for fork-hostile bindings."""
+        risky: Dict[str, str] = {}
+        for stmt in tree.body:
+            if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+                continue
+            dotted = Rule.dotted_name(stmt.value.func)
+            if dotted is None:
+                continue
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in _LOCK_FACTORIES:
+                category = "lock"
+            elif tail in _HANDLE_FACTORIES:
+                category = "file/socket handle"
+            elif tail in _RNG_FACTORIES:
+                category = "RNG"
+            else:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    risky[target.id] = category
+        return risky
+
+    def _diagnose(
+        self,
+        node: ast.AST,
+        risky: Dict[str, str],
+        local_names: Set[str],
+        entry: str,
+    ) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            dotted = self.dotted_name(node.func)
+            if dotted is not None and dotted.startswith(_GLOBAL_RNG_PREFIXES):
+                root = dotted.split(".", 1)[0]
+                tail = dotted.rsplit(".", 1)[-1]
+                # Constructing a fresh generator inside the worker is the
+                # *fix*, not the bug (seeding is the determinism rule's job).
+                if tail not in ("Random", "default_rng", "SystemRandom") and (
+                    root not in local_names
+                ):
+                    return (
+                        f"{dotted}() uses the process-global RNG inside worker "
+                        f"entrypoint {entry}; after fork every worker inherits "
+                        "the parent's stream position — construct a seeded "
+                        "random.Random(seed)/default_rng(seed) in the worker"
+                    )
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            category = risky.get(node.id)
+            if category is not None and node.id not in local_names:
+                return (
+                    f"module-level {category} {node.id!r} used inside worker "
+                    f"entrypoint {entry}; fork-inherited "
+                    + (
+                        "locks may be held by parent threads that do not exist "
+                        "in the child"
+                        if category == "lock"
+                        else "handles share their offset and buffers with the "
+                        "parent"
+                        if category != "RNG"
+                        else "RNG state replays the parent's stream — create "
+                        "it inside the worker"
+                    )
+                    + "; pass shared state through the entrypoint's arguments"
+                )
+        return None
+
+
+def _own_nodes(func: _FuncNode) -> Iterator[ast.AST]:
+    """Every node in ``func``'s own body, excluding nested def/class bodies."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _bound_names(func: _FuncNode) -> Set[str]:
+    """Parameter and locally-assigned names (these shadow module globals)."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        names.add(arg.arg)
+    for node in _own_nodes(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names

@@ -1,0 +1,273 @@
+"""``resource-leak`` — acquired handles must be released on *every* path.
+
+A ``SharedMemory`` segment that leaks when ``process.start()`` raises stays
+mapped until reboot; a pipe connection that survives a reshard abort holds
+a file descriptor per retry.  Whether cleanup runs on the happy path is
+easy to see in review — whether it runs on the *exception* path between
+acquisition and release is not, which is why this rule walks the CFG
+(:mod:`repro.analysis.cfg`) instead of matching single nodes.
+
+Model
+-----
+
+For every function, acquisitions (``f = open(...)``, ``a, b = Pipe()``,
+``shm = SharedMemory(...)``, sockets, executors, temp files) *gen* a fact;
+the fact is *killed* by anything that discharges the local obligation:
+
+* a close-family method call — ``.close()``, ``.shutdown()``,
+  ``.terminate()``, ``.unlink()``, ``.release()``, ``.detach()``, ``.kill()``;
+* ``with``-management (``with x:`` — and ``with open(...) as f`` never
+  gens at all);
+* escape: returning/yielding the handle, passing it to a call, or storing
+  it on an attribute/subscript — ownership left the function, the caller
+  or container is responsible now;
+* rebinding or ``del``.
+
+The forward may-analysis (:mod:`repro.analysis.dataflow`) then asks whether
+any fact is still live at the normal or exceptional exit.  Exception edges
+drop the gen (the handle never existed) but honour the kill (a raising
+``close()`` still counts as the release attempt), so ``try``/``finally``
+and ``with`` are exactly the shapes that come back clean.
+
+Module-level acquisitions are out of scope (process-lifetime handles are a
+deliberate pattern); functions are analysed one at a time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import run_forward
+from repro.analysis.engine import Finding, ModuleInfo, Project, Rule
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Last-component call names whose result is a resource needing release.
+ACQUIRE_CALLS = frozenset(
+    {
+        "open",
+        "SharedMemory",
+        "Pipe",
+        "socket",
+        "socketpair",
+        "create_connection",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "TemporaryFile",
+        "NamedTemporaryFile",
+        "TemporaryDirectory",
+    }
+)
+
+#: Method calls that discharge the release obligation.
+CLOSE_METHODS = frozenset(
+    {"close", "shutdown", "terminate", "unlink", "release", "detach", "kill", "cleanup"}
+)
+
+#: ``(variable name, acquisition block id)`` — one fact per acquisition site.
+_Fact = Tuple[str, int]
+
+
+class ResourceLeakRule(Rule):
+    id = "resource-leak"
+    description = (
+        "acquired files/sockets/pipes/shared-memory/executors must be "
+        "released on all CFG paths, including exception edges (with or "
+        "finally-close)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for info in project.modules:
+            if info.tree is None:
+                continue
+            for node in ast.walk(info.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_function(info, node)
+
+    # ----------------------------------------------------------- internals
+
+    def _check_function(self, info: ModuleInfo, func: _FuncNode) -> Iterator[Finding]:
+        cfg = build_cfg(func)
+        gen: Dict[int, Set[_Fact]] = {}
+        kill: Dict[int, Set[_Fact]] = {}
+        sites: Dict[_Fact, Tuple[ast.AST, str]] = {}
+        facts_of_var: Dict[str, Set[_Fact]] = {}
+
+        # Pass 1: acquisition sites (so kills can name every fact of a var).
+        for block in cfg.statement_blocks():
+            for var, call in _acquisitions(block.node):
+                fact: _Fact = (var, block.id)
+                gen.setdefault(block.id, set()).add(fact)
+                sites[fact] = (call, var)
+                facts_of_var.setdefault(var, set()).add(fact)
+
+        if not sites:
+            return
+
+        # Pass 2: kills.  Rebinding a var kills its older facts (the gen of
+        # the same block re-adds the new one after the kill).
+        for block in cfg.statement_blocks():
+            killed = _killed_vars(block.node)
+            killed |= {var for var, _ in _acquisitions(block.node)}
+            for var in killed:
+                for fact in facts_of_var.get(var, ()):
+                    kill.setdefault(block.id, set()).add(fact)
+
+        result = run_forward(cfg, gen, kill)
+        leaks_normal = result.at_entry_of(cfg.exit)
+        leaks_raise = result.at_entry_of(cfg.raise_exit)
+        for fact in sorted(sites, key=lambda f: sites[f][0].lineno):
+            paths = []
+            if fact in leaks_normal:
+                paths.append("a normal return")
+            if fact in leaks_raise:
+                paths.append("an exception path")
+            if not paths:
+                continue
+            call, var = sites[fact]
+            callee = self.dotted_name(call.func) or "the acquisition"
+            yield Finding(
+                rule=self.id,
+                path=info.rel_path,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"resource {var!r} from {callee}() may still be open when "
+                    f"{' and '.join(paths)} leaves {func.name}; release it on "
+                    "every path — use `with`, or close it in `finally` "
+                    "(an except-close must re-raise)"
+                ),
+            )
+
+
+def _is_acquire_call(node: ast.AST) -> Optional[ast.Call]:
+    if not isinstance(node, ast.Call):
+        return None
+    name = Rule.dotted_name(node.func)
+    if name is not None and name.rsplit(".", 1)[-1] in ACQUIRE_CALLS:
+        return node
+    return None
+
+
+def _header_nodes(stmt: ast.AST) -> List[ast.AST]:
+    """The parts of a statement its own block evaluates.
+
+    Compound statements carry their bodies as AST children, but the CFG
+    gives body statements their own blocks — so gen/kill extraction must
+    only look at the header: the test of an ``if``, the iterable of a
+    ``for``, the items of a ``with``.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if getattr(ast, "Match", None) is not None and isinstance(
+        stmt, ast.Match  # type: ignore[attr-defined]
+    ):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []  # nested scopes are analysed separately
+    return [stmt]
+
+
+def _acquisitions(stmt: Optional[ast.AST]) -> Iterator[Tuple[str, ast.Call]]:
+    """``(var, call)`` pairs this statement's own block acquires."""
+    if stmt is None:
+        return
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return  # with-managed resources are released by __exit__
+    targets: List[ast.expr] = []
+    value: Optional[ast.expr] = None
+    if isinstance(stmt, ast.Assign):
+        targets, value = stmt.targets, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets, value = [stmt.target], stmt.value
+    if value is None:
+        return
+    call = _is_acquire_call(value)
+    if call is not None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                yield target.id, call
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        yield element.id, call
+
+
+def _killed_vars(stmt: Optional[ast.AST]) -> Set[str]:
+    """Variables whose release obligation this statement discharges."""
+    killed: Set[str] = set()
+    if stmt is None:
+        return killed
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        # `with x:` / `with closing(x):` manages an already-acquired handle.
+        for item in stmt.items:
+            for node in ast.walk(item.context_expr):
+                if isinstance(node, ast.Name):
+                    killed.add(node.id)
+        return killed
+    if isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                killed.add(target.id)
+        return killed
+
+    if isinstance(stmt, ast.If):
+        # The guarded-close idiom: `if x is not None: x.close()`.  The test
+        # names the variable, so the skip branch is the x-was-never-acquired
+        # path — both edges discharge the obligation.
+        tested = {
+            node.id for node in ast.walk(stmt.test) if isinstance(node, ast.Name)
+        }
+        for inner in stmt.body:
+            call = inner.value if isinstance(inner, ast.Expr) else None
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in CLOSE_METHODS
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in tested
+            ):
+                killed.add(call.func.value.id)
+
+    escaping: List[ast.AST] = []
+    for header in _header_nodes(stmt):
+        for node in ast.walk(header):
+            if isinstance(node, ast.Call):
+                # x.close()-family discharges x; arguments escape.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in CLOSE_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    killed.add(node.func.value.id)
+                escaping.extend(node.args)
+                escaping.extend(kw.value for kw in node.keywords)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    escaping.append(node.value)
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        escaping.append(stmt.value)
+    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        if any(not isinstance(target, ast.Name) for target in targets):
+            # Stored on an attribute/subscript/tuple: ownership escapes.
+            escaping.append(stmt.value)
+    for root in escaping:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name):
+                killed.add(node.id)
+    # Rebinding to a non-acquire value also discharges (the old handle is
+    # beyond this analysis; refcounting or the new owner deals with it).
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                killed.add(target.id)
+    return killed

@@ -1,0 +1,359 @@
+"""Wire-protocol lock for the serving dispatch (``wire-protocol`` check).
+
+``docs/serving.md`` documents the JSON-lines protocol; external producers
+and consumers are written against it.  The ROADMAP's planned length-prefixed
+binary wire path will rewrite ``server.py``'s dispatch wholesale — and a
+rewrite is exactly when an op silently loses a response key.  This module
+makes the protocol *diffable*: it statically extracts the op catalogue from
+``ServingServer._dispatch`` — op names, the request keys each handler reads,
+the response keys each handler returns — and commits it as
+``wire_protocol.lock.json`` next to the analysis package's other locks.
+
+Every lint run re-extracts the catalogue from the scanned AST (no imports —
+the extraction is pure ``ast``) and diffs it against the committed lock;
+any drift fails the run with a ``wire-protocol`` finding until the change
+is sanctioned with ``python -m repro.analysis --update-wire-lock``.
+
+Extraction model
+----------------
+
+* An *op* is an ``op == "<name>"`` equality test in ``_dispatch``.
+* Its handler scope is the branch body, plus any same-module function or
+  method the branch passes the ``request`` object to (``self._op_observe``,
+  ``_identity``), followed transitively.
+* Request keys are ``request.get("k")`` / ``request["k"]`` reads inside the
+  scope; response keys are the string keys of dict literals returned from
+  it.  A ``**``-splat in a returned dict records the sentinel ``"*"`` —
+  the op's full response shape is dynamic, and narrowing it later is a
+  lock-visible change.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.analysis.engine import Finding, ModuleInfo, Project
+
+__all__ = [
+    "WIRE_LOCK_VERSION",
+    "RULE_WIRE_PROTOCOL",
+    "default_wire_lock_path",
+    "generate_wire_lock",
+    "load_wire_lock",
+    "write_wire_lock",
+    "diff_wire_lock",
+    "wire_findings",
+]
+
+WIRE_LOCK_VERSION = 1
+
+#: Pseudo-rule id the findings carry (engine-level, not suppressible — the
+#: sanctioned way to change the protocol is ``--update-wire-lock``).
+RULE_WIRE_PROTOCOL = "wire-protocol"
+
+#: Sentinel response key recording a ``**``-splat (dynamic response shape).
+DYNAMIC_KEYS = "*"
+
+_UPDATE_HINT = "run `python -m repro.analysis --update-wire-lock` to sanction it"
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def default_wire_lock_path() -> Path:
+    """The checked-in manifest shipped next to this module."""
+    return Path(__file__).resolve().parent / "wire_protocol.lock.json"
+
+
+def find_server_module(project: Project) -> Optional[ModuleInfo]:
+    """The scanned module holding the serving dispatch, if any."""
+    for info in project.modules:
+        if info.tree is None:
+            continue
+        if info.rel_path == "server.py" or info.rel_path.endswith("/server.py"):
+            if _find_dispatch(info.tree) is not None:
+                return info
+    return None
+
+
+def _find_dispatch(tree: ast.Module) -> Optional[_FuncNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == "_dispatch":
+                return node
+    return None
+
+
+def _module_functions(tree: ast.Module) -> Dict[str, _FuncNode]:
+    """Module functions and methods by bare name (for scope-following)."""
+    functions: Dict[str, _FuncNode] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.setdefault(node.name, node)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions.setdefault(item.name, item)
+    return functions
+
+
+def _op_name(test: ast.expr) -> Optional[str]:
+    """The string of an ``op == "<name>"`` comparison, else ``None``."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None
+    if not isinstance(test.ops[0], ast.Eq):
+        return None
+    sides = [test.left, test.comparators[0]]
+    name: Optional[str] = None
+    has_op = False
+    for side in sides:
+        if isinstance(side, ast.Name) and side.id == "op":
+            has_op = True
+        elif isinstance(side, ast.Constant) and isinstance(side.value, str):
+            name = side.value
+    return name if has_op else None
+
+
+def _request_param(func: _FuncNode) -> Optional[str]:
+    """The parameter name the request dict arrives under (if any)."""
+    names = [arg.arg for arg in func.args.args if arg.arg not in ("self", "cls")]
+    return names[0] if names else None
+
+
+def _scope_stmts(
+    branch: List[ast.stmt],
+    request_name: str,
+    functions: Dict[str, _FuncNode],
+) -> List[Tuple[List[ast.stmt], str]]:
+    """The handler branch plus every function it hands the request to.
+
+    Returns ``(statements, request_variable_name)`` pairs — the request
+    object may travel under a different parameter name in a callee.
+    """
+    scopes: List[Tuple[List[ast.stmt], str]] = [(branch, request_name)]
+    seen: Set[str] = set()
+    index = 0
+    while index < len(scopes):
+        stmts, req = scopes[index]
+        index += 1
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                passes_request = any(
+                    isinstance(arg, ast.Name) and arg.id == req for arg in node.args
+                )
+                if not passes_request:
+                    continue
+                callee: Optional[str] = None
+                if isinstance(node.func, ast.Name):
+                    callee = node.func.id
+                elif isinstance(node.func, ast.Attribute) and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    if node.func.value.id in ("self", "cls"):
+                        callee = node.func.attr
+                if callee is None or callee in seen or callee not in functions:
+                    continue
+                seen.add(callee)
+                target = functions[callee]
+                param = _request_param(target)
+                if param is not None:
+                    scopes.append((target.body, param))
+    return scopes
+
+
+def _extract_op(
+    branch: List[ast.stmt],
+    request_name: str,
+    functions: Dict[str, _FuncNode],
+) -> Dict[str, List[str]]:
+    request_keys: Set[str] = set()
+    response_keys: Set[str] = set()
+    for stmts, req in _scope_stmts(branch, request_name, functions):
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                # request.get("k") / request["k"]
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == req
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    request_keys.add(node.args[0].value)
+                elif (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == req
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)
+                ):
+                    request_keys.add(node.slice.value)
+                elif isinstance(node, ast.Return) and isinstance(
+                    node.value, ast.Dict
+                ):
+                    for key in node.value.keys:
+                        if key is None:
+                            response_keys.add(DYNAMIC_KEYS)
+                        elif isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            response_keys.add(key.value)
+    return {
+        "request_keys": sorted(request_keys),
+        "response_keys": sorted(response_keys),
+    }
+
+
+def generate_wire_lock(project: Project) -> Dict[str, Any]:
+    """Extract the live op catalogue from the scanned serving dispatch."""
+    info = find_server_module(project)
+    if info is None:
+        raise ValueError(
+            "no serving dispatch found: the scanned tree holds no server.py "
+            "with a _dispatch method"
+        )
+    assert info.tree is not None
+    dispatch = _find_dispatch(info.tree)
+    assert dispatch is not None
+    functions = _module_functions(info.tree)
+    request_name = _request_param(dispatch) or "request"
+
+    ops: Dict[str, Dict[str, List[str]]] = {}
+    for node in ast.walk(dispatch):
+        if not isinstance(node, ast.If):
+            continue
+        name = _op_name(node.test)
+        if name is not None and name not in ops:
+            ops[name] = _extract_op(node.body, request_name, functions)
+    return {
+        "wire_lock_version": WIRE_LOCK_VERSION,
+        "source": info.rel_path,
+        "ops": ops,
+    }
+
+
+def load_wire_lock(path: Path) -> Dict[str, Any]:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    version = document.get("wire_lock_version")
+    if version != WIRE_LOCK_VERSION:
+        raise ValueError(
+            f"wire lock version {version!r} is not supported "
+            f"(expected {WIRE_LOCK_VERSION}); regenerate with --update-wire-lock"
+        )
+    return document
+
+
+def write_wire_lock(path: Path, project: Project) -> Dict[str, Any]:
+    document = generate_wire_lock(project)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document
+
+
+def diff_wire_lock(
+    lock: Dict[str, Any], current: Dict[str, Any]
+) -> List[Tuple[str, str]]:
+    """Compare the committed lock against the live dispatch extraction.
+
+    Returns ``(op_name, message)`` pairs; op name ``"*"`` marks
+    manifest-level problems.  An empty list means the wire contract holds.
+    """
+    problems: List[Tuple[str, str]] = []
+    locked = dict(lock.get("ops", {}))
+    live = dict(current["ops"])
+    for name in sorted(set(locked) - set(live)):
+        problems.append(
+            (
+                name,
+                f"op {name!r} is in the wire lock but no longer dispatched — "
+                "clients speaking the documented protocol would get "
+                f"'unknown op'; removing an op is a breaking change: {_UPDATE_HINT}",
+            )
+        )
+    for name in sorted(set(live) - set(locked)):
+        problems.append(
+            (
+                name,
+                f"op {name!r} is dispatched but not in the wire lock; "
+                f"new wire surface must be recorded: {_UPDATE_HINT}",
+            )
+        )
+    for name in sorted(set(live) & set(locked)):
+        for section in ("request_keys", "response_keys"):
+            want = sorted(locked[name].get(section, []))
+            have = sorted(live[name].get(section, []))
+            if want == have:
+                continue
+            added = sorted(set(have) - set(want))
+            removed = sorted(set(want) - set(have))
+            detail = []
+            if added:
+                detail.append("added " + ", ".join(added))
+            if removed:
+                detail.append("removed " + ", ".join(removed))
+            problems.append(
+                (
+                    name,
+                    f"op {name!r} changed its {section.replace('_', ' ')} "
+                    f"({'; '.join(detail)}) — deployed clients parse the old "
+                    f"shape; {_UPDATE_HINT}",
+                )
+            )
+    return problems
+
+
+def wire_findings(project: Project, lock_path: Path) -> List[Finding]:
+    """The ``wire-protocol`` findings for one lint run.
+
+    Quietly skips trees without a serving dispatch (fixture runs, partial
+    lints) — the repo-clean meta-test scans the full package, which is
+    where absence would mean deletion.
+    """
+    info = find_server_module(project)
+    if info is None:
+        return []
+    anchor = _find_dispatch(info.tree) if info.tree is not None else None
+    line = anchor.lineno if anchor is not None else 1
+    try:
+        lock = load_wire_lock(lock_path)
+    except FileNotFoundError:
+        return [
+            Finding(
+                rule=RULE_WIRE_PROTOCOL,
+                path=info.rel_path,
+                line=line,
+                col=0,
+                message=(
+                    f"wire lock {lock_path} does not exist; {_UPDATE_HINT}"
+                ),
+            )
+        ]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return [
+            Finding(
+                rule=RULE_WIRE_PROTOCOL,
+                path=info.rel_path,
+                line=line,
+                col=0,
+                message=f"wire lock {lock_path} is unreadable ({exc}); {_UPDATE_HINT}",
+            )
+        ]
+    current = generate_wire_lock(project)
+    return [
+        Finding(
+            rule=RULE_WIRE_PROTOCOL,
+            path=info.rel_path,
+            line=line,
+            col=0,
+            message=message,
+        )
+        for _op, message in diff_wire_lock(lock, current)
+    ]

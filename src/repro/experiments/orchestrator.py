@@ -388,23 +388,23 @@ def _execute_plans(
     if not tasks:
         return
 
-    sink = None
-    if out_path:
-        directory = os.path.dirname(os.path.abspath(out_path))
-        os.makedirs(directory, exist_ok=True)
-        # An interrupted run may have left a torn final line; start appending
-        # on a fresh line so the torn record cannot corrupt the next one.
-        needs_newline = False
-        if os.path.exists(out_path) and os.path.getsize(out_path) > 0:
-            with open(out_path, "rb") as tail:
-                tail.seek(-1, os.SEEK_END)
-                needs_newline = tail.read(1) != b"\n"
-        sink = open(out_path, "a", encoding="utf-8")
-        if needs_newline:
-            sink.write("\n")
-
     by_config = {plan.config: plan for plan in plans}
+    sink = None
     try:
+        if out_path:
+            directory = os.path.dirname(os.path.abspath(out_path))
+            os.makedirs(directory, exist_ok=True)
+            # An interrupted run may have left a torn final line; start
+            # appending on a fresh line so the torn record cannot corrupt
+            # the next one.
+            needs_newline = False
+            if os.path.exists(out_path) and os.path.getsize(out_path) > 0:
+                with open(out_path, "rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    needs_newline = tail.read(1) != b"\n"
+            sink = open(out_path, "a", encoding="utf-8")
+            if needs_newline:
+                sink.write("\n")
         if n_jobs <= 1 or len(tasks) == 1:
             batches = map(_execute_task, tasks)
             for batch in batches:

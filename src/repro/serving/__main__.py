@@ -172,9 +172,10 @@ def build_hub(args: argparse.Namespace) -> Union[MonitorHub, ShardedHub]:
     tracer = Tracer(sample_rate=args.trace_sample, process="hub")
     journal = EventJournal(capacity=512, jsonl_path=args.journal_jsonl)
     if args.shards > 0:
-        # The server dispatches hub ops inline on its event loop, so an
-        # unbounded wait on one hung worker would freeze every connection;
-        # default to a generous timeout (0 opts back into waiting forever).
+        # Hub ops serialize through the server's single dispatch thread, so
+        # an unbounded wait on one hung worker would stall every request
+        # behind it; default to a generous timeout (0 opts back into
+        # waiting forever).
         timeout = args.request_timeout
         if timeout is None:
             timeout = 60.0
@@ -269,7 +270,7 @@ async def run(args: argparse.Namespace, hub: Union[MonitorHub, ShardedHub]) -> i
                 print(f"TRACE {write_chrome_trace(final, spans)}", flush=True)
         if args.checkpoint_dir:
             try:
-                path = hub.checkpoint()
+                path = hub.checkpoint()  # repro: allow(async-blocking) -- shutdown path: server.stop() already quiesced the dispatch thread and closed the listener, so no connection is waiting on this loop while the final checkpoint writes
                 print(f"CHECKPOINT {path}", flush=True)
             except Exception as exc:  # repro: allow(broad-except) -- shutdown path: the failure is surfaced as CHECKPOINT-FAILED on stderr and the last successful checkpoint is still on disk; crashing here would skip closing healthy shards and sinks
                 # A dead worker, a full disk, a corrupt directory — whatever

@@ -31,9 +31,15 @@ Supported operations::
 from the response alone; the ``alerts`` op additionally drains the server's
 internal queue sink for clients that poll transitions out of band.
 
-The server is single-event-loop: hub operations run inline on the loop, which
-serialises all detector mutations without locks.  Throughput comes from
-batching (send chunks, not single values) — see
+Hub operations run on a dedicated single-thread executor rather than inline
+on the event loop: the WAL fsyncs and checkpoint writes inside ``observe`` /
+``ingest`` are blocking I/O that would stall every other connection, the
+metrics endpoint, and the signal handlers.  The single worker thread keeps
+the old serialisation guarantee — all detector mutations still execute one
+at a time, in submission order, without locks — and each connection awaits
+its dispatch before reading the next line, so per-connection response
+ordering and the WAL's exactly-once append order are unchanged.  Throughput
+comes from batching (send chunks, not single values) — see
 ``benchmarks/bench_serving_throughput.py``.
 """
 
@@ -42,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -110,6 +117,11 @@ class ServingServer:
                 # ``alerts`` op drains, not in a pre-server void.
                 hub.replay_wal()
         self._server: Optional[asyncio.AbstractServer] = None
+        # Dispatch offload: one worker thread, created on start().  A single
+        # worker is load-bearing — it serialises all hub mutations (the
+        # no-locks invariant the hub relies on) while keeping the event loop
+        # free of the WAL fsync / checkpoint writes inside hub ops.
+        self._dispatch_executor: Optional[ThreadPoolExecutor] = None
 
     @property
     def hub(self) -> MonitorHub:
@@ -125,6 +137,10 @@ class ServingServer:
 
     async def start(self) -> None:
         """Bind the listening socket and start accepting connections."""
+        if self._dispatch_executor is None:
+            self._dispatch_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serving-dispatch"
+            )
         self._server = await asyncio.start_server(
             self._handle_client,
             host=self._host,
@@ -133,11 +149,25 @@ class ServingServer:
         )
 
     async def stop(self) -> None:
-        """Stop accepting connections and close the listening socket."""
+        """Stop accepting connections and quiesce the dispatch thread.
+
+        After this returns, no hub operation is in flight and none can
+        start (late submissions from a still-open connection fail and
+        close that connection) — which is what lets the shutdown path
+        checkpoint and close the hub from the event-loop thread without
+        racing the dispatch thread.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._dispatch_executor is not None:
+            executor, self._dispatch_executor = self._dispatch_executor, None
+            # shutdown(wait=True) drains the queued dispatches; run it on a
+            # throwaway default-executor thread so the wait does not block
+            # the loop that must keep serving those dispatches' responses.
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, executor.shutdown)
 
     async def serve_forever(self) -> None:
         """Run until cancelled (call :meth:`start` first)."""
@@ -153,6 +183,7 @@ class ServingServer:
     ) -> None:
         peer = writer.get_extra_info("peername")
         logger.debug("client connected: %s", peer)
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 try:
@@ -166,7 +197,17 @@ class ServingServer:
                 stripped = line.strip()
                 if not stripped:
                     continue
-                response = self._dispatch_line(stripped)
+                executor = self._dispatch_executor
+                if executor is None:
+                    break  # server stopped while this connection was idle
+                try:
+                    response = await loop.run_in_executor(
+                        executor, self._dispatch_line, stripped
+                    )
+                except RuntimeError:
+                    # stop() shut the executor between the check above and
+                    # the submission; the hub is quiescing — drop the line.
+                    break
                 writer.write(_encode(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
@@ -286,9 +327,9 @@ class ServingServer:
     def _op_reshard(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Live-migrate a sharded hub to a new worker count.
 
-        The reshard runs inline on the event loop (like every other hub
-        op): no ingest can interleave with the migration, which is exactly
-        the quiesce the protocol needs.
+        The reshard runs on the single dispatch thread (like every other
+        hub op): no ingest can interleave with the migration, which is
+        exactly the quiesce the protocol needs.
         """
         if not hasattr(self._hub, "reshard"):
             return {"ok": False, "error": "hub is not sharded; reshard needs --shards"}

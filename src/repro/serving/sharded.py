@@ -257,6 +257,10 @@ def _worker_attach_shm(
         except Exception:  # pragma: no cover - view still referenced  # repro: allow(broad-except) -- retiring a superseded segment view; at worst an fd lingers until worker exit, no data path depends on the close
             pass
     block = _shared_memory.SharedMemory(name=name)
+    # Cache the view before the tracker dance below: once it is in the
+    # cache the worker's shutdown path owns the close, so no path between
+    # attach and return can leak the mapping.
+    cache[name] = block
     if not tracker_inherited:
         try:
             from multiprocessing import resource_tracker
@@ -264,7 +268,6 @@ def _worker_attach_shm(
             resource_tracker.unregister(block._name, "shared_memory")
         except Exception:  # pragma: no cover - tracker API differences  # repro: allow(broad-except) -- best-effort revocation of a bookkeeping entry across python-version tracker APIs; failure merely re-allows the double-unlink warning the revocation exists to silence
             pass
-    cache[name] = block
     return block
 
 
@@ -779,38 +782,49 @@ class ShardedHub:
 
     def _spawn(self, index: int, resume: bool) -> None:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
-        audit = (
-            f"{self._audit_log}.{_shard_dirname(index)}"
-            if self._audit_log is not None
-            else None
-        )
-        dead_letter = (
-            f"{self._webhook_dead_letter}.{_shard_dirname(index)}"
-            if self._webhook_dead_letter is not None
-            else None
-        )
-        process = self._context.Process(
-            target=_shard_worker_main,
-            args=(
-                index,
-                child_conn,
-                self._shard_checkpoint_dir(index),
-                self._checkpoint_every,
-                resume,
-                self._alert_buffer,
-                audit,
-                self._shard_wal_dir(index),
-                self._wal_fsync,
-                self._webhook,
-                dead_letter,
-            ),
-            name=f"repro-shard-{index:02d}",
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        self._processes[index] = process
+        try:
+            audit = (
+                f"{self._audit_log}.{_shard_dirname(index)}"
+                if self._audit_log is not None
+                else None
+            )
+            dead_letter = (
+                f"{self._webhook_dead_letter}.{_shard_dirname(index)}"
+                if self._webhook_dead_letter is not None
+                else None
+            )
+            process = self._context.Process(
+                target=_shard_worker_main,
+                args=(
+                    index,
+                    child_conn,
+                    self._shard_checkpoint_dir(index),
+                    self._checkpoint_every,
+                    resume,
+                    self._alert_buffer,
+                    audit,
+                    self._shard_wal_dir(index),
+                    self._wal_fsync,
+                    self._webhook,
+                    dead_letter,
+                ),
+                name=f"repro-shard-{index:02d}",
+                daemon=True,
+            )
+            process.start()
+        except Exception:
+            # A failed spawn (fork/exec error, bad checkpoint dir) must not
+            # leak the pipe pair — each retry would otherwise pin two more
+            # file descriptors for the hub's lifetime.
+            parent_conn.close()
+            child_conn.close()
+            raise
+        # Record the conn first: once it is in the table, close()/reshard
+        # own its lifetime, so a freak failure closing the child's end can
+        # no longer strand the parent's end outside any cleanup path.
         self._conns[index] = parent_conn
+        self._processes[index] = process
+        child_conn.close()
 
     def _adopt_cluster(self, plan: Optional[Dict[str, Any]]) -> bool:
         """Mirror every shard's resumed monitors into the registry.
@@ -985,25 +999,35 @@ class ShardedHub:
             except Exception:  # repro: allow(broad-except) -- shutdown drain of the stop reply; a broken pipe here means the worker already exited, which is the goal
                 pass
         self._closed = True
-        for index, process in enumerate(self._processes):
-            if process is None:
-                continue
-            process.join(timeout=self._STOP_REPLY_TIMEOUT)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=self._STOP_REPLY_TIMEOUT)
-            if process.is_alive():
-                # SIGTERM stays *pending* on a SIGSTOPped worker; SIGKILL
-                # is the only signal guaranteed to reap a wedged process.
-                process.kill()
-                process.join(timeout=self._STOP_REPLY_TIMEOUT)
-            conn = self._conns[index]
-            if conn is not None:
-                conn.close()
-        for index in list(self._shm_blocks):
-            self._release_shm_block(index)
-        if self._owns_journal:
-            self._journal.close()
+        try:
+            for index, process in enumerate(self._processes):
+                if process is None:
+                    continue
+                try:
+                    process.join(timeout=self._STOP_REPLY_TIMEOUT)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=self._STOP_REPLY_TIMEOUT)
+                    if process.is_alive():
+                        # SIGTERM stays *pending* on a SIGSTOPped worker;
+                        # SIGKILL is the only signal guaranteed to reap a
+                        # wedged process.
+                        process.kill()
+                        process.join(timeout=self._STOP_REPLY_TIMEOUT)
+                    conn = self._conns[index]
+                    if conn is not None:
+                        conn.close()
+                except Exception:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; one unreapable worker must not keep close() from reaping the rest
+                    self._note_cleanup_failure("close_worker", shard=index)
+                    logger.warning("close: could not reap shard %d", index)
+        finally:
+            # Runs whatever happened above: the parent owns the staging
+            # segments and the journal handle, and leaking them would
+            # outlive the object (shm segments survive until reboot).
+            for index in list(self._shm_blocks):
+                self._release_shm_block(index)
+            if self._owns_journal:
+                self._journal.close()
 
     def __enter__(self) -> "ShardedHub":
         return self
@@ -1848,11 +1872,22 @@ class ShardedHub:
                     "reshard cleanup: could not drain retiring shard %d", index
                 )
                 cleanup_error = cleanup_error or exc
-            self._stop_worker(self._processes[index], self._conns[index])
+            try:
+                self._stop_worker(self._processes[index], self._conns[index])
+            except Exception as exc:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; one wedged retiring worker must not keep the remaining shards from stopping or their shm from releasing
+                self._note_cleanup_failure("retiring_shard_stop", shard=index)
+                logger.warning(
+                    "reshard cleanup: could not stop retiring shard %d", index
+                )
+                cleanup_error = cleanup_error or exc
         del self._processes[n_shards:]
         del self._conns[n_shards:]
         for index in range(n_shards, old_n):
-            self._release_shm_block(index)
+            try:
+                self._release_shm_block(index)
+            except Exception as exc:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; the remaining retiring segments must still be released
+                self._note_cleanup_failure("retiring_shard_shm", shard=index)
+                cleanup_error = cleanup_error or exc
         self._reshard_stage("cleanup")
         if self._checkpoint_dir is not None and cleanup_error is None:
             try:
@@ -1899,10 +1934,21 @@ class ShardedHub:
                     target,
                 )
         for index in sorted(spawned, reverse=True):
-            self._stop_worker(self._processes[index], self._conns[index])
+            try:
+                self._stop_worker(self._processes[index], self._conns[index])
+            except Exception:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; the rollback must still retire the other spawned workers and restore the old layout lists
+                self._note_cleanup_failure("abort_retire_worker", shard=index)
+                logger.warning(
+                    "reshard abort: could not stop spawned worker %d", index
+                )
+            # The list surgery is not best-effort: the old layout's lists
+            # must shrink back even when stopping one worker failed.
             del self._processes[index]
             del self._conns[index]
-            self._release_shm_block(index)
+            try:
+                self._release_shm_block(index)
+            except Exception:  # repro: allow(broad-except) -- counted in n_cleanup_failures and journaled by _note_cleanup_failure; the rollback must still release the other spawned workers' segments
+                self._note_cleanup_failure("abort_release_shm", shard=index)
         if baseline_reports is not None:
             try:
                 self._write_manifest(baseline_reports)

@@ -1,0 +1,18 @@
+"""A serving coroutine that blocks its event loop four different ways."""
+
+import os
+import time
+
+
+async def serve_line(conn, wal_path):
+    line = conn.recv()
+    _persist(wal_path, line)
+    time.sleep(0.01)
+    return line
+
+
+def _persist(wal_path, line):
+    handle = open(wal_path, "a")
+    handle.write(line)
+    os.fsync(handle.fileno())
+    handle.close()

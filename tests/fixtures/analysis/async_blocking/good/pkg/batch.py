@@ -1,0 +1,9 @@
+"""Sync batch path: blocking I/O is fine in a module with no async defs."""
+
+import os
+
+
+def compact(path, records):
+    with open(path, "w") as handle:
+        handle.write("\n".join(records))
+        os.fsync(handle.fileno())

@@ -1,0 +1,26 @@
+"""Workers that reach back into parent-owned module state after fork."""
+
+import random
+import threading
+from multiprocessing import Process
+
+_STATE_LOCK = threading.Lock()
+_AUDIT_LOG = open("audit.log", "a")
+_RNG = random.Random(7)
+
+
+def spawn(index):
+    process = Process(target=_shard_worker_main, args=(index,), daemon=True)
+    process.start()
+    return process
+
+
+def _shard_worker_main(index):
+    jitter = random.random()
+    with _STATE_LOCK:
+        _AUDIT_LOG.write(str(index))
+    _flush(jitter)
+
+
+def _flush(value):
+    return _RNG.random() + value

@@ -1,0 +1,21 @@
+"""Workers that receive shared state through arguments and build their own."""
+
+import random
+from multiprocessing import Process
+
+
+def spawn(index, conn):
+    process = Process(
+        target=_shard_worker_main,
+        args=(index, conn, 1031 * (index + 1)),
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def _shard_worker_main(index, conn, seed):
+    rng = random.Random(seed)
+    with open("audit-%d.log" % index, "a") as audit:
+        audit.write("%.6f" % rng.random())
+    conn.send(("ready", index))

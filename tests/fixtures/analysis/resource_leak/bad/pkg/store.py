@@ -1,0 +1,21 @@
+"""Handles that stay open on at least one CFG path."""
+
+from multiprocessing import Pipe
+from multiprocessing.shared_memory import SharedMemory
+
+
+def forgets_close(path, payload):
+    handle = open(path, "w")
+    handle.write(payload)
+
+
+def early_raise(name):
+    block = SharedMemory(name=name)
+    if block.size == 0:
+        raise ValueError("empty segment")
+    block.close()
+
+
+def keeps_one_end():
+    parent, child = Pipe(duplex=True)
+    return parent

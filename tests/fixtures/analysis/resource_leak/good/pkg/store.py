@@ -1,0 +1,42 @@
+"""The same handle lifetimes with every path — including exception edges — covered."""
+
+from multiprocessing import Pipe
+from multiprocessing.shared_memory import SharedMemory
+
+
+def with_managed(path, payload):
+    with open(path, "w") as handle:
+        handle.write(payload)
+
+
+def finally_closed(name):
+    block = SharedMemory(name=name)
+    try:
+        if block.size == 0:
+            raise ValueError("empty segment")
+    finally:
+        block.close()
+
+
+def guarded_close(path, payload):
+    handle = None
+    try:
+        handle = open(path, "w")
+        handle.write(payload)
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def hands_off_both_ends(registry, spawn):
+    parent, child = Pipe(duplex=True)
+    try:
+        process = spawn(child)
+    except Exception:
+        parent.close()
+        child.close()
+        raise
+    # The registry owns the parent's end before anything else can raise.
+    registry["conn"] = parent
+    child.close()
+    return process

@@ -1,0 +1,338 @@
+"""CFG builder and dataflow tests on the constructs that break naive builders.
+
+Each test asserts the *complete* labeled edge set of a small function —
+block labels are ``{NodeType}@{lineno}`` (``except@N`` for handlers), so the
+expected sets read directly against the source strings.  The adversarial
+shapes are the ones the serving stack actually contains: ``break`` through a
+``finally``, ``with`` inside an ``except``, a bare re-``raise``,
+``while``/``else``, ``return`` threading a ``finally``, and ``match``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import build_cfg, function_cfgs, run_forward
+
+
+def _cfg(src: str):
+    tree = ast.parse(textwrap.dedent(src))
+    return build_cfg(tree.body[0])
+
+
+def _block_id(cfg, label: str) -> int:
+    matches = [bid for bid, block in cfg.blocks.items() if block.label == label]
+    assert len(matches) == 1, f"label {label!r} matched blocks {matches}"
+    return matches[0]
+
+
+# ----------------------------------------------------------------- shapes
+
+
+def test_linear_function_edges():
+    cfg = _cfg(
+        """\
+        def f(x):
+            y = x + 1
+            return y
+        """
+    )
+    assert cfg.labeled_edges() == {
+        ("entry", "Assign@2", "normal"),
+        ("Assign@2", "raise", "exception"),
+        ("Assign@2", "Return@3", "normal"),
+        ("Return@3", "raise", "exception"),
+        ("Return@3", "exit", "return"),
+    }
+
+
+def test_if_else_branches_and_merge():
+    cfg = _cfg(
+        """\
+        def f(x):
+            if x:
+                y = 1
+            else:
+                y = 2
+            return y
+        """
+    )
+    assert cfg.labeled_edges() == {
+        ("entry", "If@2", "normal"),
+        ("If@2", "raise", "exception"),
+        ("If@2", "Assign@3", "normal"),
+        ("If@2", "Assign@5", "normal"),
+        ("Assign@3", "raise", "exception"),
+        ("Assign@5", "raise", "exception"),
+        ("Assign@3", "Return@6", "normal"),
+        ("Assign@5", "Return@6", "normal"),
+        ("Return@6", "raise", "exception"),
+        ("Return@6", "exit", "return"),
+    }
+
+
+def test_while_else_break_skips_the_else():
+    cfg = _cfg(
+        """\
+        def f(items):
+            while items:
+                item = items.pop()
+                if item:
+                    break
+            else:
+                item = None
+            return item
+        """
+    )
+    edges = cfg.labeled_edges()
+    # break leaves the loop *and* skips the else body...
+    assert ("Break@5", "Return@8", "break") in edges
+    assert ("Break@5", "Assign@7", "break") not in edges
+    # ...while normal exhaustion runs the else; the if falls back around.
+    assert ("While@2", "Assign@7", "normal") in edges
+    assert ("If@4", "While@2", "back") in edges
+
+
+def test_break_through_finally_runs_cleanup_then_breaks():
+    cfg = _cfg(
+        """\
+        def f(conns):
+            for conn in conns:
+                try:
+                    conn.ping()
+                    break
+                finally:
+                    conn.close()
+            return conns
+        """
+    )
+    assert cfg.labeled_edges() == {
+        ("entry", "For@2", "normal"),
+        ("For@2", "raise", "exception"),
+        ("For@2", "Expr@4", "normal"),
+        # ping blowing up routes through the finally...
+        ("Expr@4", "Expr@7", "exception"),
+        ("Expr@4", "Break@5", "normal"),
+        # ...and so does the break; the finally then fans back out: the
+        # pending break leaves the loop, the pending exception re-raises.
+        ("Break@5", "Expr@7", "break"),
+        ("Expr@7", "raise", "exception"),
+        ("Expr@7", "raise", "raise"),
+        ("Expr@7", "Return@8", "break"),
+        ("For@2", "Return@8", "normal"),
+        ("Return@8", "raise", "exception"),
+        ("Return@8", "exit", "return"),
+    }
+
+
+def test_with_inside_except_and_bare_reraise():
+    cfg = _cfg(
+        """\
+        def f(path, payload):
+            try:
+                handle = open(path)
+            except OSError:
+                with open(path, "w") as fallback:
+                    fallback.write(payload)
+                raise
+            return handle
+        """
+    )
+    assert cfg.labeled_edges() == {
+        ("entry", "Assign@3", "normal"),
+        # A non-catch-all handler: the exception may match OSError or
+        # keep propagating, so the body carries both exception edges.
+        ("Assign@3", "except@4", "exception"),
+        ("Assign@3", "raise", "exception"),
+        ("except@4", "With@5", "normal"),
+        ("With@5", "raise", "exception"),
+        ("With@5", "Expr@6", "normal"),
+        ("Expr@6", "raise", "exception"),
+        ("Expr@6", "Raise@7", "normal"),
+        ("Raise@7", "raise", "raise"),
+        ("Assign@3", "Return@8", "normal"),
+        ("Return@8", "raise", "exception"),
+        ("Return@8", "exit", "return"),
+    }
+
+
+def test_except_exception_counts_as_catch_all():
+    cfg = _cfg(
+        """\
+        def f(task):
+            try:
+                task.run()
+            except Exception:
+                task.abort()
+            return task
+        """
+    )
+    edges = cfg.labeled_edges()
+    assert ("Expr@3", "except@4", "exception") in edges
+    # except Exception swallows the body's exception edge entirely (the
+    # KeyboardInterrupt/SystemExit escapes are deliberately unmodelled);
+    # only the handler's own body can still blow up.
+    assert ("Expr@3", "raise", "exception") not in edges
+    assert ("Expr@5", "raise", "exception") in edges
+
+
+def test_return_threads_the_finally():
+    cfg = _cfg(
+        """\
+        def f(wal):
+            try:
+                return wal.commit()
+            finally:
+                wal.close()
+        """
+    )
+    assert cfg.labeled_edges() == {
+        ("entry", "Return@3", "normal"),
+        # Both the computed return and a commit() failure run the close...
+        ("Return@3", "Expr@5", "return"),
+        ("Return@3", "Expr@5", "exception"),
+        ("Expr@5", "raise", "exception"),
+        # ...after which the pending continuation resumes: the return
+        # reaches exit, the in-flight exception re-raises.
+        ("Expr@5", "exit", "return"),
+        ("Expr@5", "raise", "raise"),
+    }
+
+
+@pytest.mark.skipif(sys.version_info < (3, 10), reason="match is 3.10+ syntax")
+def test_match_fans_out_per_case():
+    cfg = _cfg(
+        """\
+        def f(op):
+            match op:
+                case "ping":
+                    return "pong"
+                case _:
+                    result = None
+            return result
+        """
+    )
+    assert cfg.labeled_edges() == {
+        ("entry", "Match@2", "normal"),
+        ("Match@2", "raise", "exception"),
+        ("Match@2", "Return@4", "normal"),
+        ("Return@4", "raise", "exception"),
+        ("Return@4", "exit", "return"),
+        ("Match@2", "Assign@6", "normal"),
+        ("Assign@6", "raise", "exception"),
+        ("Assign@6", "Return@7", "normal"),
+        ("Return@7", "raise", "exception"),
+        ("Return@7", "exit", "return"),
+    }
+
+
+@pytest.mark.skipif(sys.version_info < (3, 10), reason="match is 3.10+ syntax")
+def test_match_without_wildcard_keeps_fall_through():
+    cfg = _cfg(
+        """\
+        def f(op):
+            match op:
+                case "ping":
+                    result = "pong"
+            return result
+        """
+    )
+    # No wildcard case: the subject may match nothing and fall through.
+    assert ("Match@2", "Return@5", "normal") in cfg.labeled_edges()
+
+
+# ---------------------------------------------------------------- queries
+
+
+def test_nested_defs_stay_opaque_and_get_their_own_cfgs():
+    tree = ast.parse(
+        textwrap.dedent(
+            """\
+            def outer(x):
+                def inner(y):
+                    return y + 1
+                return inner(x)
+            """
+        )
+    )
+    outer = tree.body[0]
+    cfg = build_cfg(outer)
+    # The nested def is one opaque block; its body has no blocks here.
+    assert _block_id(cfg, "FunctionDef@2") is not None
+    inner_return = outer.body[0].body[0]
+    assert cfg.block_of(inner_return) is None
+    assert cfg.block_of(outer.body[1]).label == "Return@4"
+    assert {func.name for func, _ in function_cfgs(tree)} == {"outer", "inner"}
+
+
+def test_statement_blocks_excludes_synthetics():
+    cfg = _cfg(
+        """\
+        def f(x):
+            y = x
+            return y
+        """
+    )
+    labels = [block.label for block in cfg.statement_blocks()]
+    assert labels == ["Assign@2", "Return@3"]
+    for synthetic in ("entry", "exit", "raise"):
+        assert synthetic not in labels
+
+
+# --------------------------------------------------------------- dataflow
+
+
+def test_forward_exception_edges_drop_gen_and_honour_kill():
+    cfg = _cfg(
+        """\
+        def f():
+            h = acquire()
+            h.close()
+        """
+    )
+    assign = _block_id(cfg, "Assign@2")
+    close = _block_id(cfg, "Expr@3")
+    result = run_forward(cfg, {assign: {"h"}}, {close: {"h"}})
+    # The fact exists after a completed acquisition...
+    assert result.at_entry_of(close) == {"h"}
+    # ...but not on the acquisition's own exception edge (the gen never
+    # happened), and a raising close() still counts as the release attempt.
+    assert result.at_entry_of(cfg.raise_exit) == set()
+    assert result.at_entry_of(cfg.exit) == set()
+
+
+def test_forward_join_is_may_union():
+    cfg = _cfg(
+        """\
+        def f(x):
+            if x:
+                h = acquire()
+            use(h)
+        """
+    )
+    assign = _block_id(cfg, "Assign@3")
+    use = _block_id(cfg, "Expr@4")
+    result = run_forward(cfg, {assign: {"h"}}, {})
+    # The skip branch joins in empty, the taken branch carries the fact;
+    # a may-analysis keeps it.
+    assert result.at_entry_of(use) == {"h"}
+    assert result.at_entry_of(cfg.exit) == {"h"}
+
+
+def test_forward_entry_state_seeds_the_analysis():
+    cfg = _cfg(
+        """\
+        def f(h):
+            h.close()
+        """
+    )
+    close = _block_id(cfg, "Expr@2")
+    result = run_forward(cfg, {}, {close: {"h"}}, entry_state=frozenset({"h"}))
+    assert result.at_entry_of(close) == {"h"}
+    assert result.at_entry_of(cfg.exit) == set()
+    # The close's own exception edge honours the kill.
+    assert result.at_entry_of(cfg.raise_exit) == set()

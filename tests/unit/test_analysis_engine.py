@@ -239,6 +239,10 @@ def test_cli_list_rules_names_the_full_catalogue(capsys):
         "snapshot-contract",
         "broad-except",
         "deprecated-symbol",
+        "async-blocking",
+        "resource-leak",
+        "fork-safety",
         "syntax-error",
+        "wire-protocol",
     ):
         assert rule_id in out

@@ -1,12 +1,14 @@
 """Meta-tests: the linter passes on the repository it ships in, and the
-schema-lock manifest actually catches the drift it exists to catch.
+lock manifests actually catch the drift they exist to catch.
 
-The first test is the one CI's ``lint`` job re-runs as a command; keeping it
-in the suite too means ``pytest`` alone reproduces a lint failure, with the
-offending findings in the assertion message.  The tamper tests doctor a copy
-of the committed lock and assert the ``snapshot-contract`` rule turns each
-class of drift — removed detector, unregistered detector, changed persisted
-keys, stale schema version — into findings.
+The first test is the one CI's ``lint`` job re-runs as a command — the full
+eight-rule catalogue plus both lock checks against the committed (empty)
+baseline; keeping it in the suite too means ``pytest`` alone reproduces a
+lint failure, with the offending findings in the assertion message.  The
+tamper tests doctor copies of the committed locks and assert each class of
+drift becomes findings: for the schema lock, removed/unregistered detectors,
+changed persisted keys, and stale schema versions; for the wire lock,
+phantom ops, removed ops, and changed request/response key sets.
 """
 
 from __future__ import annotations
@@ -18,15 +20,20 @@ import pytest
 
 import repro
 from repro.analysis import (
+    RULE_WIRE_PROTOCOL,
     default_baseline_path,
     default_lock_path,
+    default_wire_lock_path,
+    generate_wire_lock,
     load_baseline,
     run_rules,
     scan_paths,
     select_rules,
 )
+from repro.analysis.__main__ import main
 
 REPRO_PACKAGE = Path(repro.__file__).resolve().parent
+SERVER_PY = REPRO_PACKAGE / "serving" / "server.py"
 
 
 @pytest.fixture(scope="module")
@@ -36,6 +43,7 @@ def repo_project():
 
 def test_repo_is_clean_against_committed_baseline(repo_project):
     repo_project.options["schema_lock_path"] = str(default_lock_path())
+    repo_project.options["wire_lock_path"] = str(default_wire_lock_path())
     report = run_rules(
         repo_project, select_rules(), load_baseline(default_baseline_path())
     )
@@ -46,6 +54,13 @@ def test_repo_is_clean_against_committed_baseline(repo_project):
         "baseline entries no longer fire; prune with --update-baseline: "
         f"{report.stale_baseline}"
     )
+
+
+def test_committed_baseline_is_empty():
+    # The repo carries no grandfathered debt: every finding is either fixed
+    # or suppressed in place with a reason.  Keep it that way.
+    document = json.loads(default_baseline_path().read_text(encoding="utf-8"))
+    assert document["entries"] == []
 
 
 def test_every_suppression_in_the_repo_carries_a_reason(repo_project):
@@ -131,3 +146,115 @@ def test_schema_version_bump_requires_update_lock(repo_project, tmp_path):
     findings = _contract_findings(repo_project, lock, tmp_path)
     assert len(findings) == 1
     assert "--update-lock" in findings[0].message
+
+
+# -------------------------------------------------------- wire-lock tamper
+
+
+def _wire_findings(repo_project, lock_document, tmp_path):
+    doctored = tmp_path / "doctored.wire.lock.json"
+    doctored.write_text(json.dumps(lock_document), encoding="utf-8")
+    repo_project.options["wire_lock_path"] = str(doctored)
+    try:
+        report = run_rules(repo_project, select_rules(["broad-except"]))
+    finally:
+        repo_project.options.pop("wire_lock_path", None)
+    return [f for f in report.findings if f.rule == RULE_WIRE_PROTOCOL]
+
+
+def _committed_wire_lock():
+    return json.loads(default_wire_lock_path().read_text(encoding="utf-8"))
+
+
+def test_committed_wire_lock_matches_the_live_dispatch(repo_project, tmp_path):
+    assert _wire_findings(repo_project, _committed_wire_lock(), tmp_path) == []
+    # And the committed file is byte-for-byte what extraction produces.
+    live = generate_wire_lock(repo_project)
+    assert live == _committed_wire_lock()
+
+
+def test_wire_lock_findings_anchor_at_the_dispatch(repo_project, tmp_path):
+    lock = _committed_wire_lock()
+    lock["ops"]["phantom_op"] = {"request_keys": [], "response_keys": ["ok"]}
+    findings = _wire_findings(repo_project, lock, tmp_path)
+    assert len(findings) == 1
+    assert findings[0].path.endswith("serving/server.py")
+    assert findings[0].line > 1
+
+
+def _doctor_phantom_op(lock):
+    lock["ops"]["phantom_op"] = {"request_keys": [], "response_keys": ["ok"]}
+    return "no longer dispatched"
+
+
+def _doctor_removed_op(lock):
+    del lock["ops"]["ping"]
+    return "not in the wire lock"
+
+
+def _doctor_changed_response_keys(lock):
+    lock["ops"]["ping"]["response_keys"] = ["ok", "pong", "vanished"]
+    return "changed its response keys"
+
+
+@pytest.mark.parametrize(
+    "doctor",
+    [_doctor_phantom_op, _doctor_removed_op, _doctor_changed_response_keys],
+    ids=["phantom-op", "removed-op", "changed-response-keys"],
+)
+def test_doctored_wire_lock_fails_cli_with_update_hint(doctor, tmp_path, capsys):
+    lock = _committed_wire_lock()
+    expected = doctor(lock)
+    doctored = tmp_path / "doctored.wire.lock.json"
+    doctored.write_text(json.dumps(lock), encoding="utf-8")
+    exit_code = main(
+        [str(SERVER_PY), "--no-baseline", "--no-lock", "--wire-lock", str(doctored)]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert expected in out
+    assert "[wire-protocol]" in out
+    assert "--update-wire-lock" in out
+
+
+def test_cli_update_wire_lock_writes_a_lock_the_next_run_accepts(tmp_path, capsys):
+    wire = tmp_path / "wire.lock.json"
+    assert (
+        main(
+            [
+                str(SERVER_PY),
+                "--no-baseline",
+                "--no-lock",
+                "--wire-lock",
+                str(wire),
+                "--update-wire-lock",
+            ]
+        )
+        == 0
+    )
+    assert "wrote" in capsys.readouterr().out
+    assert (
+        main([str(SERVER_PY), "--no-baseline", "--no-lock", "--wire-lock", str(wire)])
+        == 0
+    )
+
+
+def test_missing_wire_lock_is_a_finding_not_a_crash(repo_project, tmp_path, capsys):
+    repo_project.options["wire_lock_path"] = str(tmp_path / "nowhere.json")
+    try:
+        report = run_rules(repo_project, select_rules(["broad-except"]))
+    finally:
+        repo_project.options.pop("wire_lock_path", None)
+    wire = [f for f in report.findings if f.rule == RULE_WIRE_PROTOCOL]
+    assert len(wire) == 1
+    assert "does not exist" in wire[0].message
+
+
+def test_wire_protocol_cannot_be_suppressed(tmp_path):
+    # An engine pseudo-rule: the sanctioned way to change the protocol is
+    # --update-wire-lock, not an inline allow().
+    source = "x = 1  # repro: allow(wire-protocol) -- trying anyway\n"
+    target = tmp_path / "mod.py"
+    target.write_text(source, encoding="utf-8")
+    report = run_rules(scan_paths([target]), select_rules(["broad-except"]))
+    assert any("cannot be suppressed" in f.message for f in report.findings)

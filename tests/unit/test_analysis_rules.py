@@ -22,6 +22,9 @@ ALL_RULE_IDS = (
     "snapshot-contract",
     "broad-except",
     "deprecated-symbol",
+    "async-blocking",
+    "resource-leak",
+    "fork-safety",
 )
 
 #: rule id -> fixture directory name.
@@ -31,6 +34,9 @@ _FIXTURE_DIRS = {
     "snapshot-contract": "snapshot_contract",
     "broad-except": "broad_except",
     "deprecated-symbol": "deprecation",
+    "async-blocking": "async_blocking",
+    "resource-leak": "resource_leak",
+    "fork-safety": "fork_safety",
 }
 
 
@@ -137,3 +143,79 @@ def test_deprecation_flags_import_and_use_but_not_definition_site():
     assert {f.path for f in report.findings} == {"pkg/caller.py"}
     hows = sorted(f.message.split(" ", 1)[0] for f in report.findings)
     assert hows == ["imports", "uses"]
+
+
+# --------------------------------------------------------- async-blocking
+
+
+def test_async_blocking_names_the_call_and_the_reaching_chain():
+    report = _run("async-blocking", "bad")
+    messages = "\n".join(f.message for f in report.findings)
+    # Direct calls inside the coroutine itself...
+    assert "blocking call <obj>.recv()" in messages
+    assert "blocking call time.sleep()" in messages
+    # ...and calls in a sync helper the coroutine reaches, with the chain.
+    assert "blocking call open()" in messages
+    assert "blocking call os.fsync()" in messages
+    assert "via serve_line -> _persist" in messages
+    assert len(report.findings) == 4
+    for finding in report.findings:
+        assert "run_in_executor" in finding.message
+
+
+def test_async_blocking_offload_severs_the_call_graph_edge():
+    # The good tree's _persist still fsyncs; the clean run above is only
+    # meaningful because to_thread passes it as an argument, not a call.
+    src = (
+        FIXTURES / "async_blocking" / "good" / "pkg" / "server.py"
+    ).read_text()
+    assert "os.fsync" in src and "to_thread(_persist" in src
+
+
+# ----------------------------------------------------------- resource-leak
+
+
+def test_resource_leak_reports_which_paths_leak():
+    report = _run("resource-leak", "bad")
+    by_message = {f.message.split("'")[1]: f.message for f in report.findings}
+    assert set(by_message) == {"handle", "block", "child"}
+    # Never closed: both exits leak.
+    assert "a normal return and an exception path" in by_message["handle"]
+    # Closed on the happy path, leaked when the early raise fires.
+    assert "an exception path leaves early_raise" in by_message["block"]
+    assert "a normal return" not in by_message["block"]
+    # One pipe end escapes via return, the other stays open.
+    assert "child" in by_message["child"] and "Pipe" in by_message["child"]
+    assert len(report.findings) == 3
+
+
+def test_resource_leak_good_tree_exercises_every_clean_shape():
+    # with-managed, finally-closed, guarded close, and the escape-then-
+    # close pipe hand-off must all be present for the clean run to mean
+    # anything.
+    src = (FIXTURES / "resource_leak" / "good" / "pkg" / "store.py").read_text()
+    for shape in ("with open", "finally:", "if handle is not None", "registry[\"conn\"]"):
+        assert shape in src
+
+
+# ------------------------------------------------------------ fork-safety
+
+
+def test_fork_safety_flags_each_inherited_state_kind():
+    report = _run("fork-safety", "bad")
+    messages = "\n".join(f.message for f in report.findings)
+    assert "random.random() uses the process-global RNG" in messages
+    assert "module-level lock '_STATE_LOCK'" in messages
+    assert "module-level file/socket handle '_AUDIT_LOG'" in messages
+    # Reached transitively: _shard_worker_main -> _flush -> _RNG.
+    assert "module-level RNG '_RNG'" in messages
+    assert len(report.findings) == 4
+    for finding in report.findings:
+        assert "_shard_worker_main" in finding.message
+
+
+def test_fork_safety_good_worker_builds_its_own_rng():
+    src = (
+        FIXTURES / "fork_safety" / "good" / "pkg" / "serving" / "worker.py"
+    ).read_text()
+    assert "random.Random(seed)" in src and "conn.send" in src
